@@ -1,0 +1,136 @@
+"""E12 -- Ablations of the design constants.
+
+Three knobs the paper fixes by analysis; we sweep each:
+
+1. **Coin bias p** (paper: fair coins).  The pruning constant is
+   ``E|R|/|U| <= p^2 + (1-p)/2`` -- minimized near p = 1/2; biasing coins
+   degrades pruning and hence the node-averaged cost.
+2. **Truncation depth** around ``ell * log log n`` (paper: ell = 2.41).
+   Shallower trees push more nodes into the greedy base (more awake time in
+   the window); deeper trees lengthen the wall clock; the paper's depth
+   balances them.
+3. **Greedy window constant c** (paper: "some large fixed constant").
+   Too small truncates base cases (Monte Carlo failures); larger c only
+   stretches the wall clock linearly.
+"""
+
+import statistics
+
+import networkx as nx
+from conftest import once
+
+from repro.analysis import pruning_summary
+from repro.api import solve_mis
+from repro.core import FastSleepingMIS, schedule
+from repro.graphs import is_maximal_independent_set
+from repro.sim import Simulator
+
+N = 256
+
+
+def test_coin_bias_ablation(benchmark):
+    biases = (0.3, 0.5, 0.7)
+
+    def measure():
+        out = {}
+        for bias in biases:
+            fractions = []
+            awake = []
+            for seed in range(3):
+                graph = nx.gnp_random_graph(N, 8.0 / N, seed=seed)
+                result = solve_mis(
+                    graph, algorithm="sleeping", seed=seed, coin_bias=bias
+                )
+                fractions.append(pruning_summary([result]).recursion_fraction)
+                awake.append(result.node_averaged_awake_complexity)
+            out[bias] = (
+                statistics.fmean(fractions),
+                statistics.fmean(awake),
+            )
+        return out
+
+    data = once(benchmark, measure)
+    print()
+    for bias, (fraction, awake) in data.items():
+        print(
+            f"  p={bias}: recursion fraction={fraction:.3f} "
+            f"avg awake={awake:.2f}"
+        )
+        benchmark.extra_info[f"bias_{bias}"] = round(fraction, 4)
+    # Fair coins should not be worse than the biased settings on the
+    # combined recursion fraction (the paper's 3/4 envelope).
+    assert data[0.5][0] <= max(data[0.3][0], data[0.7][0]) + 0.02
+
+
+def test_truncation_depth_ablation(benchmark):
+    paper_depth = schedule.truncated_depth(N)
+    depths = (
+        max(1, paper_depth - 2),
+        paper_depth,
+        paper_depth + 2,
+    )
+
+    def measure():
+        out = {}
+        for depth in depths:
+            graph = nx.gnp_random_graph(N, 8.0 / N, seed=5)
+            result = Simulator(
+                graph, lambda v, d=depth: FastSleepingMIS(depth=d), seed=5
+            ).run()
+            assert is_maximal_independent_set(graph, result.mis)
+            out[depth] = (
+                result.rounds,
+                result.node_averaged_awake_complexity,
+            )
+        return out
+
+    data = once(benchmark, measure)
+    print()
+    for depth, (rounds, awake) in data.items():
+        marker = " <- paper" if depth == paper_depth else ""
+        print(f"  depth={depth}: rounds={rounds} avg_awake={awake:.2f}{marker}")
+        benchmark.extra_info[f"depth_{depth}_rounds"] = rounds
+    # Wall clock doubles per extra level (schedule), so deeper > paper.
+    assert data[depths[2]][0] > data[depths[1]][0] > data[depths[0]][0]
+    # Node-averaged awake stays O(1) at every depth in this range.
+    assert all(awake < 15 for _, awake in data.values())
+
+
+def test_greedy_constant_ablation(benchmark):
+    constants = (1, 4, 8, 16)
+
+    def measure():
+        out = {}
+        for c in constants:
+            truncated = 0
+            undecided = 0
+            rounds = 0
+            for seed in range(3):
+                graph = nx.gnp_random_graph(N, 8.0 / N, seed=seed)
+                result = Simulator(
+                    graph,
+                    lambda v, c=c: FastSleepingMIS(greedy_constant=c),
+                    seed=seed,
+                ).run()
+                truncated += sum(
+                    1
+                    for p in result.protocols.values()
+                    if p.base_truncated
+                )
+                undecided += len(result.undecided)
+                rounds = result.rounds
+            out[c] = (truncated, undecided, rounds)
+        return out
+
+    data = once(benchmark, measure)
+    print()
+    for c, (truncated, undecided, rounds) in data.items():
+        print(
+            f"  c={c:2d}: truncated_nodes={truncated} "
+            f"undecided={undecided} rounds={rounds}"
+        )
+        benchmark.extra_info[f"c_{c}_truncated"] = truncated
+    # Generous constants never truncate; rounds grow monotonically in c.
+    assert data[8][0] == 0 and data[8][1] == 0
+    assert data[16][0] == 0
+    assert data[16][2] > data[8][2] > data[4][2]

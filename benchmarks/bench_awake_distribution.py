@@ -1,0 +1,70 @@
+"""E13 -- distributional properties of A_v (Section 1.2 remark).
+
+Beyond E[A] = O(1), the paper remarks that "one can also study other
+properties of A, e.g., high probability bounds on A".  We measure:
+
+* the full distribution of per-node awake time A_v for Algorithm 1 --
+  median, P90, P99, max -- and its survival curve, whose decay reflects
+  Lemma 7's (3/4)^i participation bound (a node awake >= 3(i+1) rounds
+  participated in i+1 levels);
+* the concentration of the per-run average A across independent runs
+  (tight around its constant expectation).
+"""
+
+import networkx as nx
+from conftest import once, record
+
+from repro.analysis.distribution import (
+    average_concentration,
+    awake_quantiles,
+    survival_curve,
+    tail_fraction,
+)
+from repro.api import solve_mis
+
+N = 1024
+TRIALS = 5
+
+
+def test_awake_time_distribution(benchmark):
+    def measure():
+        results = []
+        for seed in range(TRIALS):
+            graph = nx.gnp_random_graph(N, 8.0 / N, seed=seed)
+            results.append(solve_mis(graph, algorithm="sleeping", seed=seed))
+        return results
+
+    results = once(benchmark, measure)
+
+    quantiles = awake_quantiles(results[0], qs=(0.5, 0.9, 0.99, 1.0))
+    curve = survival_curve(results, thresholds=[3, 6, 9, 12, 15, 21, 30])
+    concentration = average_concentration(results)
+
+    print()
+    record(
+        benchmark,
+        median=quantiles[0.5],
+        p90=quantiles[0.9],
+        p99=quantiles[0.99],
+        max=quantiles[1.0],
+        mean_of_averages=round(concentration["mean"], 3),
+        stdev_of_averages=round(concentration["stdev"], 3),
+        tail_beyond_3x_mean=round(tail_fraction(results, 3.0), 4),
+    )
+    print("  survival P[A_v >= t]:")
+    for t, fraction in curve:
+        print(f"    t={t:3d}  {fraction:.4f}")
+
+    # High-probability shape: the median is a small constant, P99 is a
+    # modest multiple of it, the maximum is O(log n), and the survival
+    # curve halves (at least) every two levels deep into the recursion.
+    assert quantiles[0.5] <= 9
+    assert quantiles[0.99] <= 10 * max(quantiles[0.5], 1.0)
+    by_t = dict(curve)
+    assert by_t[9] < by_t[3]
+    assert by_t[15] < 0.5 * by_t[9]
+    assert by_t[30] < 0.1
+
+    # Concentration of the run average around its constant expectation.
+    assert concentration["stdev"] < 0.25 * concentration["mean"]
+    assert concentration["max"] - concentration["min"] < 2.0

@@ -1,0 +1,58 @@
+"""E15 -- extension: sleeping vs. beeping (Section 1.5's model contrast).
+
+The beeping model restricts communication to carrier sense (1 bit, OR of
+neighbors); the sleeping model restricts *availability*.  Both are
+energy-motivated.  Running both on the same graphs quantifies the paper's
+"orthogonality" remark: beeping pays Theta(log n) awake rounds per phase
+per live node, while the sleeping algorithms keep the per-node average
+constant.
+"""
+
+import networkx as nx
+from conftest import once
+
+from repro.api import solve_mis
+from repro.extensions.beeping import BeepingMIS
+from repro.graphs import assert_valid_mis
+from repro.sim import Simulator
+
+SIZES = (64, 128, 256, 512)
+
+
+def test_sleeping_versus_beeping_awake(benchmark):
+    def measure():
+        rows = {}
+        for n in SIZES:
+            graph = nx.gnp_random_graph(n, 8.0 / n, seed=n)
+            beeping = Simulator(
+                graph, lambda v: BeepingMIS(), seed=n
+            ).run()
+            assert_valid_mis(graph, beeping.mis)
+            sleeping = solve_mis(graph, algorithm="fast-sleeping", seed=n)
+            rows[n] = (
+                beeping.node_averaged_awake_complexity,
+                sleeping.node_averaged_awake_complexity,
+                beeping.rounds,
+                sleeping.rounds,
+            )
+        return rows
+
+    rows = once(benchmark, measure)
+    print()
+    print("  n     beep avg-awake  sleep avg-awake  beep rounds  sleep rounds")
+    for n, (beep_awake, sleep_awake, beep_rounds, sleep_rounds) in rows.items():
+        print(
+            f"  {n:5d} {beep_awake:14.1f} {sleep_awake:16.2f} "
+            f"{beep_rounds:12d} {sleep_rounds:13d}"
+        )
+        benchmark.extra_info[f"n{n}_beeping_awake"] = round(beep_awake, 2)
+        benchmark.extra_info[f"n{n}_sleeping_awake"] = round(sleep_awake, 2)
+
+    # The contrast: beeping's per-node awake average grows with log n
+    # (one Theta(log n) phase is already the floor), the sleeping
+    # algorithms' stays constant.
+    beep_series = [rows[n][0] for n in SIZES]
+    sleep_series = [rows[n][1] for n in SIZES]
+    assert beep_series[-1] > beep_series[0]
+    assert max(sleep_series) <= 2.0 * min(sleep_series)
+    assert all(b > s for b, s in zip(beep_series, sleep_series))

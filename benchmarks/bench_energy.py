@@ -1,0 +1,77 @@
+"""E11 -- Section 1.1: the energy story on sensor-like topologies.
+
+The sleeping model's premise: idle listening costs nearly as much as
+receiving, sleeping costs almost nothing.  We run the MIS algorithms on
+random geometric graphs (the standard sensor-network model) and account
+energy two ways:
+
+* **ideal** (the paper's abstraction): sleep is free -- energy == total
+  awake rounds;
+* **measured-shape weights** (Feeney--Nilsson): sleep costs 5% of
+  receiving -- which exposes Algorithm 1's Theta(n^3) schedule as
+  impractical and motivates Algorithm 2.
+"""
+
+from conftest import once, record
+
+from repro.api import solve_mis
+from repro.graphs import assert_valid_mis, random_geometric
+from repro.sim.energy import DEFAULT_MODEL, IDEAL_MODEL
+
+N = 512
+
+
+def test_energy_accounting(benchmark):
+    def measure():
+        graph = random_geometric(N, seed=19)
+        out = {}
+        for algorithm in ("luby", "ghaffari", "sleeping", "fast-sleeping"):
+            result = solve_mis(graph, algorithm=algorithm, seed=19)
+            assert_valid_mis(graph, result.mis)
+            out[algorithm] = (
+                IDEAL_MODEL.total_energy(result),
+                DEFAULT_MODEL.total_energy(result),
+                result.node_averaged_awake_complexity,
+            )
+        return out
+
+    data = once(benchmark, measure)
+    print()
+    for algorithm, (ideal, weighted, avg_awake) in data.items():
+        print(
+            f"  {algorithm:14s} ideal={ideal:10.0f} "
+            f"weighted={weighted:14.0f} avg_awake={avg_awake:6.2f}"
+        )
+        record_key = algorithm.replace("-", "_")
+        benchmark.extra_info[f"{record_key}_ideal"] = round(ideal, 1)
+        benchmark.extra_info[f"{record_key}_weighted"] = round(weighted, 1)
+
+    # Ideal model: sleeping algorithms spend O(n) total awake energy.
+    assert data["sleeping"][0] <= 12 * N
+    assert data["fast-sleeping"][0] <= 12 * N
+    # Ghaffari (the node-centric traditional baseline) pays more total
+    # awake time than the sleeping algorithms on these graphs.
+    assert data["ghaffari"][0] > data["fast-sleeping"][0]
+
+    # Non-zero sleep current: Algorithm 1's n^3 schedule dominates
+    # everything -- the practical argument for Algorithm 2.
+    assert data["sleeping"][1] > 100 * data["fast-sleeping"][1]
+
+
+def test_energy_scales_linearly_for_sleeping(benchmark):
+    """Total ideal energy of the sleeping algorithms is Theta(n)."""
+
+    def measure():
+        totals = []
+        sizes = (128, 256, 512, 1024)
+        for n in sizes:
+            graph = random_geometric(n, seed=n)
+            result = solve_mis(graph, algorithm="fast-sleeping", seed=n)
+            totals.append(IDEAL_MODEL.total_energy(result) / n)
+        return sizes, totals
+
+    sizes, per_node = once(benchmark, measure)
+    print()
+    record(benchmark, per_node_energy=[round(t, 2) for t in per_node])
+    # Per-node energy flat => total linear.
+    assert max(per_node) <= 1.8 * min(per_node)

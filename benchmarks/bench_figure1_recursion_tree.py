@@ -1,0 +1,69 @@
+"""E2 -- Figure 1: the recursion tree with (first-reached, finished) labels.
+
+Figure 1 of the paper draws a four-level recursion tree where each vertex
+carries the time it is first reached and the time computation finishes
+there, and the root satisfies ``M(G) = M(A) u M(B)``.  We rerun Algorithm 1,
+rebuild the tree from the execution trace, verify every label against
+``T(k) = 3 (2^k - 1)`` (Lemma 10), and verify the figure's structural
+claims: children nested in their parent's window, left child before right
+child, and members partitioned into A (left), B (right), and pruned nodes.
+"""
+
+import networkx as nx
+from conftest import once, record
+
+from repro.analysis import (
+    aggregate_calls,
+    build_tree,
+    render_tree,
+    tree_stats,
+    verify_schedule,
+)
+from repro.api import solve_mis
+from repro.core import schedule
+
+
+def test_figure1_labels_and_structure(benchmark):
+    graph = nx.gnp_random_graph(48, 0.1, seed=12)
+
+    result = once(
+        benchmark, lambda: solve_mis(graph, algorithm="sleeping", seed=12)
+    )
+
+    # Every realized call's (start, end) labels match the exact schedule.
+    assert verify_schedule(result, schedule.call_duration) == []
+
+    root = build_tree(result)
+    print()
+    print(render_tree(root, max_depth=3))
+    stats = tree_stats(root)
+
+    calls = aggregate_calls(result)
+    # Figure-1 structure: children windows nest, left strictly before right.
+    for path, agg in calls.items():
+        left = calls.get(path + "L")
+        right = calls.get(path + "R")
+        if left is not None:
+            assert left.start_round == agg.start_round + 1
+        if left is not None and right is not None:
+            assert left.end_round < right.start_round
+        if right is not None:
+            assert right.end_round == agg.end_round
+
+    # M(G) = M(A) u M(B) u {isolated/second-isolated joiners at this level}:
+    # every MIS member decided True somewhere, never via elimination.
+    for v in result.mis:
+        protocol = result.protocols[v]
+        decided = [r.decided for r in protocol.calls if r.decided]
+        assert decided[0] != "eliminated"
+
+    record(
+        benchmark,
+        realized_calls=stats["calls"],
+        max_depth=stats["max_depth"],
+        total_rounds=result.rounds,
+        t_of_k=schedule.call_duration(schedule.recursion_depth(48)),
+    )
+    assert result.rounds == schedule.call_duration(
+        schedule.recursion_depth(48)
+    )

@@ -1,0 +1,65 @@
+"""E3 -- Figure 2: the truncated recursion tree of Algorithm 2.
+
+Figure 2 shows Algorithm 2 cutting the recursion at depth
+``ell * log log n`` (ell = 1/log2(4/3)), where -- by Lemma 7 -- only about
+``n / log n`` nodes survive to run the greedy base cases, and the tree has
+``(log n)^ell`` leaves.  We measure both quantities over several runs and
+check they track the predictions (these are expectations, so we assert
+generous envelopes rather than tight equality).
+"""
+
+import statistics
+
+import networkx as nx
+from conftest import once, record
+
+from repro.analysis import base_level_participants, tree_stats, build_tree
+from repro.api import solve_mis
+from repro.core import schedule
+
+N = 2048
+TRIALS = 5
+
+
+def test_truncation_depth_survivors(benchmark):
+    def measure():
+        survivors = []
+        leaves = []
+        for seed in range(TRIALS):
+            graph = nx.gnp_random_graph(N, 8.0 / N, seed=seed)
+            result = solve_mis(graph, algorithm="fast-sleeping", seed=seed)
+            survivors.append(base_level_participants(result))
+            leaves.append(tree_stats(build_tree(result))["base_calls"])
+        return survivors, leaves
+
+    survivors, leaves = once(benchmark, measure)
+
+    predicted_survivors = schedule.expected_base_participants(N)  # n / log n
+    max_leaves = schedule.expected_leaf_count(N)  # (log n)^ell
+    mean_survivors = statistics.fmean(survivors)
+
+    print()
+    record(
+        benchmark,
+        n=N,
+        truncation_depth=schedule.truncated_depth(N),
+        mean_base_participants=mean_survivors,
+        predicted_n_over_log_n=round(predicted_survivors, 1),
+        mean_realized_base_calls=statistics.fmean(leaves),
+        max_possible_leaves=round(max_leaves, 1),
+    )
+
+    # Lemma 7 bounds the expectation from above; the truncation depth is a
+    # ceiling so the realized decay can overshoot (fewer survivors).  Check
+    # the order of magnitude: within [0, ~3x] of n / log n.
+    assert mean_survivors <= 3.0 * predicted_survivors
+    # Realized base calls cannot exceed the tree's leaf budget.
+    assert max(leaves) <= max_leaves
+
+    # The whole run's wall clock is the truncated schedule exactly.
+    graph = nx.gnp_random_graph(N, 8.0 / N, seed=0)
+    result = solve_mis(graph, algorithm="fast-sleeping", seed=0)
+    window = schedule.greedy_rounds(N)
+    assert result.rounds == schedule.fast_call_duration(
+        schedule.truncated_depth(N), window
+    )

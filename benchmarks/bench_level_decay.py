@@ -1,0 +1,57 @@
+"""E5 -- Lemma 7: geometric decay of per-level participation.
+
+Lemma 7: ``E[Z_{K-i}] <= (3/4)^i * n`` -- the total number of nodes
+participating in calls ``i`` levels below the root decays geometrically.
+This is the engine behind the O(1) node-averaged bound (Lemma 8: total cost
+``O(1) * sum_k Z_k = O(n)``).
+
+We measure the realized ``Z`` per depth against the envelope and also check
+the Lemma 8 consequence directly: total awake rounds across all nodes is
+linear in n with a small constant.
+"""
+
+import networkx as nx
+from conftest import once, record
+
+from repro.analysis import level_decay_table
+from repro.api import solve_mis
+
+N = 512
+TRIALS = 5
+
+
+def test_level_decay_envelope(benchmark):
+    def measure():
+        results = []
+        for seed in range(TRIALS):
+            graph = nx.gnp_random_graph(N, 8.0 / N, seed=seed)
+            results.append(solve_mis(graph, algorithm="sleeping", seed=seed))
+        return results
+
+    results = once(benchmark, measure)
+    rows = level_decay_table(results)
+
+    print()
+    print("  depth   mean Z   (3/4)^i * n")
+    for row in rows[:12]:
+        print(
+            f"  {row['depth']:5d}  {row['mean_z']:8.1f}  {row['envelope']:10.1f}"
+        )
+
+    for row in rows:
+        if row["envelope"] >= 10:
+            assert row["mean_z"] <= 1.2 * row["envelope"], row
+
+    # Lemma 8 consequence: total awake rounds = O(n).  The per-node
+    # constant here is ~3 rounds per participated level x a geometric
+    # series, comfortably below 12n.
+    total_awake = [r.total_awake_rounds for r in results]
+    record(
+        benchmark,
+        mean_total_awake=sum(total_awake) / len(total_awake),
+        linear_budget=12 * N,
+        depth0=rows[0]["mean_z"],
+        depth4=next((r["mean_z"] for r in rows if r["depth"] == 4), None),
+        depth8=next((r["mean_z"] for r in rows if r["depth"] == 8), None),
+    )
+    assert all(t <= 12 * N for t in total_awake)

@@ -1,0 +1,36 @@
+"""E14 -- extension: maximal matching in the sleeping model.
+
+The paper's conclusion proposes applying the sleeping model to further
+problems.  Maximal matching = MIS of the line graph, so Algorithm 2 run
+over edge agents inherits the O(1) node-averaged awake bound per *edge*.
+We measure validity and the per-edge awake average across sizes.
+"""
+
+import networkx as nx
+from conftest import once, record
+
+from repro.extensions.matching import (
+    is_maximal_matching,
+    solve_maximal_matching,
+)
+
+SIZES = (64, 128, 256, 512)
+
+
+def test_matching_edge_averaged_awake_constant(benchmark):
+    def measure():
+        means = []
+        for n in SIZES:
+            graph = nx.gnp_random_graph(n, 6.0 / n, seed=n)
+            matching, result = solve_maximal_matching(
+                graph, algorithm="fast-sleeping", seed=n
+            )
+            assert is_maximal_matching(graph, matching)
+            means.append(result.node_averaged_awake_complexity)
+        return means
+
+    means = once(benchmark, measure)
+    print()
+    record(benchmark, edge_avg_awake=[round(m, 2) for m in means])
+    assert max(means) <= 2.0 * min(means)
+    assert max(means) < 14.0

@@ -1,0 +1,58 @@
+"""E6 -- Theorem 1 / Lemma 8 & Theorem 2 / Lemma 12: O(1) node-averaged awake.
+
+The headline result: both sleeping algorithms finish with an expected
+*constant* number of awake rounds per node, independent of n and of the
+graph family.  We sweep three families across a 16x size range and assert
+flatness (growth factor near 1, classified as constant by the estimators).
+"""
+
+from conftest import once, record
+
+from repro.analysis import classify_growth, growth_factor, mean_by_size, sweep
+
+SIZES = (64, 128, 256, 512, 1024)
+FAMILIES = ("gnp-sparse", "tree", "regular-4")
+TRIALS = 3
+
+
+def _measure(algorithm):
+    series = {}
+    for family in FAMILIES:
+        rows = sweep(algorithm, family, SIZES, trials=TRIALS, seed0=23)
+        assert all(r.valid for r in rows)
+        series[family] = mean_by_size(rows, "node_averaged_awake")
+    return series
+
+
+def test_algorithm1_node_avg_awake_constant(benchmark):
+    series = once(benchmark, lambda: _measure("sleeping"))
+    print()
+    for family, (ns, means) in series.items():
+        print(f"  {family:12s} " + " ".join(f"{m:6.2f}" for m in means))
+        assert growth_factor(ns, means) <= 1.6
+        assert classify_growth(ns, means) == "constant"
+        assert max(means) < 12.0  # small absolute constant
+    record(
+        benchmark,
+        **{
+            f"{family}_means": [round(m, 2) for m in series[family][1]]
+            for family in FAMILIES
+        },
+    )
+
+
+def test_algorithm2_node_avg_awake_constant(benchmark):
+    series = once(benchmark, lambda: _measure("fast-sleeping"))
+    print()
+    for family, (ns, means) in series.items():
+        print(f"  {family:12s} " + " ".join(f"{m:6.2f}" for m in means))
+        assert growth_factor(ns, means) <= 1.6
+        assert classify_growth(ns, means) == "constant"
+        assert max(means) < 14.0
+    record(
+        benchmark,
+        **{
+            f"{family}_means": [round(m, 2) for m in series[family][1]]
+            for family in FAMILIES
+        },
+    )

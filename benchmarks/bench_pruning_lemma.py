@@ -1,0 +1,80 @@
+"""E4 -- Lemmas 2 and 3 (the Pruning Lemma), measured.
+
+Lemma 2: ``E[|L| | U] <= |U| / 2`` -- at most half of a call's participants
+enter the left recursion (fair coins, minus isolated nodes).
+
+Lemma 3: ``E[|R| | U] <= |U| / 4`` -- at most a quarter enter the right
+recursion, because with probability >= 1/2 a sleeping node is adjacent to a
+sequence-fixed left participant that joins the MIS.
+
+We pool |L|/|U| and |R|/|U| over every internal call of many runs across
+three graph families and check the empirical fractions sit at or below the
+bounds.
+"""
+
+import networkx as nx
+from conftest import once, record
+
+from repro.analysis import pruning_summary
+from repro.api import solve_mis
+from repro.graphs import make_family_graph
+
+FAMILIES = ("gnp-sparse", "regular-4", "tree")
+SIZES = (128, 256)
+TRIALS = 3
+
+
+def test_pruning_fractions(benchmark):
+    def measure():
+        results = []
+        for family in FAMILIES:
+            for n in SIZES:
+                for t in range(TRIALS):
+                    seed = 100 * t + n
+                    graph = make_family_graph(family, n, seed=seed)
+                    results.append(
+                        solve_mis(graph, algorithm="sleeping", seed=seed)
+                    )
+        return pruning_summary(results)
+
+    summary = once(benchmark, measure)
+
+    print()
+    record(
+        benchmark,
+        calls=summary.calls,
+        pooled_left_fraction=round(summary.left_fraction, 4),
+        lemma2_bound=0.5,
+        pooled_right_fraction=round(summary.right_fraction, 4),
+        lemma3_bound=0.25,
+        pooled_recursion_fraction=round(summary.recursion_fraction, 4),
+        lemma7_envelope=0.75,
+    )
+
+    # The bounds are on expectations; pooled over hundreds of calls the
+    # sample means should respect them with a small noise margin.
+    assert summary.calls >= 100
+    assert summary.left_fraction <= 0.52
+    assert summary.right_fraction <= 0.26
+    assert summary.recursion_fraction <= 0.76
+
+
+def test_pruning_holds_on_dense_graphs(benchmark):
+    """The Pruning Lemma is worst-case over graphs: check the dense regime."""
+
+    def measure():
+        results = []
+        for seed in range(4):
+            graph = nx.gnp_random_graph(128, 0.5, seed=seed)
+            results.append(solve_mis(graph, algorithm="sleeping", seed=seed))
+        return pruning_summary(results)
+
+    summary = once(benchmark, measure)
+    print()
+    record(
+        benchmark,
+        dense_left_fraction=round(summary.left_fraction, 4),
+        dense_right_fraction=round(summary.right_fraction, 4),
+    )
+    assert summary.left_fraction <= 0.55
+    assert summary.right_fraction <= 0.26

@@ -1,0 +1,83 @@
+"""E8 -- Lemmas 10/11 and 13/14: worst-case round complexity.
+
+Algorithm 1 runs for exactly ``T(K) = 3 (2^{ceil(3 log2 n)} - 1) = Theta(n^3)``
+wall-clock rounds.  Algorithm 2 runs for exactly the truncated schedule,
+``O(log^{ell+1} n) = O(log^3.41 n)``.  Luby needs ``O(log n)``.  We verify
+the exact schedules, fit the growth exponents, and locate the ordering
+Luby << Algorithm 2 << Algorithm 1 that Table 1 reports.
+"""
+
+import math
+
+from conftest import once, record
+
+from repro.analysis import fit_power, mean_by_size, sweep
+from repro.core import schedule
+
+SIZES = (64, 128, 256, 512, 1024)
+
+
+def test_algorithm1_rounds_cubic(benchmark):
+    rows = once(
+        benchmark,
+        lambda: sweep("sleeping", "gnp-sparse", SIZES, trials=1, seed0=7),
+    )
+    ns, means = mean_by_size(rows, "worst_case_rounds")
+
+    # Exact: every run equals T(K(n)).
+    for row in rows:
+        expected = schedule.call_duration(schedule.recursion_depth(row.n))
+        assert row.worst_case_rounds == expected
+
+    fit = fit_power(ns, means)
+    print()
+    record(benchmark, rounds=means, exponent=round(fit.params[1], 3))
+    # ceil(3 log2 n) makes the exponent exactly 3 on power-of-two sizes.
+    assert 2.7 <= fit.params[1] <= 3.3
+
+
+def test_algorithm2_rounds_polylog(benchmark):
+    rows = once(
+        benchmark,
+        lambda: sweep("fast-sleeping", "gnp-sparse", SIZES, trials=1, seed0=7),
+    )
+    ns, means = mean_by_size(rows, "worst_case_rounds")
+
+    for row in rows:
+        window = schedule.greedy_rounds(row.n)
+        expected = schedule.fast_call_duration(
+            schedule.truncated_depth(row.n), window
+        )
+        assert row.worst_case_rounds == expected
+
+    # Polylog: bounded multiple of log^3.41 n, and hugely below n^3.
+    ratios = [
+        m / math.log2(n) ** (schedule.ELL + 1) for n, m in zip(ns, means)
+    ]
+    print()
+    record(
+        benchmark,
+        rounds=means,
+        polylog_ratios=[round(r, 2) for r in ratios],
+    )
+    assert max(ratios) / min(ratios) < 12
+    for n, m in zip(ns, means):
+        # Far below Algorithm 1's exact cubic schedule at every size.
+        assert m * 20 < schedule.call_duration(schedule.recursion_depth(n))
+
+
+def test_crossover_ordering(benchmark):
+    """Who wins on wall clock: Luby < Algorithm 2 < Algorithm 1, at every n."""
+
+    def measure():
+        out = {}
+        for algorithm in ("luby", "fast-sleeping", "sleeping"):
+            rows = sweep(algorithm, "gnp-sparse", SIZES, trials=1, seed0=7)
+            out[algorithm] = mean_by_size(rows, "worst_case_rounds")[1]
+        return out
+
+    data = once(benchmark, measure)
+    print()
+    record(benchmark, **{k: v for k, v in data.items()})
+    for i in range(len(SIZES)):
+        assert data["luby"][i] < data["fast-sleeping"][i] < data["sleeping"][i]

@@ -1,0 +1,69 @@
+"""E1 -- Table 1: all four complexity measures, all algorithms.
+
+Paper claim (Table 1):
+
+================  ===========  ============  ==================
+measure           prior algos  Algorithm 1   Algorithm 2
+================  ===========  ============  ==================
+node-avg awake    n/a          O(1)          O(1)
+worst awake       n/a          O(log n)      O(log n)
+worst rounds      O(log n)     O(n^3)        O(log^3.41 n)
+node-avg rounds   O(log n)     O(n^3)        O(log^3.41 n)
+================  ===========  ============  ==================
+
+We regenerate the table with measured values on sparse G(n, p) graphs and
+assert the qualitative shape: the sleeping algorithms' node-averaged awake
+complexity stays flat while their wall clocks split by orders of magnitude.
+"""
+
+from conftest import once, record
+
+from repro.analysis.complexity import mean_by_size, sweep
+from repro.analysis.tables import build_table1
+
+SIZES = (64, 128, 256)
+TRIALS = 2
+
+
+def test_table1_full(benchmark):
+    """Regenerate Table 1 and check who wins on each measure."""
+
+    def measure():
+        return build_table1(sizes=SIZES, trials=TRIALS, seed0=1)
+
+    table = once(benchmark, measure)
+    print()
+    print(table.to_text())
+
+    data = {}
+    for algorithm in ("luby", "sleeping", "fast-sleeping"):
+        rows = sweep(algorithm, "gnp-sparse", SIZES, trials=TRIALS, seed0=1)
+        for measure_name in ("node_averaged_awake", "worst_case_rounds"):
+            _, means = mean_by_size(rows, measure_name)
+            data[(algorithm, measure_name)] = means
+
+    # Shape 1: sleeping algorithms' node-averaged awake is flat in n.
+    for algorithm in ("sleeping", "fast-sleeping"):
+        means = data[(algorithm, "node_averaged_awake")]
+        assert max(means) <= 2.0 * min(means)
+
+    # Shape 2: Algorithm 1's rounds are cubic (x8 per doubling).
+    slow = data[("sleeping", "worst_case_rounds")]
+    assert 6.0 <= slow[1] / slow[0] <= 10.0
+    assert 6.0 <= slow[2] / slow[1] <= 10.0
+
+    # Shape 3: Algorithm 2's rounds are orders of magnitude below Alg 1
+    # but above Luby's.
+    fast = data[("fast-sleeping", "worst_case_rounds")]
+    luby = data[("luby", "worst_case_rounds")]
+    assert fast[-1] * 100 < slow[-1]
+    assert luby[-1] < fast[-1]
+
+    record(
+        benchmark,
+        sleeping_awake=data[("sleeping", "node_averaged_awake")],
+        fast_awake=data[("fast-sleeping", "node_averaged_awake")],
+        sleeping_rounds=slow,
+        fast_rounds=fast,
+        luby_rounds=luby,
+    )

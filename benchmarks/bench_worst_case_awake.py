@@ -1,0 +1,62 @@
+"""E7 -- Lemmas 9 and 15: O(log n) worst-case awake complexity.
+
+Algorithm 1: a node is awake at most 3 rounds per recursion level, so at
+most ``3 (K + 1) = O(log n)`` rounds, deterministically.
+
+Algorithm 2: depth contributes ``O(log log n)`` and the greedy base window
+``O(log n)`` w.h.p.
+
+We fit ``a + b log2 n`` to the measured maxima and assert a good fit with a
+sane slope, plus the deterministic per-level cap for Algorithm 1.
+"""
+
+from conftest import once, record
+
+from repro.analysis import fit_logarithmic, mean_by_size, sweep
+from repro.core import schedule
+
+SIZES = (64, 128, 256, 512, 1024)
+TRIALS = 3
+
+
+def test_algorithm1_worst_awake_logarithmic(benchmark):
+    rows = once(
+        benchmark,
+        lambda: sweep("sleeping", "gnp-sparse", SIZES, trials=TRIALS, seed0=31),
+    )
+    ns, means = mean_by_size(rows, "worst_case_awake")
+    fit = fit_logarithmic(ns, means)
+    print()
+    record(
+        benchmark,
+        means=[round(m, 1) for m in means],
+        fit=str(fit),
+    )
+    assert fit.r_squared > 0.7
+    assert 0 < fit.params[1] < 15  # slope: a few awake rounds per log2 n
+
+    # The deterministic cap: 3 awake rounds per level.
+    for row in rows:
+        assert row.worst_case_awake <= 3 * (
+            schedule.recursion_depth(row.n) + 1
+        )
+
+
+def test_algorithm2_worst_awake_logarithmic(benchmark):
+    rows = once(
+        benchmark,
+        lambda: sweep(
+            "fast-sleeping", "gnp-sparse", SIZES, trials=TRIALS, seed0=31
+        ),
+    )
+    ns, means = mean_by_size(rows, "worst_case_awake")
+    fit = fit_logarithmic(ns, means)
+    print()
+    record(benchmark, means=[round(m, 1) for m in means], fit=str(fit))
+    assert fit.r_squared > 0.7
+    # Cap: 3 per truncated level + the greedy window (c log n).
+    for row in rows:
+        cap = 3 * (schedule.truncated_depth(row.n) + 1) + schedule.greedy_rounds(
+            row.n
+        )
+        assert row.worst_case_awake <= cap

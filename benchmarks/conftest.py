@@ -1,0 +1,28 @@
+"""Shared helpers for the benchmark suite.
+
+Each benchmark file regenerates one table or figure of the paper (see the
+experiment index in DESIGN.md).  Benchmarks run their measurement exactly
+once via ``once(benchmark, fn)`` -- the interesting output is the *measured
+numbers* (stored in ``benchmark.extra_info`` and printed), not the timing
+statistics, though those come for free.
+
+Run with::
+
+    pytest benchmarks/ --benchmark-only -s
+"""
+
+from __future__ import annotations
+
+from typing import Any, Callable
+
+
+def once(benchmark, fn: Callable[[], Any]) -> Any:
+    """Execute ``fn`` exactly once under the benchmark fixture."""
+    return benchmark.pedantic(fn, rounds=1, iterations=1)
+
+
+def record(benchmark, **info: Any) -> None:
+    """Attach measured values to the benchmark JSON and print them."""
+    for key, value in info.items():
+        benchmark.extra_info[key] = value
+        print(f"  {key} = {value}")

@@ -1,0 +1,54 @@
+"""Maximal matching in the sleeping model (extension of the paper).
+
+The paper's conclusion suggests the sleeping model "can prove useful in
+designing distributed algorithms for various problems".  Maximal matching
+is the canonical next one: a maximal matching of G is exactly an MIS of the
+line graph L(G), so the O(1) node-averaged awake guarantee carries over to
+edge agents unchanged.
+
+Run with::
+
+    python examples/maximal_matching.py
+"""
+
+import networkx as nx
+
+from repro.analysis.tables import Table
+from repro.extensions.matching import is_maximal_matching, solve_maximal_matching
+
+
+def main() -> None:
+    table = Table(
+        title="Maximal matching via sleeping-model MIS on L(G)",
+        headers=[
+            "n",
+            "edges (agents)",
+            "matching size",
+            "valid",
+            "avg awake / edge",
+            "max awake",
+        ],
+    )
+    for n in (50, 100, 200, 400):
+        graph = nx.gnp_random_graph(n, 6.0 / n, seed=n)
+        matching, result = solve_maximal_matching(
+            graph, algorithm="fast-sleeping", seed=n
+        )
+        table.add_row(
+            n,
+            graph.number_of_edges(),
+            len(matching),
+            is_maximal_matching(graph, matching),
+            f"{result.node_averaged_awake_complexity:.2f}",
+            result.worst_case_awake_complexity,
+        )
+    print(table.to_text())
+    print(
+        "\nThe per-edge average awake time stays constant as the graph "
+        "grows -- the paper's\nheadline O(1) guarantee, transplanted to a "
+        "second symmetry-breaking problem."
+    )
+
+
+if __name__ == "__main__":
+    main()

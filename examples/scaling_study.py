@@ -1,0 +1,81 @@
+"""Scaling study: the headline O(1) node-averaged awake complexity.
+
+Sweeps the sleeping algorithms and the baselines over growing graphs and
+prints how each of the paper's four measures scales, together with fitted
+growth models.  This is the script version of benchmarks E6--E8.
+
+Run with::
+
+    python examples/scaling_study.py            # quick (default sizes)
+    python examples/scaling_study.py --big      # adds n=2048/4096
+"""
+
+import argparse
+
+from repro.analysis import (
+    classify_growth,
+    fit_logarithmic,
+    growth_factor,
+    mean_by_size,
+    sweep,
+)
+from repro.analysis.tables import Table
+
+
+def main() -> None:
+    parser = argparse.ArgumentParser()
+    parser.add_argument("--big", action="store_true", help="add larger sizes")
+    parser.add_argument("--trials", type=int, default=3)
+    args = parser.parse_args()
+
+    sizes = [64, 128, 256, 512, 1024]
+    if args.big:
+        sizes += [2048, 4096]
+
+    print(f"family: gnp-sparse (expected degree ~8), sizes {sizes}\n")
+
+    table = Table(
+        title="node-averaged awake complexity (paper: O(1) for sleeping algos)",
+        headers=["algorithm"] + [f"n={n}" for n in sizes] + ["growth", "class"],
+    )
+    for algorithm in ("sleeping", "fast-sleeping", "luby", "ghaffari"):
+        rows = sweep(
+            algorithm, "gnp-sparse", sizes, trials=args.trials, seed0=17
+        )
+        ns, means = mean_by_size(rows, "node_averaged_awake")
+        table.add_row(
+            algorithm,
+            *[f"{m:.2f}" for m in means],
+            f"{growth_factor(ns, means):.2f}x",
+            classify_growth(ns, means),
+        )
+    print(table.to_text())
+
+    print()
+    table = Table(
+        title="worst-case awake complexity (paper: O(log n) for sleeping algos)",
+        headers=["algorithm"] + [f"n={n}" for n in sizes] + ["log fit"],
+    )
+    for algorithm in ("sleeping", "fast-sleeping"):
+        rows = sweep(
+            algorithm, "gnp-sparse", sizes, trials=args.trials, seed0=17
+        )
+        ns, means = mean_by_size(rows, "worst_case_awake")
+        fit = fit_logarithmic(ns, means)
+        table.add_row(algorithm, *[f"{m:.1f}" for m in means], str(fit))
+    print(table.to_text())
+
+    print()
+    table = Table(
+        title="worst-case round complexity (Alg 1: O(n^3); Alg 2: polylog)",
+        headers=["algorithm"] + [f"n={n}" for n in sizes],
+    )
+    for algorithm in ("sleeping", "fast-sleeping", "luby"):
+        rows = sweep(algorithm, "gnp-sparse", sizes, trials=1, seed0=17)
+        ns, means = mean_by_size(rows, "worst_case_rounds")
+        table.add_row(algorithm, *[f"{m:.3g}" for m in means])
+    print(table.to_text())
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,87 @@
+"""Sensor-network energy study (the paper's Section 1.1 motivation).
+
+Random geometric graphs model ad hoc sensor deployments: nodes scattered in
+the unit square, connected within radio range.  We compute an MIS (the
+classic primitive for clustering / backbone election in such networks) with
+the sleeping algorithms and with always-awake baselines, and account energy
+with measurement-shaped weights (idle listening costs 0.84x of receiving --
+the Feeney--Nilsson observation that motivates the sleeping model).
+
+Run with::
+
+    python examples/sensor_network_energy.py
+"""
+
+from repro.analysis.tables import Table
+from repro.api import solve_mis
+from repro.graphs import assert_valid_mis, random_geometric
+from repro.sim.energy import DEFAULT_MODEL, IDEAL_MODEL
+
+
+def main() -> None:
+    n = 400
+    graph = random_geometric(n, seed=13)
+    print(
+        f"sensor field: {n} nodes, {graph.number_of_edges()} radio links "
+        f"(random geometric graph)\n"
+    )
+
+    table = Table(
+        title="Energy to elect an MIS backbone (lower is better)",
+        headers=[
+            "algorithm",
+            "avg awake rounds",
+            "max awake",
+            "wall-clock rounds",
+            "energy (measured weights)",
+            "energy (ideal: sleep=0)",
+        ],
+    )
+    results = {}
+    for algorithm in ("luby", "greedy", "ghaffari", "sleeping", "fast-sleeping"):
+        result = solve_mis(graph, algorithm=algorithm, seed=13)
+        assert_valid_mis(graph, result.mis)
+        results[algorithm] = result
+        table.add_row(
+            algorithm,
+            f"{result.node_averaged_awake_complexity:.2f}",
+            result.worst_case_awake_complexity,
+            result.worst_case_round_complexity,
+            f"{DEFAULT_MODEL.total_energy(result):.0f}",
+            f"{IDEAL_MODEL.total_energy(result):.0f}",
+        )
+    print(table.to_text())
+
+    # Under the ideal model (sleeping is free), the sleeping algorithms'
+    # energy is exactly their total awake rounds.
+    fast = results["fast-sleeping"]
+    luby = results["luby"]
+    ratio = IDEAL_MODEL.total_energy(luby) / max(
+        1.0, IDEAL_MODEL.total_energy(fast)
+    )
+    print()
+    print(
+        f"Ideal-model energy ratio Luby / Fast-SleepingMIS: {ratio:.2f}x\n"
+        "\n"
+        "Honest reading: at practical sizes Luby's measured constants are\n"
+        "small on easy topologies, so it can still win on raw awake time;\n"
+        "what the sleeping algorithms buy is a *provable* O(1) per-node\n"
+        "average that stays flat at every scale (see scaling_study.py),\n"
+        "where no such guarantee is known for any traditional baseline.\n"
+        "Also note Algorithm 1's measured-weights row: its Theta(n^3) wall\n"
+        "clock makes even a tiny residual sleep current dominate -- exactly\n"
+        "the reason the paper develops Algorithm 2's polylog schedule."
+    )
+
+    # Energy is also spread evenly: no node stays awake much longer than
+    # the average in the sleeping algorithms.
+    energies = sorted(DEFAULT_MODEL.per_node_energy(fast).values())
+    print(
+        f"\nfast-sleeping per-node energy: "
+        f"min={energies[0]:.1f} median={energies[len(energies) // 2]:.1f} "
+        f"max={energies[-1]:.1f}"
+    )
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,49 @@
+"""repro -- reproduction of "Sleeping is Efficient: MIS in O(1)-rounds
+Node-averaged Awake Complexity" (Chatterjee, Gmyr, Pandurangan, PODC 2020).
+
+Quickstart::
+
+    import networkx as nx
+    from repro import solve_mis
+
+    graph = nx.gnp_random_graph(200, 0.05, seed=1)
+    result = solve_mis(graph, algorithm="sleeping", seed=1)
+    print(sorted(result.mis))
+    print(result.node_averaged_awake_complexity)   # O(1), ~3-4 rounds
+"""
+
+from . import core, graphs, sim
+from .api import ALGORITHMS, algorithm_names, make_protocol_factory, solve_mis
+from .core import FastSleepingMIS, SleepingMIS
+from .sim import (
+    EnergyModel,
+    MISProtocol,
+    Protocol,
+    RunResult,
+    SendAndReceive,
+    Simulator,
+    Sleep,
+    simulate,
+)
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "ALGORITHMS",
+    "EnergyModel",
+    "FastSleepingMIS",
+    "MISProtocol",
+    "Protocol",
+    "RunResult",
+    "SendAndReceive",
+    "Simulator",
+    "Sleep",
+    "SleepingMIS",
+    "algorithm_names",
+    "core",
+    "graphs",
+    "make_protocol_factory",
+    "sim",
+    "simulate",
+    "solve_mis",
+]

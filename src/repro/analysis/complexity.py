@@ -1,0 +1,178 @@
+"""Trial harness: run algorithms over graph families and collect measures.
+
+This is the measurement loop behind every benchmark and the CLI: build a
+seeded graph from a registered family, run a registered algorithm, validate
+the output, and flatten the paper's four complexity measures (plus message
+and energy totals) into a :class:`Trial` row.
+"""
+
+from __future__ import annotations
+
+import statistics
+from dataclasses import dataclass
+from typing import Any, Dict, Iterable, List, Optional, Sequence
+
+from ..api import make_protocol_factory
+from ..graphs.generators import make_family_graph
+from ..graphs.validation import is_maximal_independent_set
+from ..sim.energy import DEFAULT_MODEL, EnergyModel
+from ..sim.network import Simulator
+
+
+@dataclass
+class Trial:
+    """One (algorithm, graph, seed) measurement."""
+
+    algorithm: str
+    family: str
+    n: int
+    seed: int
+    node_averaged_awake: float
+    worst_case_awake: int
+    node_averaged_rounds: float
+    worst_case_rounds: int
+    total_messages: int
+    total_bits: int
+    total_energy: float
+    valid: bool
+    undecided: int
+
+
+def run_trial(
+    graph: Any,
+    algorithm: str,
+    seed: int = 0,
+    *,
+    family: str = "custom",
+    energy_model: EnergyModel = DEFAULT_MODEL,
+    congest_bit_limit: Optional[int] = None,
+    **protocol_kwargs: Any,
+) -> tuple:
+    """Run one algorithm once; returns ``(RunResult, Trial)``."""
+    factory = make_protocol_factory(algorithm, **protocol_kwargs)
+    result = Simulator(
+        graph, factory, seed=seed, congest_bit_limit=congest_bit_limit
+    ).run()
+    trial = Trial(
+        algorithm=algorithm,
+        family=family,
+        n=result.n,
+        seed=seed,
+        node_averaged_awake=result.node_averaged_awake_complexity,
+        worst_case_awake=result.worst_case_awake_complexity,
+        node_averaged_rounds=result.node_averaged_round_complexity,
+        worst_case_rounds=result.worst_case_round_complexity,
+        total_messages=result.total_messages,
+        total_bits=result.total_bits,
+        total_energy=energy_model.total_energy(result),
+        valid=is_maximal_independent_set(graph, result.mis),
+        undecided=len(result.undecided),
+    )
+    return result, trial
+
+
+def sweep(
+    algorithm: str,
+    family: str,
+    sizes: Sequence[int],
+    trials: int = 3,
+    seed0: int = 0,
+    **protocol_kwargs: Any,
+) -> List[Trial]:
+    """Measure ``algorithm`` on ``family`` across ``sizes``.
+
+    Each (size, trial index) pair gets its own graph seed and run seed so
+    repeated sweeps are reproducible yet independent across trials.
+    """
+    rows: List[Trial] = []
+    for n in sizes:
+        for t in range(trials):
+            seed = seed0 + 1009 * t + n
+            graph = make_family_graph(family, n, seed=seed)
+            _, trial = run_trial(
+                graph, algorithm, seed=seed, family=family, **protocol_kwargs
+            )
+            rows.append(trial)
+    return rows
+
+
+#: Trial fields that can be aggregated numerically.
+MEASURES = (
+    "node_averaged_awake",
+    "worst_case_awake",
+    "node_averaged_rounds",
+    "worst_case_rounds",
+    "total_messages",
+    "total_bits",
+    "total_energy",
+)
+
+
+def summarize(
+    rows: Iterable[Trial], measure: str = "node_averaged_awake"
+) -> Dict[int, Dict[str, float]]:
+    """Per-``n`` mean/min/max of one measure over a list of trials."""
+    if measure not in MEASURES:
+        raise KeyError(f"unknown measure {measure!r}; known: {MEASURES}")
+    grouped: Dict[int, List[float]] = {}
+    for row in rows:
+        grouped.setdefault(row.n, []).append(float(getattr(row, measure)))
+    summary: Dict[int, Dict[str, float]] = {}
+    for n in sorted(grouped):
+        values = grouped[n]
+        summary[n] = {
+            "mean": statistics.fmean(values),
+            "min": min(values),
+            "max": max(values),
+            "stdev": statistics.stdev(values) if len(values) > 1 else 0.0,
+            "count": len(values),
+        }
+    return summary
+
+
+def mean_by_size(
+    rows: Iterable[Trial], measure: str = "node_averaged_awake"
+) -> tuple:
+    """``(sizes, means)`` arrays ready for the estimators."""
+    summary = summarize(rows, measure)
+    sizes = sorted(summary)
+    return sizes, [summary[n]["mean"] for n in sizes]
+
+
+def all_valid(rows: Iterable[Trial]) -> bool:
+    """Whether every trial produced a valid MIS."""
+    return all(row.valid for row in rows)
+
+
+#: Column order for CSV export.
+CSV_FIELDS = (
+    "algorithm",
+    "family",
+    "n",
+    "seed",
+    "node_averaged_awake",
+    "worst_case_awake",
+    "node_averaged_rounds",
+    "worst_case_rounds",
+    "total_messages",
+    "total_bits",
+    "total_energy",
+    "valid",
+    "undecided",
+)
+
+
+def trials_to_csv(rows: Iterable[Trial]) -> str:
+    """Render trials as CSV text (header + one line per trial)."""
+    lines = [",".join(CSV_FIELDS)]
+    for row in rows:
+        lines.append(
+            ",".join(str(getattr(row, field)) for field in CSV_FIELDS)
+        )
+    return "\n".join(lines)
+
+
+def write_csv(rows: Iterable[Trial], path: str) -> None:
+    """Write trials to a CSV file."""
+    with open(path, "w") as handle:
+        handle.write(trials_to_csv(rows) + "\n")

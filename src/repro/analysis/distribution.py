@@ -1,0 +1,95 @@
+"""Distributional properties of the awake time A_v (Section 1.2 remark).
+
+The paper defines the node-averaged awake complexity as ``E[A]`` with
+``A = (1/n) sum_v A_v`` and remarks that "one can also study other
+properties of A, e.g., high probability bounds".  These helpers expose the
+full empirical distribution of per-node awake rounds so experiments can
+measure exactly that:
+
+* the histogram and quantiles of ``A_v`` across nodes;
+* the survival curve ``P[A_v >= t]``, whose geometric decay is what drives
+  both the O(1) average (Lemma 7) and the O(log n) maximum (Lemma 9);
+* concentration of the *per-run average* ``A`` across seeds.
+"""
+
+from __future__ import annotations
+
+import statistics
+from typing import Dict, Iterable, List, Sequence, Tuple
+
+from ..sim.metrics import RunResult
+
+
+def awake_values(result: RunResult) -> List[int]:
+    """Per-node awake round counts, sorted ascending."""
+    return sorted(s.awake_rounds for s in result.node_stats.values())
+
+
+def awake_histogram(result: RunResult) -> Dict[int, int]:
+    """``{awake_rounds: node count}`` for one run."""
+    histogram: Dict[int, int] = {}
+    for value in awake_values(result):
+        histogram[value] = histogram.get(value, 0) + 1
+    return histogram
+
+
+def awake_quantiles(
+    result: RunResult, qs: Sequence[float] = (0.5, 0.9, 0.99, 1.0)
+) -> Dict[float, float]:
+    """Empirical quantiles of ``A_v`` (q = 1.0 is the maximum)."""
+    values = awake_values(result)
+    if not values:
+        return {q: 0.0 for q in qs}
+    out = {}
+    for q in qs:
+        if not 0.0 <= q <= 1.0:
+            raise ValueError(f"quantile must be in [0, 1], got {q}")
+        index = min(len(values) - 1, max(0, round(q * (len(values) - 1))))
+        out[q] = float(values[index])
+    return out
+
+
+def survival_curve(
+    results: Iterable[RunResult], thresholds: Sequence[int]
+) -> List[Tuple[int, float]]:
+    """Pooled ``P[A_v >= t]`` for each threshold ``t``.
+
+    The Pruning Lemma implies a node participates in level ``i`` (and hence
+    pays its 3 awake rounds there) with probability at most ``(3/4)^i``, so
+    the survival curve should decay at least geometrically in t/3.
+    """
+    pooled: List[int] = []
+    for result in results:
+        pooled.extend(awake_values(result))
+    if not pooled:
+        return [(t, 0.0) for t in thresholds]
+    total = len(pooled)
+    return [
+        (t, sum(1 for v in pooled if v >= t) / total) for t in thresholds
+    ]
+
+
+def average_concentration(
+    results: Iterable[RunResult],
+) -> Dict[str, float]:
+    """Spread of the per-run average A across independent runs."""
+    averages = [r.node_averaged_awake_complexity for r in results]
+    if not averages:
+        return {"mean": 0.0, "stdev": 0.0, "min": 0.0, "max": 0.0}
+    return {
+        "mean": statistics.fmean(averages),
+        "stdev": statistics.stdev(averages) if len(averages) > 1 else 0.0,
+        "min": min(averages),
+        "max": max(averages),
+    }
+
+
+def tail_fraction(results: Iterable[RunResult], multiplier: float) -> float:
+    """Pooled fraction of nodes with ``A_v > multiplier * (pooled mean)``."""
+    pooled: List[int] = []
+    for result in results:
+        pooled.extend(awake_values(result))
+    if not pooled:
+        return 0.0
+    mean = statistics.fmean(pooled)
+    return sum(1 for v in pooled if v > multiplier * mean) / len(pooled)

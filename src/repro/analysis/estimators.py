@@ -1,0 +1,129 @@
+"""Curve fitting and growth classification for scaling experiments.
+
+The benchmarks do not try to match the paper's absolute constants (our
+substrate is a simulator, not the authors' abstract model with hidden
+constants); they check the *shape* of each bound: node-averaged awake stays
+flat, worst-case awake grows like ``log n``, Algorithm 1's rounds grow like
+``n^3``, Algorithm 2's like a polylog.  These helpers turn (n, y) series
+into those judgements.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from typing import Dict, Sequence
+
+import numpy as np
+
+
+@dataclass(frozen=True)
+class Fit:
+    """A fitted model ``y ~ model(n)`` with its R^2."""
+
+    model: str
+    params: tuple
+    r_squared: float
+
+    def __str__(self) -> str:
+        params = ", ".join(f"{p:.4g}" for p in self.params)
+        return f"{self.model}({params}) R2={self.r_squared:.4f}"
+
+
+def _r_squared(ys: np.ndarray, predicted: np.ndarray) -> float:
+    residual = float(np.sum((ys - predicted) ** 2))
+    total = float(np.sum((ys - np.mean(ys)) ** 2))
+    if total == 0.0:
+        return 1.0 if residual == 0.0 else 0.0
+    return 1.0 - residual / total
+
+
+def fit_constant(ns: Sequence[float], ys: Sequence[float]) -> Fit:
+    """Fit ``y = c``."""
+    ys_arr = np.asarray(ys, dtype=float)
+    c = float(np.mean(ys_arr))
+    return Fit("constant", (c,), _r_squared(ys_arr, np.full_like(ys_arr, c)))
+
+
+def fit_logarithmic(ns: Sequence[float], ys: Sequence[float]) -> Fit:
+    """Fit ``y = a + b log2 n`` by least squares."""
+    ns_arr = np.asarray(ns, dtype=float)
+    ys_arr = np.asarray(ys, dtype=float)
+    design = np.column_stack([np.ones_like(ns_arr), np.log2(ns_arr)])
+    coeffs, *_ = np.linalg.lstsq(design, ys_arr, rcond=None)
+    predicted = design @ coeffs
+    return Fit(
+        "logarithmic", (float(coeffs[0]), float(coeffs[1])),
+        _r_squared(ys_arr, predicted),
+    )
+
+
+def fit_power(ns: Sequence[float], ys: Sequence[float]) -> Fit:
+    """Fit ``y = c * n^alpha`` by log-log least squares (requires y > 0)."""
+    ns_arr = np.asarray(ns, dtype=float)
+    ys_arr = np.asarray(ys, dtype=float)
+    if np.any(ys_arr <= 0):
+        raise ValueError("power fit requires strictly positive y values")
+    design = np.column_stack([np.ones_like(ns_arr), np.log(ns_arr)])
+    coeffs, *_ = np.linalg.lstsq(design, np.log(ys_arr), rcond=None)
+    predicted = np.exp(design @ coeffs)
+    return Fit(
+        "power", (float(math.exp(coeffs[0])), float(coeffs[1])),
+        _r_squared(ys_arr, predicted),
+    )
+
+
+def fit_polylog(ns: Sequence[float], ys: Sequence[float]) -> Fit:
+    """Fit ``y = c * (log2 n)^beta`` by log-log least squares."""
+    ns_arr = np.asarray(ns, dtype=float)
+    ys_arr = np.asarray(ys, dtype=float)
+    if np.any(ys_arr <= 0):
+        raise ValueError("polylog fit requires strictly positive y values")
+    logs = np.log(np.log2(ns_arr))
+    design = np.column_stack([np.ones_like(ns_arr), logs])
+    coeffs, *_ = np.linalg.lstsq(design, np.log(ys_arr), rcond=None)
+    predicted = np.exp(design @ coeffs)
+    return Fit(
+        "polylog", (float(math.exp(coeffs[0])), float(coeffs[1])),
+        _r_squared(ys_arr, predicted),
+    )
+
+
+def growth_factor(ns: Sequence[float], ys: Sequence[float]) -> float:
+    """``y(n_max) / y(n_min)`` -- a scale-free flatness measure.
+
+    A constant-bound quantity keeps this near 1 while ``n`` grows by orders
+    of magnitude; a logarithmic one grows like ``log(n_max)/log(n_min)``.
+    """
+    pairs = sorted(zip(ns, ys))
+    y_first = pairs[0][1]
+    y_last = pairs[-1][1]
+    if y_first == 0:
+        return float("inf") if y_last > 0 else 1.0
+    return y_last / y_first
+
+
+def classify_growth(ns: Sequence[float], ys: Sequence[float]) -> str:
+    """Best-R^2 label among constant / logarithmic / power.
+
+    Constant wins outright when the series' spread is small relative to its
+    mean (R^2 comparisons are meaningless for near-flat data).
+    """
+    ys_arr = np.asarray(ys, dtype=float)
+    mean = float(np.mean(ys_arr))
+    if mean == 0.0:
+        return "constant"
+    spread = float(np.max(ys_arr) - np.min(ys_arr))
+    if spread / mean < 0.25:
+        return "constant"
+    candidates: Dict[str, Fit] = {
+        "logarithmic": fit_logarithmic(ns, ys),
+    }
+    if np.all(ys_arr > 0):
+        candidates["power"] = fit_power(ns, ys)
+    best = max(candidates, key=lambda name: candidates[name].r_squared)
+    if candidates[best].r_squared < 0.5:
+        return "irregular"
+    if best == "power" and abs(candidates[best].params[1]) < 0.15:
+        return "constant"
+    return best

@@ -1,0 +1,203 @@
+"""Empirical validation of the paper's per-call lemmas.
+
+Both sleeping protocols record a :class:`repro.core.sleeping_mis.CallRecord`
+for every recursive call each node participates in.  This module aggregates
+those per-node records into the per-call quantities the analysis section
+reasons about:
+
+* ``U`` -- the participant set of a call (Definition: the nodes that call
+  ``SleepingMISRecursive`` together);
+* ``L`` / ``R`` -- the subsets entering the left/right recursion
+  (Lemmas 2 and 3: ``E|L| <= |U|/2`` and ``E|R| <= |U|/4``);
+* ``Z_k`` -- total participation per recursion parameter ``k``
+  (Lemma 7: ``E[Z_{K-i}] <= (3/4)^i n``).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, Iterable, List, Optional, Set
+
+from ..sim.metrics import RunResult
+
+
+@dataclass
+class CallAggregate:
+    """All participants' views of one call, merged."""
+
+    path: str
+    k: int
+    members: Set[int] = field(default_factory=set)
+    left: Set[int] = field(default_factory=set)
+    right: Set[int] = field(default_factory=set)
+    start_round: Optional[int] = None
+    end_round: Optional[int] = None
+    #: node -> decision kind made at this level, for nodes that decided here.
+    decisions: Dict[int, str] = field(default_factory=dict)
+
+    @property
+    def size(self) -> int:
+        return len(self.members)
+
+    @property
+    def left_fraction(self) -> float:
+        """|L| / |U| -- Lemma 2 bounds its expectation by 1/2."""
+        return len(self.left) / len(self.members) if self.members else 0.0
+
+    @property
+    def right_fraction(self) -> float:
+        """|R| / |U| -- the Pruning Lemma bounds its expectation by 1/4."""
+        return len(self.right) / len(self.members) if self.members else 0.0
+
+
+def aggregate_calls(result: RunResult) -> Dict[str, CallAggregate]:
+    """Merge every node's call records into per-call aggregates.
+
+    Requires the run to have used a protocol with ``record_calls=True``
+    (``SleepingMIS`` or ``FastSleepingMIS``).
+    """
+    calls: Dict[str, CallAggregate] = {}
+    for v, protocol in result.protocols.items():
+        records = getattr(protocol, "calls", None)
+        if records is None:
+            raise TypeError(
+                f"protocol of node {v!r} has no call records; "
+                f"use SleepingMIS/FastSleepingMIS with record_calls=True"
+            )
+        for rec in records:
+            agg = calls.get(rec.path)
+            if agg is None:
+                agg = CallAggregate(path=rec.path, k=rec.k)
+                calls[rec.path] = agg
+            agg.members.add(v)
+            if rec.went_left:
+                agg.left.add(v)
+            if rec.went_right:
+                agg.right.add(v)
+            if rec.decided is not None:
+                agg.decisions[v] = rec.decided
+            if rec.start_round is not None:
+                agg.start_round = (
+                    rec.start_round
+                    if agg.start_round is None
+                    else min(agg.start_round, rec.start_round)
+                )
+            if rec.end_round is not None:
+                agg.end_round = (
+                    rec.end_round
+                    if agg.end_round is None
+                    else max(agg.end_round, rec.end_round)
+                )
+    return calls
+
+
+def level_totals(result: RunResult) -> Dict[int, int]:
+    """``Z_k``: number of (node, call) participations per parameter ``k``."""
+    totals: Dict[int, int] = {}
+    for agg in aggregate_calls(result).values():
+        totals[agg.k] = totals.get(agg.k, 0) + agg.size
+    return totals
+
+
+@dataclass
+class PruningSummary:
+    """Aggregated left/right participation fractions over many calls."""
+
+    calls: int
+    total_members: int
+    total_left: int
+    total_right: int
+
+    @property
+    def left_fraction(self) -> float:
+        """Pooled |L| / |U| over all internal calls (Lemma 2: <= 1/2)."""
+        return self.total_left / self.total_members if self.total_members else 0.0
+
+    @property
+    def right_fraction(self) -> float:
+        """Pooled |R| / |U| over all internal calls (Lemma 3: <= 1/4)."""
+        return self.total_right / self.total_members if self.total_members else 0.0
+
+    @property
+    def recursion_fraction(self) -> float:
+        """Pooled (|L| + |R|) / |U| (the 3/4 envelope of Lemma 7)."""
+        if not self.total_members:
+            return 0.0
+        return (self.total_left + self.total_right) / self.total_members
+
+
+def pruning_summary(results: Iterable[RunResult]) -> PruningSummary:
+    """Pool per-call participation over all internal calls of many runs.
+
+    Only calls with ``k >= 1`` contribute (the lemmas are stated for calls
+    that actually recurse).
+    """
+    calls = 0
+    members = 0
+    left = 0
+    right = 0
+    for result in results:
+        for agg in aggregate_calls(result).values():
+            if agg.k < 1:
+                continue
+            calls += 1
+            members += agg.size
+            left += len(agg.left)
+            right += len(agg.right)
+    return PruningSummary(
+        calls=calls,
+        total_members=members,
+        total_left=left,
+        total_right=right,
+    )
+
+
+def level_decay_table(
+    results: Iterable[RunResult],
+) -> List[Dict[str, float]]:
+    """Mean ``Z_{K-i}`` per depth ``i`` versus the ``(3/4)^i n`` envelope.
+
+    Returns one row per depth with keys ``depth``, ``mean_z``, and
+    ``envelope``.  Depths are aligned by each run's own top level ``K``.
+    """
+    per_depth: Dict[int, List[float]] = {}
+    envelopes: Dict[int, List[float]] = {}
+    count = 0
+    for result in results:
+        count += 1
+        totals = level_totals(result)
+        if not totals:
+            continue
+        top = max(totals)
+        for k, z in totals.items():
+            depth = top - k
+            per_depth.setdefault(depth, []).append(z)
+            envelopes.setdefault(depth, []).append((0.75**depth) * result.n)
+    rows = []
+    for depth in sorted(per_depth):
+        values = per_depth[depth]
+        # Calls absent from a run contribute zero participation.
+        mean_z = sum(values) / count if count else 0.0
+        envelope = sum(envelopes[depth]) / len(envelopes[depth])
+        rows.append(
+            {"depth": depth, "mean_z": mean_z, "envelope": envelope}
+        )
+    return rows
+
+
+def decision_site(protocol) -> Optional[tuple]:
+    """The ``(path, kind)`` of the call at which this node decided."""
+    for rec in getattr(protocol, "calls", ()):
+        if rec.decided is not None:
+            return rec.path, rec.decided
+    return None
+
+
+def decision_counts(result: RunResult) -> Dict[str, int]:
+    """How many nodes decided by each mechanism (isolated, eliminated, ...)."""
+    counts: Dict[str, int] = {}
+    for protocol in result.protocols.values():
+        site = decision_site(protocol)
+        kind = site[1] if site else "undecided"
+        counts[kind] = counts.get(kind, 0) + 1
+    return counts

@@ -1,0 +1,174 @@
+"""Reconstruct and render the recursion tree (Figures 1 and 2).
+
+Figure 1 of the paper draws the recursion tree of ``SleepingMISRecursive``
+with each tree vertex labeled by two numbers: the round at which the vertex
+is first reached and the round at which computation finishes there.  This
+module rebuilds that tree from the call records of a real run, verifies the
+(start, finish) labels against the exact schedule ``T(k)``, and renders an
+ASCII version of the figure.
+
+Only calls with at least one participant appear (empty calls leave no
+records; their time window still elapses, which the schedule check accounts
+for).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Callable, Dict, List, Optional
+
+from ..sim.metrics import RunResult
+from .lemmas import CallAggregate, aggregate_calls
+
+
+@dataclass
+class TreeNode:
+    """One vertex of the recursion tree."""
+
+    call: CallAggregate
+    children: List["TreeNode"] = field(default_factory=list)
+
+    @property
+    def path(self) -> str:
+        return self.call.path
+
+    @property
+    def k(self) -> int:
+        return self.call.k
+
+
+def build_tree(result: RunResult) -> Optional[TreeNode]:
+    """The recursion tree of a finished run (``None`` for empty graphs)."""
+    calls = aggregate_calls(result)
+    if "" not in calls:
+        return None
+    nodes: Dict[str, TreeNode] = {
+        path: TreeNode(call=agg) for path, agg in calls.items()
+    }
+    for path in sorted(nodes):
+        if not path:
+            continue
+        parent = nodes.get(path[:-1])
+        if parent is None:
+            raise ValueError(
+                f"call {path!r} has no parent call record -- "
+                f"inconsistent instrumentation"
+            )
+        parent.children.append(nodes[path])
+    for node in nodes.values():
+        node.children.sort(key=lambda child: child.path)
+    return nodes[""]
+
+
+def render_tree(
+    root: Optional[TreeNode],
+    max_depth: Optional[int] = None,
+) -> str:
+    """ASCII rendering in the style of Figure 1.
+
+    Each line shows the branch (L/R), the level ``k``, the Figure-1 style
+    ``first-reached, finished`` label, and the participant count.
+    """
+    if root is None:
+        return "(empty recursion tree)"
+    lines: List[str] = []
+
+    def visit(node: TreeNode, prefix: str, is_last: bool, depth: int) -> None:
+        connector = "" if not prefix and node.path == "" else ("`-- " if is_last else "|-- ")
+        branch = node.path[-1] if node.path else "root"
+        lines.append(
+            f"{prefix}{connector}{branch} k={node.k} "
+            f"({node.call.start_round}, {node.call.end_round}) "
+            f"|U|={node.call.size}"
+        )
+        if max_depth is not None and depth >= max_depth:
+            if node.children:
+                lines.append(prefix + ("    " if is_last else "|   ") + "...")
+            return
+        child_prefix = prefix + ("    " if is_last else "|   ")
+        if node.path == "":
+            child_prefix = ""
+        for i, child in enumerate(node.children):
+            visit(child, child_prefix, i == len(node.children) - 1, depth + 1)
+
+    visit(root, "", True, 0)
+    return "\n".join(lines)
+
+
+@dataclass
+class ScheduleViolation:
+    """A call whose observed duration disagrees with the schedule."""
+
+    path: str
+    k: int
+    observed: int
+    expected: int
+
+
+def verify_schedule(
+    result: RunResult, duration: Callable[[int], int]
+) -> List[ScheduleViolation]:
+    """Check every observed call lasted exactly ``duration(k)`` rounds.
+
+    ``duration`` is ``schedule.call_duration`` for Algorithm 1 or
+    ``lambda k: schedule.fast_call_duration(k, base_rounds)`` for
+    Algorithm 2.  Returns the (hopefully empty) list of violations.
+    """
+    violations = []
+    for agg in aggregate_calls(result).values():
+        if agg.start_round is None or agg.end_round is None:
+            continue
+        observed = agg.end_round - agg.start_round
+        expected = duration(agg.k)
+        if observed != expected:
+            violations.append(
+                ScheduleViolation(
+                    path=agg.path,
+                    k=agg.k,
+                    observed=observed,
+                    expected=expected,
+                )
+            )
+    return violations
+
+
+def tree_stats(root: Optional[TreeNode]) -> Dict[str, float]:
+    """Summary statistics of the realized recursion tree."""
+    if root is None:
+        return {"calls": 0, "max_depth": 0, "leaves": 0, "base_calls": 0}
+    calls = 0
+    leaves = 0
+    base_calls = 0
+    max_depth = 0
+
+    def visit(node: TreeNode, depth: int) -> None:
+        nonlocal calls, leaves, base_calls, max_depth
+        calls += 1
+        max_depth = max(max_depth, depth)
+        if node.k == 0:
+            base_calls += 1
+        if not node.children:
+            leaves += 1
+        for child in node.children:
+            visit(child, depth + 1)
+
+    visit(root, 0)
+    return {
+        "calls": calls,
+        "max_depth": max_depth,
+        "leaves": leaves,
+        "base_calls": base_calls,
+    }
+
+
+def base_level_participants(result: RunResult) -> int:
+    """Total number of nodes that reached a ``k = 0`` call.
+
+    For Algorithm 2 this is the quantity the proof of Lemma 12 bounds by
+    ``n / log n`` in expectation.
+    """
+    return sum(
+        agg.size
+        for agg in aggregate_calls(result).values()
+        if agg.k == 0
+    )

@@ -1,0 +1,140 @@
+"""Table rendering and the measured reproduction of the paper's Table 1.
+
+Table 1 of the paper summarizes four complexity measures for prior MIS
+algorithms versus Algorithms 1 and 2.  :func:`build_table1` re-creates it
+with *measured* values: each cell is the mean over several seeded trials of
+the corresponding measure, with the paper's asymptotic claim alongside.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Sequence
+
+from .complexity import Trial, summarize, sweep
+
+
+@dataclass
+class Table:
+    """A minimal text/markdown table."""
+
+    title: str
+    headers: List[str]
+    rows: List[List[str]] = field(default_factory=list)
+
+    def add_row(self, *cells: object) -> None:
+        row = [str(c) for c in cells]
+        if len(row) != len(self.headers):
+            raise ValueError(
+                f"row has {len(row)} cells, expected {len(self.headers)}"
+            )
+        self.rows.append(row)
+
+    def to_text(self) -> str:
+        widths = [
+            max(len(self.headers[i]), *(len(r[i]) for r in self.rows))
+            if self.rows
+            else len(self.headers[i])
+            for i in range(len(self.headers))
+        ]
+        lines = [self.title, ""]
+        lines.append(
+            "  ".join(h.ljust(w) for h, w in zip(self.headers, widths))
+        )
+        lines.append("  ".join("-" * w for w in widths))
+        for row in self.rows:
+            lines.append(
+                "  ".join(c.ljust(w) for c, w in zip(row, widths))
+            )
+        return "\n".join(lines)
+
+    def to_markdown(self) -> str:
+        lines = [f"### {self.title}", ""]
+        lines.append("| " + " | ".join(self.headers) + " |")
+        lines.append("|" + "|".join("---" for _ in self.headers) + "|")
+        for row in self.rows:
+            lines.append("| " + " | ".join(row) + " |")
+        return "\n".join(lines)
+
+
+#: The paper's asymptotic claims (Table 1), keyed by our algorithm names.
+PAPER_CLAIMS: Dict[str, Dict[str, str]] = {
+    "abi": {
+        "node_averaged_awake": "n/a (never sleeps)",
+        "worst_case_awake": "n/a (never sleeps)",
+        "node_averaged_rounds": "best known O(log n)",
+        "worst_case_rounds": "O(log n)",
+    },
+    "luby": {
+        "node_averaged_awake": "n/a (never sleeps)",
+        "worst_case_awake": "n/a (never sleeps)",
+        "node_averaged_rounds": "best known O(log n)",
+        "worst_case_rounds": "O(log n)",
+    },
+    "greedy": {
+        "node_averaged_awake": "n/a (never sleeps)",
+        "worst_case_awake": "n/a (never sleeps)",
+        "node_averaged_rounds": "best known O(log n)",
+        "worst_case_rounds": "O(log n)",
+    },
+    "ghaffari": {
+        "node_averaged_awake": "n/a (never sleeps)",
+        "worst_case_awake": "n/a (never sleeps)",
+        "node_averaged_rounds": "O(log n)",
+        "worst_case_rounds": "O(log n) general graphs",
+    },
+    "sleeping": {
+        "node_averaged_awake": "O(1)",
+        "worst_case_awake": "O(log n)",
+        "node_averaged_rounds": "O(n^3)",
+        "worst_case_rounds": "O(n^3)",
+    },
+    "fast-sleeping": {
+        "node_averaged_awake": "O(1)",
+        "worst_case_awake": "O(log n)",
+        "node_averaged_rounds": "O(log^3.41 n)",
+        "worst_case_rounds": "O(log^3.41 n)",
+    },
+}
+
+TABLE1_MEASURES = (
+    "node_averaged_awake",
+    "worst_case_awake",
+    "node_averaged_rounds",
+    "worst_case_rounds",
+)
+
+
+def build_table1(
+    sizes: Sequence[int] = (64, 128, 256),
+    family: str = "gnp-sparse",
+    algorithms: Sequence[str] = (
+        "luby",
+        "greedy",
+        "ghaffari",
+        "sleeping",
+        "fast-sleeping",
+    ),
+    trials: int = 3,
+    seed0: int = 0,
+) -> Table:
+    """Measured Table 1: one row per (algorithm, measure), one column per n."""
+    table = Table(
+        title=(
+            f"Table 1 (measured): {family} graphs, "
+            f"mean over {trials} trials"
+        ),
+        headers=["algorithm", "measure"]
+        + [f"n={n}" for n in sizes]
+        + ["paper"],
+    )
+    for algorithm in algorithms:
+        rows: List[Trial] = sweep(
+            algorithm, family, sizes, trials=trials, seed0=seed0
+        )
+        for measure in TABLE1_MEASURES:
+            summary = summarize(rows, measure)
+            cells = [f"{summary[n]['mean']:.1f}" for n in sizes]
+            claim = PAPER_CLAIMS.get(algorithm, {}).get(measure, "")
+            table.add_row(algorithm, measure, *cells, claim)
+    return table

@@ -1,0 +1,108 @@
+"""Top-level convenience API: run any registered MIS algorithm on a graph.
+
+This is the entry point downstream users touch first::
+
+    result = solve_mis(graph, algorithm="fast-sleeping", seed=7)
+    result.mis                                  # frozenset of MIS nodes
+    result.node_averaged_awake_complexity       # the paper's headline measure
+"""
+
+from __future__ import annotations
+
+from typing import Any, Callable, Dict, List, Optional
+
+from .sim.metrics import RunResult
+from .sim.network import Simulator
+from .sim.protocol import Protocol
+from .sim.trace import Trace
+
+
+def _lazy_registry() -> Dict[str, Callable[..., Protocol]]:
+    # Imported lazily to avoid a circular import at package load.
+    from .baselines.abi import ABIMIS
+    from .baselines.dist_greedy import DistGreedyMIS
+    from .baselines.ghaffari import GhaffariMIS
+    from .baselines.luby import LubyMIS
+    from .core.fast_sleeping_mis import FastSleepingMIS
+    from .core.sleeping_mis import SleepingMIS
+
+    return {
+        "sleeping": SleepingMIS,
+        "fast-sleeping": FastSleepingMIS,
+        "luby": LubyMIS,
+        "greedy": DistGreedyMIS,
+        "ghaffari": GhaffariMIS,
+        "abi": ABIMIS,
+    }
+
+
+#: Name -> protocol class.  Populated on first use.
+ALGORITHMS: Dict[str, Callable[..., Protocol]] = {}
+
+
+def _registry() -> Dict[str, Callable[..., Protocol]]:
+    if not ALGORITHMS:
+        ALGORITHMS.update(_lazy_registry())
+    return ALGORITHMS
+
+
+def algorithm_names() -> List[str]:
+    """Sorted names of the registered MIS algorithms."""
+    return sorted(_registry())
+
+
+def make_protocol_factory(
+    algorithm: str, **protocol_kwargs: Any
+) -> Callable[[Any], Protocol]:
+    """A ``node_id -> Protocol`` factory for the named algorithm."""
+    registry = _registry()
+    if algorithm not in registry:
+        raise KeyError(
+            f"unknown algorithm {algorithm!r}; known: {sorted(registry)}"
+        )
+    cls = registry[algorithm]
+    return lambda node_id: cls(**protocol_kwargs)
+
+
+def solve_mis(
+    graph: Any,
+    algorithm: str = "fast-sleeping",
+    *,
+    seed: Optional[int] = 0,
+    congest_bit_limit: Optional[int] = None,
+    trace: Optional[Trace] = None,
+    max_rounds: Optional[int] = None,
+    **protocol_kwargs: Any,
+) -> RunResult:
+    """Compute an MIS of ``graph`` with the named distributed algorithm.
+
+    Parameters
+    ----------
+    graph:
+        ``networkx.Graph`` or adjacency mapping.
+    algorithm:
+        One of :func:`algorithm_names` -- ``"sleeping"`` (Algorithm 1),
+        ``"fast-sleeping"`` (Algorithm 2, the default), ``"luby"``,
+        ``"greedy"`` (distributed randomized greedy), or ``"ghaffari"``.
+    seed:
+        Master seed for all per-node random streams.
+    protocol_kwargs:
+        Forwarded to the protocol constructor (e.g. ``coin_bias=0.4``,
+        ``greedy_constant=12``).
+
+    Returns
+    -------
+    RunResult
+        ``result.mis`` is the computed set; the four complexity measures are
+        available as properties.
+    """
+    factory = make_protocol_factory(algorithm, **protocol_kwargs)
+    simulator = Simulator(
+        graph,
+        factory,
+        seed=seed,
+        congest_bit_limit=congest_bit_limit,
+        trace=trace,
+        max_rounds=max_rounds,
+    )
+    return simulator.run()

@@ -1,0 +1,25 @@
+"""Baseline algorithms the paper compares against or builds upon."""
+
+from ._phased import PhasedMISProtocol
+from .abi import ABIMIS
+from .coloring import LubyColoring
+from .dist_greedy import DistGreedyMIS
+from .ghaffari import GhaffariMIS
+from .luby import LubyMIS
+from .seq_greedy import (
+    greedy_mis,
+    lexicographically_first_mis,
+    random_order_mis,
+)
+
+__all__ = [
+    "ABIMIS",
+    "DistGreedyMIS",
+    "GhaffariMIS",
+    "LubyColoring",
+    "LubyMIS",
+    "PhasedMISProtocol",
+    "greedy_mis",
+    "lexicographically_first_mis",
+    "random_order_mis",
+]

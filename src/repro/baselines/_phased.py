@@ -1,0 +1,88 @@
+"""Shared machinery for phase-based MIS baselines (traditional model).
+
+Luby's algorithm and the distributed randomized greedy differ in exactly one
+respect: whether a node's priority is redrawn every phase (Luby) or drawn
+once and kept (greedy -- equivalently, Luby with a fixed random
+permutation).  Both fit the same three-round phase skeleton:
+
+* **round A** -- every live node sends ``(priority, id)`` to its live
+  neighbors; a node that beats all of them *wins*;
+* **round B** -- winners announce ``JOIN``; a live node hearing a ``JOIN``
+  is *eliminated*; winners then terminate (they have sent their output to
+  their neighbors, the Barenboim--Tzur convention);
+* **round C** -- the newly eliminated announce ``OUT`` and terminate;
+  survivors drop the announcers from their live sets.
+
+These are traditional-model algorithms: nodes never sleep, and every round
+until termination counts toward both the awake and the round measures.
+"""
+
+from __future__ import annotations
+
+from typing import Generator, Optional
+
+from ..sim.actions import SendAndReceive
+from ..sim.context import NodeContext
+from ..sim.protocol import MISProtocol
+
+
+class PhasedMISProtocol(MISProtocol):
+    """Base class implementing the three-round phase skeleton."""
+
+    def __init__(self, max_phases: Optional[int] = None):
+        super().__init__()
+        if max_phases is not None and max_phases < 1:
+            raise ValueError(f"max_phases must be positive, got {max_phases}")
+        self.max_phases = max_phases
+        #: number of phases this node was live in.
+        self.phases_run = 0
+
+    def _priority_value(self, ctx: NodeContext, phase: int) -> int:
+        """The node's priority for this phase (higher wins)."""
+        raise NotImplementedError
+
+    def run(self, ctx: NodeContext) -> Generator:
+        live = set(ctx.neighbors)
+        phase = 0
+        while self.in_mis is None:
+            if not live:
+                self._decide(ctx, True, "isolated")
+                return
+            if self.max_phases is not None and phase >= self.max_phases:
+                return  # give up undecided (callers treat this as failure)
+            self.phases_run = phase + 1
+            value = self._priority_value(ctx, phase)
+            my_key = (value, ctx.node_id)
+
+            # Round A -- priority exchange.
+            inbox = yield SendAndReceive(
+                {u: (value, ctx.node_id) for u in live}
+            )
+            keys = {
+                u: tuple(payload) for u, payload in inbox.items() if u in live
+            }
+            joined = len(keys) == len(live) and all(
+                my_key > key for key in keys.values()
+            )
+
+            # Round B -- JOIN announcements.
+            if joined:
+                self._decide(ctx, True, "won")
+            inbox = yield SendAndReceive(
+                {u: True for u in live} if joined else {}
+            )
+            eliminated = False
+            if self.in_mis is None and any(u in live for u in inbox):
+                self._decide(ctx, False, "eliminated")
+                eliminated = True
+            if joined:
+                return  # output announced; terminate
+
+            # Round C -- OUT announcements.
+            inbox = yield SendAndReceive(
+                {u: False for u in live} if eliminated else {}
+            )
+            if eliminated:
+                return  # output announced; terminate
+            live -= set(inbox)
+            phase += 1

@@ -1,0 +1,88 @@
+"""The Alon--Babai--Itai MIS algorithm (J. Algorithms 1986).
+
+The paper's Table 1 groups "Luby's [20, 2]" together; reference [2] is
+Alon, Babai, and Itai's independently discovered algorithm, which differs
+from Luby's in *how* a phase's winners are chosen:
+
+* every live node marks itself with probability ``1 / (2 d(v))`` where
+  ``d(v)`` is its current live degree (degree-0 nodes join outright);
+* if two adjacent nodes are both marked, the one with **smaller degree**
+  unmarks (ties broken by id) -- so marked conflicts are resolved toward
+  high-degree nodes, which kill more edges;
+* surviving marked nodes join the MIS; their neighborhoods are removed.
+
+Each phase removes a constant fraction of the edges in expectation, giving
+``O(log n)`` phases w.h.p., like Luby's.  Phases take three rounds in the
+same JOIN/OUT shape as the other baselines.
+"""
+
+from __future__ import annotations
+
+from typing import Generator, Optional
+
+from ..sim.actions import SendAndReceive
+from ..sim.context import NodeContext
+from ..sim.protocol import MISProtocol
+
+
+class ABIMIS(MISProtocol):
+    """Alon--Babai--Itai: degree-weighted marking (traditional model)."""
+
+    def __init__(self, max_phases: Optional[int] = None):
+        super().__init__()
+        if max_phases is not None and max_phases < 1:
+            raise ValueError(f"max_phases must be positive, got {max_phases}")
+        self.max_phases = max_phases
+        self.phases_run = 0
+
+    def run(self, ctx: NodeContext) -> Generator:
+        live = set(ctx.neighbors)
+        phase = 0
+        while self.in_mis is None:
+            if not live:
+                self._decide(ctx, True, "isolated")
+                return
+            if self.max_phases is not None and phase >= self.max_phases:
+                return
+            self.phases_run = phase + 1
+            degree = len(live)
+            marked = ctx.rng.random() < 1.0 / (2.0 * degree)
+
+            # Round A -- exchange (marked, degree).  A marked node keeps
+            # its mark only if it beats every marked live neighbor on
+            # (degree, id).
+            inbox = yield SendAndReceive(
+                {u: (marked, degree) for u in live}
+            )
+            reports = {
+                u: tuple(payload) for u, payload in inbox.items() if u in live
+            }
+            joined = marked and len(reports) == len(live)
+            if joined:
+                my_key = (degree, ctx.node_id)
+                for u, (u_marked, u_degree) in reports.items():
+                    if u_marked and (u_degree, u) > my_key:
+                        joined = False
+                        break
+
+            # Round B -- JOIN announcements.
+            if joined:
+                self._decide(ctx, True, "won")
+            inbox = yield SendAndReceive(
+                {u: True for u in live} if joined else {}
+            )
+            eliminated = False
+            if self.in_mis is None and any(u in live for u in inbox):
+                self._decide(ctx, False, "eliminated")
+                eliminated = True
+            if joined:
+                return
+
+            # Round C -- OUT announcements.
+            inbox = yield SendAndReceive(
+                {u: False for u in live} if eliminated else {}
+            )
+            if eliminated:
+                return
+            live -= set(inbox)
+            phase += 1

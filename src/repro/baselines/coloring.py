@@ -1,0 +1,67 @@
+"""Luby's randomized (Delta+1)-coloring with O(1) node-averaged complexity.
+
+Section 1.5 of the paper notes that ``(Delta + 1)``-coloring *can* be solved
+with constant node-averaged round complexity in the traditional model --
+because in Luby's coloring a constant fraction of the nodes finalize in
+every phase -- while no such property is known for MIS.  We implement the
+algorithm to measure that contrast directly (benchmark E10).
+
+Per phase (two rounds):
+
+* every live node picks a uniformly random color from its remaining
+  palette (initially ``{0, ..., deg(v)}``) and exchanges picks with live
+  neighbors; a node whose pick collides with no neighbor's pick finalizes;
+* finalized nodes announce their color and terminate; listeners remove the
+  announcer from their live sets and its color from their palettes.
+"""
+
+from __future__ import annotations
+
+from typing import Generator, Optional
+
+from ..sim.actions import SendAndReceive
+from ..sim.context import NodeContext
+from ..sim.protocol import Protocol
+
+
+class LubyColoring(Protocol):
+    """Luby's (Delta+1)-coloring (traditional model)."""
+
+    def __init__(self, max_phases: Optional[int] = None):
+        self.color: Optional[int] = None
+        self.max_phases = max_phases
+        self.phases_run = 0
+
+    def output(self) -> Optional[int]:
+        return self.color
+
+    def run(self, ctx: NodeContext) -> Generator:
+        palette = set(range(ctx.degree + 1))
+        live = set(ctx.neighbors)
+        phase = 0
+        while self.color is None:
+            if self.max_phases is not None and phase >= self.max_phases:
+                return
+            self.phases_run = phase + 1
+            pick = ctx.rng.choice(sorted(palette))
+
+            # Round A -- exchange picks.
+            inbox = yield SendAndReceive({u: pick for u in live})
+            conflict = any(
+                payload == pick for u, payload in inbox.items() if u in live
+            )
+            if not conflict:
+                self.color = pick
+                ctx.report_decision(pick)
+
+            # Round B -- finalized nodes announce their color.
+            inbox = yield SendAndReceive(
+                {u: pick for u in live} if self.color is not None else {}
+            )
+            if self.color is not None:
+                return  # announced; terminate
+            for u, final_color in inbox.items():
+                if u in live:
+                    live.discard(u)
+                    palette.discard(final_color)
+            phase += 1

@@ -1,0 +1,35 @@
+"""The parallel/distributed randomized greedy MIS algorithm.
+
+Introduced by Coppersmith, Raghavan, and Tompa (1989), generalized by
+Blelloch, Fineman, and Shun (2012), and shown to run in ``O(log n)`` rounds
+w.h.p. by Fischer and Noever (2018).  A single random ranking is drawn up
+front; in each phase all nodes that hold the highest rank among their live
+neighbors join the MIS and are removed together with their neighbors.
+
+Its defining property (used by the paper's Corollary 1): it always outputs
+the **lexicographically-first MIS** of the drawn ranking -- the same set the
+sequential greedy algorithm produces -- which is also what Algorithm 2 runs
+inside each truncated base case.
+"""
+
+from __future__ import annotations
+
+from typing import Optional, Tuple
+
+from ..sim.context import NodeContext
+from ._phased import PhasedMISProtocol
+
+
+class DistGreedyMIS(PhasedMISProtocol):
+    """Randomized greedy: one permanent random rank per node."""
+
+    def __init__(self, max_phases: Optional[int] = None):
+        super().__init__(max_phases=max_phases)
+        #: the node's permanent rank as ``(value, id)``, for analyses that
+        #: recover the lexicographically-first order.
+        self.rank: Optional[Tuple[int, int]] = None
+
+    def _priority_value(self, ctx: NodeContext, phase: int) -> int:
+        if self.rank is None:
+            self.rank = (ctx.rng.randrange(ctx.n**6 + 1), ctx.node_id)
+        return self.rank[0]

@@ -1,0 +1,98 @@
+"""Ghaffari's MIS algorithm (SODA 2016), the "node-centric" baseline.
+
+Section 1.3 of the paper singles this algorithm out: it gives a per-node
+probabilistic finish-time bound of ``O(log deg(v) + log 1/eps)``, which
+makes its node-averaged complexity easy to reason about -- and that average
+is still ``Theta(log n)`` when most nodes have polynomial degree.  We
+implement it to measure exactly that.
+
+Each node maintains a *desire level* ``p_v`` (initially 1/2).  Per phase:
+
+* the node marks itself with probability ``p_v`` and exchanges
+  ``(marked, p)`` with live neighbors;
+* a marked node with no marked live neighbor joins the MIS;
+* desire levels update by the *effective degree*
+  ``d_v = sum of p_u over live neighbors``: if ``d_v >= 2`` then
+  ``p_v /= 2`` else ``p_v`` doubles (capped at 1/2).
+
+Desire levels are always powers of two, so they travel as integer exponents
+within the CONGEST budget.  JOIN/OUT propagation reuses the same three-round
+phase shape as the other baselines.
+"""
+
+from __future__ import annotations
+
+from typing import Generator, Optional
+
+from ..sim.actions import SendAndReceive
+from ..sim.context import NodeContext
+from ..sim.protocol import MISProtocol
+
+
+class GhaffariMIS(MISProtocol):
+    """Ghaffari's desire-level MIS algorithm (traditional model)."""
+
+    def __init__(self, max_phases: Optional[int] = None):
+        super().__init__()
+        if max_phases is not None and max_phases < 1:
+            raise ValueError(f"max_phases must be positive, got {max_phases}")
+        self.max_phases = max_phases
+        self.phases_run = 0
+
+    def run(self, ctx: NodeContext) -> Generator:
+        live = set(ctx.neighbors)
+        exponent = 1  # p_v = 2 ** -exponent
+        phase = 0
+        while self.in_mis is None:
+            if not live:
+                self._decide(ctx, True, "isolated")
+                return
+            if self.max_phases is not None and phase >= self.max_phases:
+                return
+            self.phases_run = phase + 1
+            marked = ctx.rng.random() < 2.0**-exponent
+
+            # Round A -- exchange (marked, desire exponent).
+            inbox = yield SendAndReceive(
+                {u: (marked, exponent) for u in live}
+            )
+            reports = {
+                u: tuple(payload) for u, payload in inbox.items() if u in live
+            }
+            neighbor_marked = any(m for m, _ in reports.values())
+            joined = (
+                marked
+                and not neighbor_marked
+                and len(reports) == len(live)
+            )
+
+            # Round B -- JOIN announcements.
+            if joined:
+                self._decide(ctx, True, "won")
+            inbox = yield SendAndReceive(
+                {u: True for u in live} if joined else {}
+            )
+            eliminated = False
+            if self.in_mis is None and any(u in live for u in inbox):
+                self._decide(ctx, False, "eliminated")
+                eliminated = True
+            if joined:
+                return
+
+            # Round C -- OUT announcements.
+            inbox = yield SendAndReceive(
+                {u: False for u in live} if eliminated else {}
+            )
+            if eliminated:
+                return
+            live -= set(inbox)
+
+            # Desire-level update from this phase's reports (survivors only).
+            effective_degree = sum(
+                2.0**-e for u, (_, e) in reports.items() if u in live
+            )
+            if effective_degree >= 2.0:
+                exponent += 1
+            else:
+                exponent = max(1, exponent - 1)
+            phase += 1

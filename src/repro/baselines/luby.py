@@ -1,0 +1,25 @@
+"""Luby's randomized MIS algorithm (Luby 1986; Alon--Babai--Itai 1986).
+
+This is the ``O(log n)``-round baseline occupying the first column of the
+paper's Table 1.  In each phase every live node redraws a fresh random
+priority; local maxima join the MIS and their neighborhoods are removed.
+Each phase removes a constant fraction of the *edges* in expectation, giving
+``O(log n)`` phases w.h.p. -- but, as Section 1.3 stresses, it is *not*
+known to finish a constant fraction of the **nodes** per phase, which is why
+its node-averaged complexity is not obviously ``o(log n)``.
+
+The priority is an integer drawn from ``[0, n^4)`` so messages stay within
+``O(log n)`` bits, with ties broken by node id.
+"""
+
+from __future__ import annotations
+
+from ..sim.context import NodeContext
+from ._phased import PhasedMISProtocol
+
+
+class LubyMIS(PhasedMISProtocol):
+    """Luby's algorithm: a fresh random priority every phase."""
+
+    def _priority_value(self, ctx: NodeContext, phase: int) -> int:
+        return ctx.rng.randrange(ctx.n**4 + 1)

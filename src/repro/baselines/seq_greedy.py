@@ -1,0 +1,71 @@
+"""Sequential greedy MIS -- the lexicographically-first reference oracle.
+
+Given a priority order, the sequential greedy algorithm scans nodes from
+highest to lowest priority and adds a node whenever none of its neighbors
+has been added.  The result is the *lexicographically-first MIS* of that
+order (Coppersmith et al. 1989).
+
+The paper's Corollary 1 states that ``SleepingMISRecursive`` outputs exactly
+this set for the order given by lexicographically decreasing ``K``-rank.
+These helpers are the centralized oracle against which the simulation is
+checked bit-for-bit.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Dict, List, Mapping, Sequence, Set
+
+
+def _adjacency(graph: Any) -> Dict[Any, Set[Any]]:
+    if hasattr(graph, "adj"):
+        return {v: set(graph.adj[v]) for v in graph.nodes()}
+    return {v: set(nbrs) for v, nbrs in graph.items()}
+
+
+def greedy_mis(graph: Any, order: Sequence[Any]) -> Set[Any]:
+    """The MIS produced by scanning ``order`` greedily.
+
+    ``order`` must contain every node of the graph exactly once.
+    """
+    adjacency = _adjacency(graph)
+    if set(order) != set(adjacency):
+        raise ValueError("order must be a permutation of the graph's nodes")
+    result: Set[Any] = set()
+    blocked: Set[Any] = set()
+    for v in order:
+        if v in blocked:
+            continue
+        result.add(v)
+        blocked.add(v)
+        blocked.update(adjacency[v])
+    return result
+
+
+def lexicographically_first_mis(
+    graph: Any, priority: Mapping[Any, Any]
+) -> Set[Any]:
+    """Greedy MIS by decreasing ``priority`` (ties broken by node id).
+
+    ``priority`` maps each node to any comparable value; higher priority is
+    processed first.
+    """
+    adjacency = _adjacency(graph)
+    missing = set(adjacency) - set(priority)
+    if missing:
+        raise ValueError(f"priority missing for node(s), e.g. {next(iter(missing))!r}")
+    order = sorted(
+        adjacency, key=lambda v: (priority[v], _id_key(v)), reverse=True
+    )
+    return greedy_mis(graph, order)
+
+
+def random_order_mis(graph: Any, rng) -> Set[Any]:
+    """Greedy MIS over a uniformly random permutation drawn from ``rng``."""
+    adjacency = _adjacency(graph)
+    order: List[Any] = sorted(adjacency, key=_id_key)
+    rng.shuffle(order)
+    return greedy_mis(graph, order)
+
+
+def _id_key(v: Any):
+    return (str(type(v).__name__), v if isinstance(v, (int, float, str)) else str(v))

@@ -1,0 +1,228 @@
+"""Command-line interface.
+
+Subcommands::
+
+    repro-mis run     --algorithm sleeping --family gnp-sparse --n 256
+    repro-mis sweep   --algorithm fast-sleeping --sizes 64,128,256
+    repro-mis table1  --sizes 64,128,256 --trials 3
+    repro-mis tree    --n 64 --algorithm sleeping --max-depth 4
+    repro-mis energy  --n 256 --family geometric
+
+(Also runnable as ``python -m repro.cli``.)
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from typing import List, Optional
+
+from .analysis.complexity import run_trial, summarize, sweep
+from .analysis.recursion_tree import build_tree, render_tree, tree_stats
+from .analysis.tables import Table, build_table1
+from .api import algorithm_names
+from .graphs.generators import family_names, make_family_graph
+from .sim.energy import DEFAULT_MODEL
+
+
+def _parse_sizes(text: str) -> List[int]:
+    try:
+        return [int(part) for part in text.split(",") if part]
+    except ValueError as exc:
+        raise argparse.ArgumentTypeError(
+            f"sizes must be comma-separated integers, got {text!r}"
+        ) from exc
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro-mis",
+        description=(
+            "Sleeping-model MIS: reproduction of Chatterjee, Gmyr, "
+            "Pandurangan (PODC 2020)"
+        ),
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    def common(p: argparse.ArgumentParser) -> None:
+        p.add_argument(
+            "--algorithm",
+            default="fast-sleeping",
+            choices=algorithm_names(),
+            help="MIS algorithm to run",
+        )
+        p.add_argument(
+            "--family",
+            default="gnp-sparse",
+            choices=family_names(),
+            help="graph family",
+        )
+        p.add_argument("--seed", type=int, default=0, help="master seed")
+
+    run_p = sub.add_parser("run", help="run once and print the measures")
+    common(run_p)
+    run_p.add_argument("--n", type=int, default=128, help="graph size")
+
+    sweep_p = sub.add_parser("sweep", help="measure across sizes")
+    common(sweep_p)
+    sweep_p.add_argument(
+        "--sizes", type=_parse_sizes, default=[64, 128, 256], help="e.g. 64,128,256"
+    )
+    sweep_p.add_argument("--trials", type=int, default=3)
+    sweep_p.add_argument(
+        "--measure", default="node_averaged_awake",
+        help="which measure to summarize",
+    )
+
+    table_p = sub.add_parser("table1", help="reproduce the paper's Table 1")
+    table_p.add_argument(
+        "--sizes", type=_parse_sizes, default=[64, 128, 256]
+    )
+    table_p.add_argument("--family", default="gnp-sparse", choices=family_names())
+    table_p.add_argument("--trials", type=int, default=3)
+    table_p.add_argument("--seed", type=int, default=0)
+    table_p.add_argument(
+        "--markdown", action="store_true", help="emit markdown instead of text"
+    )
+
+    tree_p = sub.add_parser("tree", help="render the recursion tree (Figure 1)")
+    common(tree_p)
+    tree_p.add_argument("--n", type=int, default=32)
+    tree_p.add_argument("--max-depth", type=int, default=None)
+
+    energy_p = sub.add_parser("energy", help="compare energy against Luby")
+    energy_p.add_argument("--n", type=int, default=256)
+    energy_p.add_argument("--family", default="geometric", choices=family_names())
+    energy_p.add_argument("--seed", type=int, default=0)
+
+    report_p = sub.add_parser(
+        "report", help="regenerate the full reproduction report (markdown)"
+    )
+    report_p.add_argument(
+        "--sizes", type=_parse_sizes, default=[64, 128, 256]
+    )
+    report_p.add_argument("--family", default="gnp-sparse", choices=family_names())
+    report_p.add_argument("--trials", type=int, default=2)
+    report_p.add_argument("--seed", type=int, default=0)
+    report_p.add_argument(
+        "--output", default=None, help="write to a file instead of stdout"
+    )
+
+    return parser
+
+
+def _cmd_run(args: argparse.Namespace) -> int:
+    graph = make_family_graph(args.family, args.n, seed=args.seed)
+    result, trial = run_trial(
+        graph, args.algorithm, seed=args.seed, family=args.family
+    )
+    print(f"algorithm          : {args.algorithm}")
+    print(f"graph              : {args.family} n={result.n}")
+    print(f"MIS size           : {len(result.mis)}")
+    print(f"valid MIS          : {trial.valid}")
+    print(f"node-avg awake     : {trial.node_averaged_awake:.2f}")
+    print(f"worst-case awake   : {trial.worst_case_awake}")
+    print(f"node-avg rounds    : {trial.node_averaged_rounds:.1f}")
+    print(f"worst-case rounds  : {trial.worst_case_rounds}")
+    print(f"messages / bits    : {trial.total_messages} / {trial.total_bits}")
+    print(f"total energy       : {trial.total_energy:.1f}")
+    return 0 if trial.valid else 1
+
+
+def _cmd_sweep(args: argparse.Namespace) -> int:
+    rows = sweep(
+        args.algorithm, args.family, args.sizes,
+        trials=args.trials, seed0=args.seed,
+    )
+    summary = summarize(rows, args.measure)
+    table = Table(
+        title=f"{args.measure} of {args.algorithm} on {args.family}",
+        headers=["n", "mean", "min", "max", "stdev"],
+    )
+    for n, row in summary.items():
+        table.add_row(
+            n, f"{row['mean']:.2f}", f"{row['min']:.2f}",
+            f"{row['max']:.2f}", f"{row['stdev']:.2f}",
+        )
+    print(table.to_text())
+    return 0
+
+
+def _cmd_table1(args: argparse.Namespace) -> int:
+    table = build_table1(
+        sizes=args.sizes, family=args.family,
+        trials=args.trials, seed0=args.seed,
+    )
+    print(table.to_markdown() if args.markdown else table.to_text())
+    return 0
+
+
+def _cmd_tree(args: argparse.Namespace) -> int:
+    graph = make_family_graph(args.family, args.n, seed=args.seed)
+    result, _ = run_trial(
+        graph, args.algorithm, seed=args.seed, family=args.family
+    )
+    root = build_tree(result)
+    print(render_tree(root, max_depth=args.max_depth))
+    stats = tree_stats(root)
+    print()
+    print(
+        f"calls={stats['calls']} max_depth={stats['max_depth']} "
+        f"leaves={stats['leaves']} base_calls={stats['base_calls']}"
+    )
+    return 0
+
+
+def _cmd_energy(args: argparse.Namespace) -> int:
+    graph = make_family_graph(args.family, args.n, seed=args.seed)
+    table = Table(
+        title=f"Energy on {args.family} n={args.n} "
+        f"(tx={DEFAULT_MODEL.tx}, rx={DEFAULT_MODEL.rx}, "
+        f"idle={DEFAULT_MODEL.idle}, sleep={DEFAULT_MODEL.sleep})",
+        headers=["algorithm", "total energy", "avg awake", "valid"],
+    )
+    for algorithm in ("luby", "sleeping", "fast-sleeping"):
+        _, trial = run_trial(graph, algorithm, seed=args.seed, family=args.family)
+        table.add_row(
+            algorithm,
+            f"{trial.total_energy:.1f}",
+            f"{trial.node_averaged_awake:.2f}",
+            trial.valid,
+        )
+    print(table.to_text())
+    return 0
+
+
+def _cmd_report(args: argparse.Namespace) -> int:
+    from .analysis.report import build_report
+
+    report = build_report(
+        sizes=args.sizes,
+        family=args.family,
+        trials=args.trials,
+        seed0=args.seed,
+    )
+    if args.output:
+        with open(args.output, "w") as handle:
+            handle.write(report + "\n")
+        print(f"report written to {args.output}")
+    else:
+        print(report)
+    return 0
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    args = build_parser().parse_args(argv)
+    handlers = {
+        "run": _cmd_run,
+        "sweep": _cmd_sweep,
+        "table1": _cmd_table1,
+        "tree": _cmd_tree,
+        "energy": _cmd_energy,
+        "report": _cmd_report,
+    }
+    return handlers[args.command](args)
+
+
+if __name__ == "__main__":
+    sys.exit(main())

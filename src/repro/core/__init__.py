@@ -1,0 +1,54 @@
+"""The paper's primary contribution: sleeping-model MIS algorithms.
+
+* :class:`SleepingMIS` -- Algorithm 1 (O(1) node-averaged awake, O(n^3)
+  worst-case rounds);
+* :class:`FastSleepingMIS` -- Algorithm 2 (O(1) node-averaged awake,
+  O(log^3.41 n) worst-case rounds);
+* :mod:`repro.core.schedule` -- recursion depths and the exact sleep
+  schedule T(k) that keeps nodes synchronized;
+* :mod:`repro.core.ranks` -- k-ranks and evaluation sequences
+  (Definitions 1-2), used to verify the lexicographically-first-MIS
+  equivalence (Corollary 1).
+"""
+
+from .fast_sleeping_mis import FastSleepingMIS
+from .ranks import (
+    evaluation_sequence,
+    full_rank_order,
+    k_rank,
+    rank_less,
+    ranks_unique,
+)
+from .schedule import (
+    DEFAULT_GREEDY_CONSTANT,
+    ELL,
+    call_duration,
+    expected_base_participants,
+    expected_leaf_count,
+    fast_call_duration,
+    greedy_rounds,
+    recursion_depth,
+    truncated_depth,
+)
+from .sleeping_mis import PRESENCE, CallRecord, SleepingMIS
+
+__all__ = [
+    "CallRecord",
+    "DEFAULT_GREEDY_CONSTANT",
+    "ELL",
+    "FastSleepingMIS",
+    "PRESENCE",
+    "SleepingMIS",
+    "call_duration",
+    "evaluation_sequence",
+    "expected_base_participants",
+    "expected_leaf_count",
+    "fast_call_duration",
+    "full_rank_order",
+    "greedy_rounds",
+    "k_rank",
+    "rank_less",
+    "ranks_unique",
+    "recursion_depth",
+    "truncated_depth",
+]

@@ -1,0 +1,146 @@
+"""Algorithm 2: the Fast Sleeping MIS algorithm.
+
+Identical to Algorithm 1 except that
+
+* the recursion is truncated at depth ``K2 = ceil(ell * log2 log2 n)`` with
+  ``ell = 1 / log2(4/3)`` (Equation 2), and
+* each base case runs the **parallel/distributed randomized greedy MIS**
+  (Coppersmith et al. 1989; Blelloch et al. 2012; Fischer--Noever 2018) for
+  *exactly* ``c * ceil(log2 n)`` rounds, so higher recursion levels stay
+  synchronized.  Base cases that have not finished inside that window are
+  the algorithm's Monte Carlo failure mode; the protocol flags them via
+  :attr:`FastSleepingMIS.base_truncated`.
+
+The greedy base case is phased, three rounds per phase:
+
+* **round A** -- every live (undecided) node sends its random rank to its
+  live neighbors; a node whose rank beats all of them wins;
+* **round B** -- winners announce ``JOIN``; live neighbors of a winner are
+  eliminated;
+* **round C** -- the newly eliminated announce ``OUT``; survivors remove
+  them from their live sets.
+
+Decided nodes sleep out the remainder of the base window, which is what
+keeps the worst-case *awake* complexity at ``O(log n)`` while the wall clock
+charges the full window.
+"""
+
+from __future__ import annotations
+
+from typing import Generator, Optional, Tuple
+
+from ..sim.actions import SendAndReceive, Sleep
+from ..sim.context import NodeContext
+from . import schedule
+from .sleeping_mis import PRESENCE, SleepingMIS
+
+
+class FastSleepingMIS(SleepingMIS):
+    """Per-node protocol for the paper's Algorithm 2 (``Fast-SleepingMIS``).
+
+    Parameters
+    ----------
+    depth:
+        Override the truncated recursion depth ``K2``.
+    coin_bias:
+        Probability that ``X_i = 1`` (fair coins by default).
+    greedy_constant:
+        The ``c`` in the fixed ``c * ceil(log2 n)``-round base window.
+    record_calls:
+        Keep per-call instrumentation (on by default).
+    """
+
+    def __init__(
+        self,
+        depth: Optional[int] = None,
+        coin_bias: float = 0.5,
+        greedy_constant: int = schedule.DEFAULT_GREEDY_CONSTANT,
+        record_calls: bool = True,
+    ):
+        super().__init__(
+            depth=depth, coin_bias=coin_bias, record_calls=record_calls
+        )
+        self.greedy_constant = greedy_constant
+        self.base_rounds = 0
+        #: random rank drawn if this node reached a greedy base case,
+        #: as the comparable pair ``(rank_value, node_id)``.
+        self.base_rank: Optional[Tuple[int, int]] = None
+        #: set when the base window expired with this node still undecided
+        #: (the Monte Carlo failure mode).
+        self.base_truncated = False
+
+    def _default_depth(self, n: int) -> int:
+        return schedule.truncated_depth(n)
+
+    def _call_duration(self, k: int) -> int:
+        return schedule.fast_call_duration(k, self.base_rounds)
+
+    def _prepare(self, ctx: NodeContext) -> None:
+        self.base_rounds = schedule.greedy_rounds(ctx.n, self.greedy_constant)
+
+    # ------------------------------------------------------------------
+
+    def _base_case(self, ctx: NodeContext, path: str) -> Generator:
+        """Distributed randomized greedy MIS in a fixed window of rounds."""
+        assert self.in_mis is None, "decided node reached the base case"
+        window = self.base_rounds
+        used = 0
+        ctx.trace("greedy_base_enter", path=path)
+
+        # Neighbor discovery inside G[U]: only co-participants are awake.
+        inbox = yield SendAndReceive({u: PRESENCE for u in ctx.neighbors})
+        used += 1
+        live = set(inbox)
+
+        rank_value = ctx.rng.randrange(ctx.n**6 + 1)
+        self.base_rank = (rank_value, ctx.node_id)
+        my_key = self.base_rank
+
+        while True:
+            if self.in_mis is None and not live:
+                # All competitors are gone: this node is isolated among the
+                # survivors and joins (greedy would pick it next).
+                self._decide(ctx, True, "base_greedy_isolated")
+            if self.in_mis is not None or used + 3 > window:
+                break
+
+            # Round A -- rank exchange.
+            inbox = yield SendAndReceive(
+                {u: (rank_value, ctx.node_id) for u in live}
+            )
+            used += 1
+            rank_keys = {
+                u: tuple(payload) for u, payload in inbox.items() if u in live
+            }
+            joined = len(rank_keys) == len(live) and all(
+                my_key > key for key in rank_keys.values()
+            )
+
+            # Round B -- JOIN announcements.
+            if joined:
+                self._decide(ctx, True, "base_greedy_join")
+            inbox = yield SendAndReceive(
+                {u: True for u in live} if joined else {}
+            )
+            used += 1
+            eliminated_now = False
+            if self.in_mis is None and any(u in live for u in inbox):
+                self._decide(ctx, False, "base_greedy_eliminated")
+                eliminated_now = True
+            if joined:
+                break  # announced; sleep out the rest of the window
+
+            # Round C -- OUT announcements from the newly eliminated.
+            inbox = yield SendAndReceive(
+                {u: False for u in live} if eliminated_now else {}
+            )
+            used += 1
+            if eliminated_now:
+                break  # announced; sleep out the rest of the window
+            live -= set(inbox)
+
+        if self.in_mis is None:
+            # The fixed window expired mid-computation: Monte Carlo failure.
+            self.base_truncated = True
+            ctx.trace("greedy_base_truncated", path=path)
+        yield Sleep(window - used)

@@ -1,0 +1,93 @@
+"""k-ranks, evaluation sequences, and rank orders (Definitions 1 and 2).
+
+Each node draws random bits ``X_K, ..., X_1`` before the recursion starts.
+The *k-rank* of node ``v`` is the sequence
+
+    ``r_k(v) = (X_k, X_{k-1}, ..., X_1, -1)``
+
+compared lexicographically; ``r_0(v) = (-1,)`` is a sentinel.  The
+*evaluation sequence* of a call with participant set ``U`` and parameter
+``k`` lists ``U`` by lexicographically **decreasing** ``(k-1)``-rank
+(Definition 2) -- it is the order in which the deferred-decision analysis
+(Lemma 6) fixes the ``X_k`` coins.
+
+Lemma 4 / Corollary 1 show that the whole algorithm outputs the
+*lexicographically-first MIS* with respect to decreasing ``K``-rank; the
+helpers here recover that order from a finished run so tests and benchmarks
+can verify the equivalence exactly.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Iterable, List, Sequence, Tuple
+
+Bits = Tuple[int, ...]
+
+
+def k_rank(bits: Sequence[int], k: int) -> Tuple[int, ...]:
+    """``r_k(v)`` for a node whose bits are ``(X_1, ..., X_K)``.
+
+    ``bits[i - 1]`` is ``X_i``, matching the paper's 1-based indexing.
+    """
+    if k < 0:
+        raise ValueError(f"rank level must be non-negative, got {k}")
+    if k > len(bits):
+        raise ValueError(
+            f"rank level {k} exceeds number of drawn bits {len(bits)}"
+        )
+    return tuple(bits[i - 1] for i in range(k, 0, -1)) + (-1,)
+
+
+def rank_less(bits_a: Sequence[int], bits_b: Sequence[int], k: int) -> bool:
+    """Whether ``r_k(a) < r_k(b)`` lexicographically."""
+    return k_rank(bits_a, k) < k_rank(bits_b, k)
+
+
+def evaluation_sequence(
+    members: Iterable[int], bits_of: Dict[int, Sequence[int]], k: int
+) -> List[int]:
+    """The evaluation sequence of a call: ``members`` sorted by
+    lexicographically decreasing ``(k-1)``-rank (Definition 2).
+
+    Ties (which occur only with the polynomially-small probability bounded
+    by Lemma 5) are broken by node id so the sequence is always well
+    defined.
+    """
+    if k < 1:
+        raise ValueError(f"evaluation sequence needs k >= 1, got {k}")
+    return sorted(
+        members,
+        key=lambda v: (k_rank(bits_of[v], k - 1), _tiebreak(v)),
+        reverse=True,
+    )
+
+
+def full_rank_order(bits_of: Dict[int, Sequence[int]]) -> List[int]:
+    """All nodes sorted by lexicographically decreasing K-rank.
+
+    This is the priority order under which the algorithm's MIS equals the
+    sequential greedy MIS (Corollary 1).
+    """
+    if not bits_of:
+        return []
+    return sorted(
+        bits_of,
+        key=lambda v: (k_rank(bits_of[v], len(bits_of[v])), _tiebreak(v)),
+        reverse=True,
+    )
+
+
+def ranks_unique(bits_of: Dict[int, Sequence[int]]) -> bool:
+    """Whether all nodes have distinct bit vectors (holds w.h.p., Lemma 5)."""
+    seen = set()
+    for bits in bits_of.values():
+        key = tuple(bits)
+        if key in seen:
+            return False
+        seen.add(key)
+    return True
+
+
+def _tiebreak(v) -> Tuple:
+    """A total tiebreak usable for heterogeneous node ids."""
+    return (str(type(v).__name__), v if isinstance(v, (int, float, str)) else str(v))

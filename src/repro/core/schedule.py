@@ -1,0 +1,107 @@
+"""Recursion depth and timing schedule for the sleeping MIS algorithms.
+
+The algorithms synchronize entirely through precomputed sleep durations:
+a node that skips a recursive call sleeps for *exactly* the worst-case
+duration of that call, so every participant of a call re-awakens in the same
+round.  This module is the single source of truth for those durations.
+
+* Algorithm 1 uses recursion depth ``K(n) = ceil(3 log2 n)`` (Lemma 1) and a
+  level-``k`` call lasts ``T(k) = 3 (2^k - 1)`` rounds (Lemma 10): three
+  communication rounds plus two level-``(k-1)`` sub-calls, with
+  ``T(0) = 0`` because the base case is purely local.
+
+* Algorithm 2 truncates the recursion at depth
+  ``K2(n) = ceil(ell * log2 log2 n)`` with ``ell = 1 / log2(4/3)``
+  (Equation 2) and solves each base case by running the distributed
+  randomized greedy MIS for exactly ``c * ceil(log2 n)`` rounds, so a
+  level-``k`` call lasts ``T2(k) = 3 (2^k - 1) + 2^k * c ceil(log2 n)``.
+"""
+
+from __future__ import annotations
+
+import math
+
+#: Equation 2 of the paper: ell = (log2(4/3))^-1 ~= 2.4094.
+ELL = 1.0 / math.log2(4.0 / 3.0)
+
+#: Default Fischer--Noever constant: the greedy base case runs for exactly
+#: ``DEFAULT_GREEDY_CONSTANT * ceil(log2 n)`` rounds.  Sweepable; see the
+#: ablation benchmark.
+DEFAULT_GREEDY_CONSTANT = 8
+
+
+def recursion_depth(n: int) -> int:
+    """``K = ceil(3 log2 n)``, Algorithm 1's recursion depth.
+
+    ``n = 1`` gives depth 0: the lone node joins the MIS immediately.
+    """
+    if n < 1:
+        raise ValueError(f"network size must be positive, got {n}")
+    if n == 1:
+        return 0
+    return math.ceil(3 * math.log2(n))
+
+
+def call_duration(k: int) -> int:
+    """``T(k) = 3 (2^k - 1)``, the exact wall-clock length of a level-``k``
+    call of ``SleepingMISRecursive`` (Lemma 10)."""
+    if k < 0:
+        raise ValueError(f"recursion level must be non-negative, got {k}")
+    return 3 * (2**k - 1)
+
+
+def truncated_depth(n: int) -> int:
+    """``K2 = ceil(ell * log2 log2 n)``, Algorithm 2's recursion depth.
+
+    For ``n <= 2`` the double logarithm is non-positive and the whole
+    algorithm degenerates to a single greedy base case (depth 0).
+    """
+    if n < 1:
+        raise ValueError(f"network size must be positive, got {n}")
+    if n <= 2:
+        return 0
+    return math.ceil(ELL * math.log2(math.log2(n)))
+
+
+def greedy_rounds(n: int, constant: int = DEFAULT_GREEDY_CONSTANT) -> int:
+    """The fixed base-case window: ``c * ceil(log2 n)`` rounds.
+
+    The paper requires the greedy algorithm to run for *exactly* this many
+    rounds so that higher recursion levels stay synchronized; runs in which
+    some base case has not finished by then are the algorithm's Monte Carlo
+    failure mode.
+    """
+    if n < 1:
+        raise ValueError(f"network size must be positive, got {n}")
+    if constant < 1:
+        raise ValueError(f"greedy constant must be positive, got {constant}")
+    return constant * max(1, math.ceil(math.log2(max(n, 2))))
+
+
+def fast_call_duration(k: int, base_rounds: int) -> int:
+    """Wall-clock length of a level-``k`` call of Algorithm 2.
+
+    Recurrence ``T2(k) = 2 T2(k-1) + 3`` with ``T2(0) = base_rounds`` gives
+    ``T2(k) = 3 (2^k - 1) + 2^k * base_rounds``.
+    """
+    if k < 0:
+        raise ValueError(f"recursion level must be non-negative, got {k}")
+    if base_rounds < 0:
+        raise ValueError(f"base window must be non-negative, got {base_rounds}")
+    return 3 * (2**k - 1) + (2**k) * base_rounds
+
+
+def expected_leaf_count(n: int) -> float:
+    """``(log2 n)^ell`` -- the number of leaves of Algorithm 2's truncated
+    recursion tree (proof of Lemma 13)."""
+    if n <= 2:
+        return 1.0
+    return math.log2(n) ** ELL
+
+
+def expected_base_participants(n: int) -> float:
+    """``n / log2 n`` -- the expected total number of nodes that reach the
+    truncation depth (proof sketch of Lemma 12)."""
+    if n <= 2:
+        return float(n)
+    return n / math.log2(n)

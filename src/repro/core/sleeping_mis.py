@@ -1,0 +1,191 @@
+"""Algorithm 1: the Sleeping MIS algorithm.
+
+This is a line-by-line transcription of the paper's Algorithm 1 into the
+generator protocol API.  Each node:
+
+1. draws random bits ``X_1, ..., X_K`` with ``K = ceil(3 log2 n)``;
+2. calls ``SleepingMISRecursive(K)``, which per level performs
+
+   * **first isolated node detection** (1 awake round): send to every
+     neighbor; a node that hears nothing is isolated in the current
+     subgraph ``G[U]`` and joins the MIS -- this works because *only* the
+     participants of the current call are awake, so the inbox exactly
+     reveals the neighborhood within ``G[U]``;
+   * **left recursion**: participants with ``X_k = 1`` recurse; everyone
+     else sleeps for exactly ``T(k-1) = 3 (2^{k-1} - 1)`` rounds;
+   * **synchronization / elimination** (1 awake round): everyone announces
+     ``inMIS``; an undecided node with a neighbor in the MIS is eliminated;
+   * **second isolated node detection** (1 awake round): an undecided node
+     all of whose announcements read ``False`` joins the MIS;
+   * **right recursion**: still-undecided nodes recurse; everyone else
+     sleeps ``T(k-1)`` rounds.
+
+The base case ``k = 0`` joins the MIS locally with no communication
+(``T(0) = 0``).
+
+Instrumentation: when ``record_calls`` is on (the default) every node keeps a
+:class:`CallRecord` per recursive call it participated in -- level, tree
+path, start/end rounds, whether it entered the left/right sub-call, and the
+decision it made at that level.  The analysis package aggregates these
+records into the paper's per-call quantities (|U|, |L|, |R|, Z_k) and into
+the recursion trees of Figures 1 and 2.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Generator, List, Optional, Tuple
+
+from ..sim.actions import SendAndReceive, Sleep
+from ..sim.context import NodeContext
+from ..sim.protocol import MISProtocol
+from . import schedule
+
+#: Payload of the isolated-node-detection probe (2 bits).
+PRESENCE = True
+
+
+@dataclass
+class CallRecord:
+    """One node's participation in one call of ``SleepingMISRecursive``."""
+
+    k: int
+    path: str
+    start_round: int
+    end_round: Optional[int] = None
+    went_left: bool = False
+    went_right: bool = False
+    #: decision made at this level's own steps, if any:
+    #: ``base`` / ``isolated`` / ``eliminated`` / ``second_isolated`` /
+    #: ``base_greedy_*`` (Algorithm 2) / ``None``.
+    decided: Optional[str] = None
+
+
+class SleepingMIS(MISProtocol):
+    """Per-node protocol for the paper's Algorithm 1 (``SleepingMIS``).
+
+    Parameters
+    ----------
+    depth:
+        Override the recursion depth ``K`` (default ``ceil(3 log2 n)``).
+    coin_bias:
+        Probability that ``X_i = 1``.  The paper uses fair coins (1/2);
+        other values are exposed for the ablation study of the pruning
+        constant.
+    record_calls:
+        Keep per-call :class:`CallRecord` instrumentation (cheap; on by
+        default).
+    """
+
+    def __init__(
+        self,
+        depth: Optional[int] = None,
+        coin_bias: float = 0.5,
+        record_calls: bool = True,
+    ):
+        super().__init__()
+        if not 0.0 < coin_bias < 1.0:
+            raise ValueError(f"coin bias must be in (0, 1), got {coin_bias}")
+        self.depth_override = depth
+        self.coin_bias = coin_bias
+        self.record_calls = record_calls
+        self.x_bits: Tuple[int, ...] = ()
+        self.calls: List[CallRecord] = []
+
+    # ------------------------------------------------------------------
+    # Hooks overridden by Algorithm 2.
+    # ------------------------------------------------------------------
+
+    def _default_depth(self, n: int) -> int:
+        """Recursion depth for a network of ``n`` nodes."""
+        return schedule.recursion_depth(n)
+
+    def _call_duration(self, k: int) -> int:
+        """Exact wall-clock duration of a level-``k`` call."""
+        return schedule.call_duration(k)
+
+    def _prepare(self, ctx: NodeContext) -> None:
+        """Pre-run setup hook (Algorithm 2 sizes its base window here)."""
+
+    def _base_case(self, ctx: NodeContext, path: str) -> Generator:
+        """``k = 0``: join the MIS locally; consumes zero rounds."""
+        assert self.in_mis is None, "decided node reached the base case"
+        self._decide(ctx, True, "base")
+        return
+        yield  # pragma: no cover -- makes this function a generator
+
+    # ------------------------------------------------------------------
+
+    def x(self, i: int) -> int:
+        """The random bit ``X_i`` (1-based, as in the paper)."""
+        return self.x_bits[i - 1]
+
+    def run(self, ctx: NodeContext) -> Generator:
+        depth = (
+            self.depth_override
+            if self.depth_override is not None
+            else self._default_depth(ctx.n)
+        )
+        self._prepare(ctx)
+        self.x_bits = tuple(
+            1 if ctx.rng.random() < self.coin_bias else 0
+            for _ in range(depth)
+        )
+        yield from self._recurse(ctx, depth, "")
+
+    def _recurse(self, ctx: NodeContext, k: int, path: str) -> Generator:
+        record: Optional[CallRecord] = None
+        if self.record_calls:
+            record = CallRecord(k=k, path=path, start_round=ctx.current_round())
+            self.calls.append(record)
+
+        if k == 0:
+            yield from self._base_case(ctx, path)
+            if record is not None:
+                record.end_round = ctx.current_round()
+                # The specific mechanism ("base", "base_greedy_join", ...)
+                # was recorded by _decide; truncated base cases stay None.
+                record.decided = self.decided_how
+            return
+
+        assert self.in_mis is None, "decided node entered a recursive call"
+
+        # Part 2 -- first isolated node detection (lines 13-16).
+        inbox = yield SendAndReceive({u: PRESENCE for u in ctx.neighbors})
+        if not inbox:
+            self._decide(ctx, True, "isolated")
+            if record is not None:
+                record.decided = "isolated"
+
+        # Part 3 -- left recursion (lines 17-21).
+        if self.in_mis is None and self.x(k) == 1:
+            if record is not None:
+                record.went_left = True
+            yield from self._recurse(ctx, k - 1, path + "L")
+        else:
+            yield Sleep(self._call_duration(k - 1))
+
+        # Part 4 -- synchronization and elimination (lines 22-25).
+        inbox = yield SendAndReceive({u: self.in_mis for u in ctx.neighbors})
+        if self.in_mis is None and any(v is True for v in inbox.values()):
+            self._decide(ctx, False, "eliminated")
+            if record is not None:
+                record.decided = "eliminated"
+
+        # Part 5 -- second isolated node detection (lines 26-29).
+        inbox = yield SendAndReceive({u: self.in_mis for u in ctx.neighbors})
+        if self.in_mis is None and all(v is False for v in inbox.values()):
+            self._decide(ctx, True, "second_isolated")
+            if record is not None:
+                record.decided = "second_isolated"
+
+        # Part 6 -- right recursion (lines 30-34).
+        if self.in_mis is None:
+            if record is not None:
+                record.went_right = True
+            yield from self._recurse(ctx, k - 1, path + "R")
+        else:
+            yield Sleep(self._call_duration(k - 1))
+
+        if record is not None:
+            record.end_round = ctx.current_round()

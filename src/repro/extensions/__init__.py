@@ -1,0 +1,25 @@
+"""Extensions beyond the paper's MIS results.
+
+Two directions the paper itself points at:
+
+* **maximal matching** (conclusion: the sleeping model "for various
+  problems") via the classic line-graph reduction -- a maximal matching of
+  G is exactly an MIS of L(G);
+* **the beeping model** (Section 1.5: "sleeping is orthogonal to beeping")
+  -- an MIS algorithm using only carrier-sense beeps, for side-by-side
+  comparison with the sleeping algorithms on the same simulator.
+"""
+
+from .beeping import BeepingMIS
+from .matching import (
+    is_maximal_matching,
+    line_graph_with_edge_map,
+    solve_maximal_matching,
+)
+
+__all__ = [
+    "BeepingMIS",
+    "is_maximal_matching",
+    "line_graph_with_edge_map",
+    "solve_maximal_matching",
+]

@@ -1,0 +1,121 @@
+"""MIS in the beeping model (Afek et al., Distributed Computing 2013).
+
+Section 1.5 of the paper contrasts the sleeping model with the **beeping
+model**, where per round a node either *beeps* or *listens*, and a
+listener learns only whether at least one neighbor beeped (a single bit of
+carrier sense -- far weaker than CONGEST messages).  "Sleeping is
+orthogonal to beeping"; implementing a beeping MIS lets the benchmarks put
+the two models side by side on the same simulator.
+
+The algorithm implemented here is the classic rank-contention scheme
+(in the style of Afek et al.'s exchange of random values, bit by bit):
+
+Each *phase*, every live node draws a ``B = ceil(4 log2 n)``-bit random
+rank and plays a knockout over the bits, most significant first:
+
+* a contender whose current bit is 1 **beeps**; a contender whose bit is
+  0 **listens** and drops out of contention if it hears a beep;
+* after the B bits, surviving contenders beep ``JOIN`` and enter the MIS;
+  any live listener that hears the JOIN beep is eliminated.
+
+No two adjacent nodes can both survive a phase with distinct ranks: at
+their first differing bit the higher one is still contending (or was
+already knocked out, in which case it is not a survivor) and its beep
+knocks the lower one out.  The globally maximum rank always survives, so
+every phase makes progress; with fresh random ranks the number of phases
+is logarithmic in practice (the known worst-case bounds for beeping MIS
+are polylogarithmic).
+
+Beeping nodes cannot sleep here (every live node is awake for all
+``B + 1`` rounds of every phase), which is exactly the contrast the
+benchmark draws: awake time per node is ``Theta(log n)`` *per phase*
+versus the sleeping algorithms' O(1) total average.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Generator, Optional
+
+from ..sim.actions import SendAndReceive
+from ..sim.context import NodeContext
+from ..sim.protocol import MISProtocol
+
+#: The only payload a beep may carry: bare carrier sense.
+BEEP = True
+
+
+class BeepingMIS(MISProtocol):
+    """MIS by bitwise rank knockout in the beeping model.
+
+    Parameters
+    ----------
+    rank_bits:
+        Override the per-phase rank width (default ``ceil(4 log2 n)``,
+        making ties -- the Monte Carlo failure mode -- polynomially
+        unlikely).
+    max_phases:
+        Optional phase budget; exceeding it leaves the node undecided.
+    """
+
+    def __init__(
+        self,
+        rank_bits: Optional[int] = None,
+        max_phases: Optional[int] = None,
+    ):
+        super().__init__()
+        if rank_bits is not None and rank_bits < 1:
+            raise ValueError(f"rank_bits must be positive, got {rank_bits}")
+        if max_phases is not None and max_phases < 1:
+            raise ValueError(f"max_phases must be positive, got {max_phases}")
+        self.rank_bits = rank_bits
+        self.max_phases = max_phases
+        self.phases_run = 0
+
+    def _beep(self, ctx: NodeContext) -> Generator:
+        inbox = yield SendAndReceive({u: BEEP for u in ctx.neighbors})
+        return bool(inbox)
+
+    def _listen(self) -> Generator:
+        inbox = yield SendAndReceive({})
+        return bool(inbox)
+
+    def run(self, ctx: NodeContext) -> Generator:
+        bits = (
+            self.rank_bits
+            if self.rank_bits is not None
+            else max(1, math.ceil(4 * math.log2(max(ctx.n, 2))))
+        )
+        if ctx.degree == 0:
+            self._decide(ctx, True, "beeping_isolated")
+            return
+
+        phase = 0
+        while self.in_mis is None:
+            if self.max_phases is not None and phase >= self.max_phases:
+                return
+            self.phases_run = phase + 1
+            rank = ctx.rng.getrandbits(bits)
+            contending = True
+
+            # Bitwise knockout, most significant bit first.
+            for position in range(bits - 1, -1, -1):
+                my_bit = (rank >> position) & 1
+                if contending and my_bit == 1:
+                    yield from self._beep(ctx)
+                else:
+                    heard = yield from self._listen()
+                    if contending and heard:
+                        contending = False
+
+            # JOIN round: survivors beep; live listeners that hear a JOIN
+            # are dominated and leave.
+            if contending:
+                self._decide(ctx, True, "beeping_won")
+                yield from self._beep(ctx)
+                return
+            heard = yield from self._listen()
+            if heard:
+                self._decide(ctx, False, "beeping_eliminated")
+                return
+            phase += 1

@@ -1,0 +1,101 @@
+"""Maximal matching in the sleeping model via the line-graph reduction.
+
+A matching M of G is maximal iff M is a maximal independent set of the
+line graph L(G) (edges of G become nodes; two are adjacent iff they share
+an endpoint).  Running any of the repository's MIS protocols over L(G)
+therefore yields a maximal matching with the same complexity guarantees,
+now counted per *edge agent* -- e.g. O(1) node-averaged awake complexity
+per edge with Algorithm 2.
+
+Implementation-wise each edge is simulated as its own agent.  In a real
+deployment an edge agent would be hosted by one of its endpoints (the
+standard simulation of edge processes by node processes costs only a
+constant factor, since an endpoint can multiplex its incident edges'
+messages); the simulator runs the edge agents directly, which measures
+the same round/awake quantities.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Dict, FrozenSet, Iterable, Optional, Set, Tuple
+
+import networkx as nx
+
+from ..api import make_protocol_factory
+from ..sim.metrics import RunResult
+from ..sim.network import Simulator
+
+Edge = Tuple[Any, Any]
+
+
+def _normalized_edge(u: Any, v: Any) -> Edge:
+    return (u, v) if repr(u) <= repr(v) else (v, u)
+
+
+def line_graph_with_edge_map(graph: Any) -> Tuple[nx.Graph, Dict[int, Edge]]:
+    """Build L(G) with integer node labels and the label -> edge mapping.
+
+    Integer labels keep CONGEST payloads small when MIS protocols send
+    node ids.
+    """
+    if not hasattr(graph, "edges"):
+        graph = nx.Graph(
+            (u, v) for u, nbrs in graph.items() for v in nbrs
+        )
+    edges = sorted(
+        (_normalized_edge(u, v) for u, v in graph.edges()), key=repr
+    )
+    index_of = {edge: i for i, edge in enumerate(edges)}
+    line = nx.Graph()
+    line.add_nodes_from(range(len(edges)))
+    incident: Dict[Any, list] = {}
+    for edge in edges:
+        for endpoint in edge:
+            incident.setdefault(endpoint, []).append(index_of[edge])
+    for shared in incident.values():
+        for i, a in enumerate(shared):
+            for b in shared[i + 1 :]:
+                line.add_edge(a, b)
+    return line, {i: edge for edge, i in index_of.items()}
+
+
+def solve_maximal_matching(
+    graph: Any,
+    algorithm: str = "fast-sleeping",
+    *,
+    seed: Optional[int] = 0,
+    **protocol_kwargs: Any,
+) -> Tuple[FrozenSet[Edge], RunResult]:
+    """Compute a maximal matching by running an MIS protocol over L(G).
+
+    Returns ``(matching, line_graph_run_result)``; the result's complexity
+    measures are per edge agent.
+    """
+    line, edge_of = line_graph_with_edge_map(graph)
+    factory = make_protocol_factory(algorithm, **protocol_kwargs)
+    result = Simulator(line, factory, seed=seed).run()
+    matching = frozenset(edge_of[i] for i in result.mis)
+    return matching, result
+
+
+def is_maximal_matching(graph: Any, matching: Iterable[Edge]) -> bool:
+    """Whether ``matching`` is a matching of G that cannot be extended."""
+    if not hasattr(graph, "edges"):
+        graph = nx.Graph(
+            (u, v) for u, nbrs in graph.items() for v in nbrs
+        )
+    chosen = {_normalized_edge(u, v) for u, v in matching}
+    graph_edges = {_normalized_edge(u, v) for u, v in graph.edges()}
+    if not chosen <= graph_edges:
+        return False
+    matched: Set[Any] = set()
+    for u, v in chosen:
+        if u in matched or v in matched:
+            return False  # two matching edges share an endpoint
+        matched.add(u)
+        matched.add(v)
+    # Maximality: every non-matching edge touches a matched endpoint.
+    for u, v in graph_edges - chosen:
+        if u not in matched and v not in matched:
+            return False
+    return True

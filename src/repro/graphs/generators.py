@@ -1,0 +1,184 @@
+"""Seeded graph generators used across examples, tests, and benchmarks.
+
+Every generator returns a ``networkx.Graph`` whose nodes are the consecutive
+integers ``0 .. n-1`` (protocols send node ids in CONGEST messages, so small
+integer labels keep payloads within the bit budget).  All randomized
+generators take an explicit ``seed`` for reproducibility.
+
+The :data:`FAMILIES` registry maps family names to single-knob constructors
+``(n, seed) -> Graph`` so that sweeps, benchmarks, and the CLI can iterate
+over families by name.
+"""
+
+from __future__ import annotations
+
+import random
+from typing import Callable, Dict, List
+
+import networkx as nx
+
+
+def _relabel(graph: nx.Graph) -> nx.Graph:
+    """Relabel nodes to consecutive integers 0..n-1 deterministically."""
+    mapping = {v: i for i, v in enumerate(sorted(graph.nodes(), key=str))}
+    return nx.relabel_nodes(graph, mapping)
+
+
+def empty_graph(n: int) -> nx.Graph:
+    """``n`` isolated nodes."""
+    return nx.empty_graph(n)
+
+
+def complete_graph(n: int) -> nx.Graph:
+    """The clique ``K_n``."""
+    return nx.complete_graph(n)
+
+
+def cycle_graph(n: int) -> nx.Graph:
+    """The cycle ``C_n``."""
+    return nx.cycle_graph(n)
+
+
+def path_graph(n: int) -> nx.Graph:
+    """The path ``P_n``."""
+    return nx.path_graph(n)
+
+
+def star_graph(n: int) -> nx.Graph:
+    """A star with ``n`` nodes total (one hub, ``n - 1`` leaves)."""
+    if n < 1:
+        raise ValueError(f"star needs at least one node, got {n}")
+    return nx.star_graph(n - 1)
+
+
+def grid_graph(rows: int, cols: int) -> nx.Graph:
+    """A ``rows x cols`` 2-D grid."""
+    return _relabel(nx.grid_2d_graph(rows, cols))
+
+
+def gnp(n: int, p: float, seed: int = 0) -> nx.Graph:
+    """Erdos--Renyi ``G(n, p)``."""
+    return nx.gnp_random_graph(n, p, seed=seed)
+
+
+def random_regular(n: int, d: int, seed: int = 0) -> nx.Graph:
+    """A random ``d``-regular graph (``n * d`` must be even)."""
+    return nx.random_regular_graph(d, n, seed=seed)
+
+
+def random_tree(n: int, seed: int = 0) -> nx.Graph:
+    """A uniformly random labeled tree."""
+    if n == 1:
+        return nx.empty_graph(1)
+    if hasattr(nx, "random_labeled_tree"):
+        return nx.random_labeled_tree(n, seed=seed)
+    return nx.random_tree(n, seed=seed)
+
+
+def barabasi_albert(n: int, m: int = 2, seed: int = 0) -> nx.Graph:
+    """A Barabasi--Albert preferential-attachment graph (power-law degrees)."""
+    m = min(m, max(1, n - 1))
+    if n <= m:
+        return nx.complete_graph(n)
+    return nx.barabasi_albert_graph(n, m, seed=seed)
+
+
+def random_geometric(n: int, radius: float = None, seed: int = 0) -> nx.Graph:
+    """A random geometric graph -- the standard sensor-network model.
+
+    The default radius ``sqrt(2 ln n / (pi n))`` sits just above the
+    connectivity threshold, giving the sparse-but-connected topologies that
+    motivate the paper's energy story.
+    """
+    import math
+
+    if radius is None:
+        radius = math.sqrt(2.0 * math.log(max(n, 2)) / (math.pi * n))
+    return nx.random_geometric_graph(n, radius, seed=seed)
+
+
+def complete_bipartite(a: int, b: int) -> nx.Graph:
+    """The complete bipartite graph ``K_{a,b}``."""
+    return _relabel(nx.complete_bipartite_graph(a, b))
+
+
+def caterpillar(n: int, seed: int = 0) -> nx.Graph:
+    """A caterpillar tree: a random spine with pendant legs."""
+    if n <= 2:
+        return nx.path_graph(n)
+    rng = random.Random(seed)
+    spine_len = max(2, n // 2)
+    graph = nx.path_graph(spine_len)
+    for leaf in range(spine_len, n):
+        graph.add_edge(leaf, rng.randrange(spine_len))
+    return graph
+
+
+def disjoint_cliques(count: int, size: int) -> nx.Graph:
+    """``count`` disjoint cliques of ``size`` nodes each."""
+    graph = nx.Graph()
+    for i in range(count):
+        base = i * size
+        graph.add_nodes_from(range(base, base + size))
+        for u in range(base, base + size):
+            for v in range(u + 1, base + size):
+                graph.add_edge(u, v)
+    return graph
+
+
+def hypercube(dimension: int) -> nx.Graph:
+    """The ``dimension``-dimensional hypercube (``2^dimension`` nodes)."""
+    return _relabel(nx.hypercube_graph(dimension))
+
+
+# ----------------------------------------------------------------------
+# The single-knob family registry used by sweeps and benchmarks.
+# ----------------------------------------------------------------------
+
+def _gnp_sparse(n: int, seed: int = 0) -> nx.Graph:
+    """G(n, p) with expected degree ~8 (sparse regime)."""
+    p = min(1.0, 8.0 / max(n - 1, 1))
+    return gnp(n, p, seed=seed)
+
+
+def _gnp_dense(n: int, seed: int = 0) -> nx.Graph:
+    """G(n, 1/2) -- high-degree regime where log(deg) ~ log n."""
+    return gnp(n, 0.5, seed=seed)
+
+
+def _regular4(n: int, seed: int = 0) -> nx.Graph:
+    if n <= 4:
+        return nx.complete_graph(n)
+    if (n * 4) % 2:
+        n += 1
+    return random_regular(n, 4, seed=seed)
+
+
+FAMILIES: Dict[str, Callable[..., nx.Graph]] = {
+    "gnp-sparse": _gnp_sparse,
+    "gnp-dense": _gnp_dense,
+    "regular-4": _regular4,
+    "tree": random_tree,
+    "cycle": lambda n, seed=0: cycle_graph(n),
+    "path": lambda n, seed=0: path_graph(n),
+    "star": lambda n, seed=0: star_graph(n),
+    "complete": lambda n, seed=0: complete_graph(n),
+    "empty": lambda n, seed=0: empty_graph(n),
+    "ba": barabasi_albert,
+    "geometric": random_geometric,
+    "caterpillar": caterpillar,
+}
+
+
+def make_family_graph(family: str, n: int, seed: int = 0) -> nx.Graph:
+    """Build a graph from the named family, checked against the registry."""
+    if family not in FAMILIES:
+        raise KeyError(
+            f"unknown graph family {family!r}; known: {sorted(FAMILIES)}"
+        )
+    return FAMILIES[family](n, seed=seed)
+
+
+def family_names() -> List[str]:
+    """Sorted list of registered family names."""
+    return sorted(FAMILIES)

@@ -1,0 +1,119 @@
+"""Structural graph properties referenced by the paper.
+
+The paper contrasts its bounds with Barenboim--Tzur's ``O(a + log* n)``
+node-averaged bound, where ``a`` is the *arboricity* -- which can be
+``Theta(n)`` in general.  We provide a degeneracy-based arboricity estimate
+(degeneracy is within a factor 2 of arboricity) and the peeling
+``H-partition`` that underlies such algorithms, so experiments can report
+where a graph family sits on that spectrum.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Any, Dict, List, Set
+
+
+def _adjacency(graph: Any) -> Dict[Any, Set[Any]]:
+    if hasattr(graph, "adj"):
+        return {v: set(graph.adj[v]) for v in graph.nodes()}
+    return {v: set(nbrs) for v, nbrs in graph.items()}
+
+
+def max_degree(graph: Any) -> int:
+    """The maximum degree Delta."""
+    adjacency = _adjacency(graph)
+    if not adjacency:
+        return 0
+    return max(len(nbrs) for nbrs in adjacency.values())
+
+
+def average_degree(graph: Any) -> float:
+    """The mean degree."""
+    adjacency = _adjacency(graph)
+    if not adjacency:
+        return 0.0
+    return sum(len(nbrs) for nbrs in adjacency.values()) / len(adjacency)
+
+
+def degeneracy(graph: Any) -> int:
+    """The degeneracy (smallest d such that every subgraph has a node of
+    degree <= d), computed by the standard linear-time peeling."""
+    adjacency = _adjacency(graph)
+    if not adjacency:
+        return 0
+    degrees = {v: len(nbrs) for v, nbrs in adjacency.items()}
+    buckets: Dict[int, Set[Any]] = {}
+    for v, d in degrees.items():
+        buckets.setdefault(d, set()).add(v)
+    removed: Set[Any] = set()
+    result = 0
+    for _ in range(len(adjacency)):
+        d = min(b for b in buckets if buckets[b])
+        result = max(result, d)
+        v = buckets[d].pop()
+        removed.add(v)
+        for u in adjacency[v]:
+            if u in removed:
+                continue
+            buckets[degrees[u]].discard(u)
+            degrees[u] -= 1
+            buckets.setdefault(degrees[u], set()).add(u)
+    return result
+
+
+def arboricity_upper_bound(graph: Any) -> int:
+    """Degeneracy is an upper bound on arboricity (and <= 2a - 1)."""
+    return max(1, degeneracy(graph))
+
+
+def h_partition(graph: Any, epsilon: float = 0.1) -> List[Set[Any]]:
+    """The Barenboim--Elkin H-partition: repeatedly peel all nodes of degree
+    at most ``(2 + epsilon) * a_hat`` where ``a_hat`` is the degeneracy
+    estimate.  Returns the list of layers; their count is ``O(log n)``.
+    """
+    adjacency = _adjacency(graph)
+    if not adjacency:
+        return []
+    threshold = (2.0 + epsilon) * max(1, degeneracy(graph))
+    remaining = {v: set(nbrs) for v, nbrs in adjacency.items()}
+    layers: List[Set[Any]] = []
+    while remaining:
+        layer = {v for v, nbrs in remaining.items() if len(nbrs) <= threshold}
+        if not layer:
+            # Cannot happen when threshold >= 2 * degeneracy, but guard
+            # against epsilon rounding by peeling the minimum-degree node.
+            layer = {min(remaining, key=lambda v: len(remaining[v]))}
+        layers.append(layer)
+        for v in layer:
+            for u in remaining[v]:
+                if u not in layer:
+                    remaining[u].discard(v)
+            del remaining[v]
+    return layers
+
+
+def log_star(n: float) -> int:
+    """The iterated logarithm ``log* n`` (base 2)."""
+    if n < 0:
+        raise ValueError(f"log* undefined for negative values, got {n}")
+    count = 0
+    while n > 1:
+        n = math.log2(n)
+        count += 1
+    return count
+
+
+def graph_stats(graph: Any) -> Dict[str, float]:
+    """A flat summary used by sweeps: n, m, Delta, degeneracy, etc."""
+    adjacency = _adjacency(graph)
+    n = len(adjacency)
+    m = sum(len(nbrs) for nbrs in adjacency.values()) // 2
+    return {
+        "n": n,
+        "edges": m,
+        "max_degree": max_degree(graph),
+        "average_degree": average_degree(graph),
+        "degeneracy": degeneracy(graph),
+        "isolated": sum(1 for nbrs in adjacency.values() if not nbrs),
+    }

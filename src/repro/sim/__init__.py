@@ -1,0 +1,60 @@
+"""Sleeping-model CONGEST simulator (the paper's model, executable).
+
+Public surface:
+
+* :class:`Simulator` / :func:`simulate` -- run a protocol over a graph;
+* :class:`Protocol` / :class:`MISProtocol` -- per-node behaviour as
+  generators;
+* :class:`SendAndReceive`, :class:`Sleep`, :data:`LISTEN` -- the action
+  vocabulary;
+* :class:`RunResult`, :class:`NodeStats` -- the paper's complexity measures;
+* :class:`EnergyModel` -- energy accounting for the sensor-network story;
+* :class:`Trace` / :func:`make_trace` -- optional execution tracing.
+"""
+
+from .actions import LISTEN, Action, SendAndReceive, Sleep
+from .context import NodeContext
+from .energy import DEFAULT_MODEL, IDEAL_MODEL, EnergyModel
+from .errors import (
+    CongestViolationError,
+    MaxRoundsExceededError,
+    ProtocolError,
+    SimulationError,
+)
+from .messages import Message, payload_bits
+from .metrics import NodeStats, RunResult
+from .node import NodeRuntime, NodeState
+from .network import Simulator, node_rng, normalize_graph, simulate
+from .protocol import MISProtocol, Protocol
+from .trace import NULL_TRACE, Trace, TraceEvent, make_trace
+
+__all__ = [
+    "Action",
+    "CongestViolationError",
+    "DEFAULT_MODEL",
+    "EnergyModel",
+    "IDEAL_MODEL",
+    "LISTEN",
+    "MaxRoundsExceededError",
+    "Message",
+    "MISProtocol",
+    "NULL_TRACE",
+    "NodeContext",
+    "NodeRuntime",
+    "NodeState",
+    "NodeStats",
+    "Protocol",
+    "ProtocolError",
+    "RunResult",
+    "SendAndReceive",
+    "SimulationError",
+    "Simulator",
+    "Sleep",
+    "Trace",
+    "TraceEvent",
+    "make_trace",
+    "node_rng",
+    "normalize_graph",
+    "payload_bits",
+    "simulate",
+]

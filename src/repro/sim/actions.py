@@ -1,0 +1,49 @@
+"""Actions a protocol generator may yield to the simulator.
+
+A protocol is a Python generator (see :class:`repro.sim.protocol.Protocol`).
+Each ``yield`` hands control to the simulator together with an *action*:
+
+* :class:`SendAndReceive` -- the node is **awake** for exactly one round.  It
+  sends the given messages and the ``yield`` expression evaluates to the
+  inbox for that round: a ``dict`` mapping sender id to payload, containing
+  exactly the messages sent to this node this round by *awake* neighbors.
+* :class:`Sleep` -- the node is **asleep** for ``duration`` rounds.  It sends
+  nothing, receives nothing (messages addressed to it are dropped), and pays
+  no awake cost.  ``Sleep(0)`` is a no-op that consumes no rounds, which the
+  recursive algorithms rely on for their ``T(0) = 0`` base case.
+
+Returning from the generator **terminates** the node: it takes no further
+part in the computation and messages sent to it are dropped, matching the
+Barenboim--Tzur termination convention used by the paper.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, Dict, Union
+
+
+@dataclass(frozen=True)
+class SendAndReceive:
+    """Be awake for one round; send ``messages`` and receive the round's inbox.
+
+    ``messages`` maps neighbor id to an arbitrary (CONGEST-encodable) payload.
+    An empty mapping means the node is awake but silent -- i.e. *idle
+    listening*, which the paper's energy motivation treats as nearly as
+    expensive as transmitting.
+    """
+
+    messages: Dict[int, Any] = field(default_factory=dict)
+
+
+@dataclass(frozen=True)
+class Sleep:
+    """Sleep for ``duration`` rounds (``duration >= 0``)."""
+
+    duration: int
+
+
+Action = Union[SendAndReceive, Sleep]
+
+#: Convenience instance: awake and silent for one round.
+LISTEN = SendAndReceive({})

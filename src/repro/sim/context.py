@@ -1,0 +1,78 @@
+"""The per-node view of the network handed to protocols.
+
+A :class:`NodeContext` gives a protocol exactly the local knowledge the
+paper's model allows (Section 1.2): its own id, its ports/neighbors, the
+network size ``n``, a private source of randomness, and the current round
+number (nodes know the round whenever they are awake).  It also carries the
+bookkeeping hooks (`report_decision`, `trace`) that feed the metrics without
+letting protocols see global state.
+"""
+
+from __future__ import annotations
+
+import random
+from typing import Tuple
+
+from .metrics import NodeStats
+from .trace import Trace
+
+
+class NodeContext:
+    """Local knowledge and bookkeeping hooks for one node."""
+
+    __slots__ = ("node_id", "neighbors", "n", "rng", "_stats", "_trace", "_clock")
+
+    def __init__(
+        self,
+        node_id: int,
+        neighbors: Tuple[int, ...],
+        n: int,
+        rng: random.Random,
+        stats: NodeStats,
+        trace: Trace,
+        clock,
+    ):
+        self.node_id = node_id
+        self.neighbors = neighbors
+        self.n = n
+        self.rng = rng
+        self._stats = stats
+        self._trace = trace
+        self._clock = clock
+
+    @property
+    def degree(self) -> int:
+        """Number of ports (incident edges) of this node."""
+        return len(self.neighbors)
+
+    def current_round(self) -> int:
+        """The round number of the node's next awake action.
+
+        Inside a protocol this behaves like reading the synchronized clock:
+        after processing the inbox of round ``r`` it reads ``r + 1``.
+        """
+        return self._clock()
+
+    def report_decision(self, value: object) -> None:
+        """Record that this node has committed its output.
+
+        Only the first call is recorded; the paper's node-averaged measures
+        count rounds until a node's status is fixed, and status is never
+        changed once set.
+        """
+        if self._stats.decision_round is None:
+            self._stats.decision_round = self._clock()
+            self._stats.awake_at_decision = self._stats.awake_rounds
+            self._trace.record(
+                self._clock(), self.node_id, "decide", value=value
+            )
+
+    @property
+    def decided(self) -> bool:
+        """Whether this node has already reported a decision."""
+        return self._stats.decision_round is not None
+
+    def trace(self, kind: str, **data) -> None:
+        """Record a protocol-defined trace event (no-op when disabled)."""
+        if self._trace.enabled:
+            self._trace.record(self._clock(), self.node_id, kind, **data)

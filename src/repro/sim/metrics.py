@@ -1,0 +1,174 @@
+"""Per-node statistics and run-level results with the paper's four measures.
+
+The paper (Section 1.2) defines four complexity measures for an execution:
+
+* **node-averaged awake complexity** -- mean over nodes of the number of
+  rounds spent in the awake state before finishing;
+* **worst-case awake complexity** -- max over nodes of awake rounds;
+* **worst-case round complexity** -- wall-clock rounds (sleeping included)
+  until the last node finishes;
+* **node-averaged round complexity** -- mean over nodes of the wall-clock
+  round at which each node finishes.
+
+:class:`RunResult` exposes all four as properties computed from the
+:class:`NodeStats` collected by the simulator.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, Dict, FrozenSet, Optional
+
+
+@dataclass
+class NodeStats:
+    """Counters for a single node across one execution."""
+
+    node_id: int
+    #: rounds in which the node was awake (sent/received/listened).
+    awake_rounds: int = 0
+    #: rounds in which the node was asleep.
+    sleep_rounds: int = 0
+    #: awake rounds in which the node sent at least one message.
+    tx_rounds: int = 0
+    #: awake rounds in which the node sent nothing but received something.
+    rx_rounds: int = 0
+    #: awake rounds in which the node neither sent nor received (idle listen).
+    idle_rounds: int = 0
+    #: total messages sent.
+    messages_sent: int = 0
+    #: total payload bits sent.
+    bits_sent: int = 0
+    #: total messages received (only deliveries while awake).
+    messages_received: int = 0
+    #: wall-clock round count when the node first reported a decision.
+    decision_round: Optional[int] = None
+    #: awake rounds spent when the node first reported a decision.
+    awake_at_decision: Optional[int] = None
+    #: wall-clock round count when the node's generator returned.
+    finish_round: Optional[int] = None
+    #: awake rounds spent when the node's generator returned.
+    awake_at_finish: Optional[int] = None
+
+    @property
+    def finished(self) -> bool:
+        """Whether the node terminated during the run."""
+        return self.finish_round is not None
+
+
+@dataclass
+class RunResult:
+    """Everything measured about one simulated execution."""
+
+    n: int
+    #: wall-clock rounds elapsed when the last node finished.
+    rounds: int
+    seed: Optional[int]
+    node_stats: Dict[int, NodeStats]
+    #: per-node protocol outputs (``protocol.output()``).
+    outputs: Dict[int, Any]
+    #: the protocol instances, for white-box inspection in analyses/tests.
+    protocols: Dict[int, Any] = field(repr=False, default_factory=dict)
+    #: the simulated graph (adjacency mapping), for validation convenience.
+    adjacency: Dict[int, tuple] = field(repr=False, default_factory=dict)
+
+    # ------------------------------------------------------------------
+    # The paper's four complexity measures (Section 1.2).
+    # ------------------------------------------------------------------
+
+    @property
+    def node_averaged_awake_complexity(self) -> float:
+        """Mean awake rounds per node -- the paper's headline measure."""
+        if not self.node_stats:
+            return 0.0
+        return sum(s.awake_rounds for s in self.node_stats.values()) / len(
+            self.node_stats
+        )
+
+    @property
+    def worst_case_awake_complexity(self) -> int:
+        """Max awake rounds over all nodes."""
+        if not self.node_stats:
+            return 0
+        return max(s.awake_rounds for s in self.node_stats.values())
+
+    @property
+    def worst_case_round_complexity(self) -> int:
+        """Wall-clock rounds until the last node finished."""
+        return self.rounds
+
+    @property
+    def node_averaged_round_complexity(self) -> float:
+        """Mean wall-clock finish round over all nodes."""
+        if not self.node_stats:
+            return 0.0
+        total = 0
+        for stats in self.node_stats.values():
+            total += stats.finish_round if stats.finish_round is not None else self.rounds
+        return total / len(self.node_stats)
+
+    # ------------------------------------------------------------------
+    # Message and decision statistics.
+    # ------------------------------------------------------------------
+
+    @property
+    def total_messages(self) -> int:
+        """Total messages sent across all nodes."""
+        return sum(s.messages_sent for s in self.node_stats.values())
+
+    @property
+    def total_bits(self) -> int:
+        """Total payload bits sent across all nodes."""
+        return sum(s.bits_sent for s in self.node_stats.values())
+
+    @property
+    def total_awake_rounds(self) -> int:
+        """Sum of awake rounds over all nodes (the paper's total cost C)."""
+        return sum(s.awake_rounds for s in self.node_stats.values())
+
+    @property
+    def node_averaged_decision_round(self) -> float:
+        """Mean wall-clock round at which nodes decided their output.
+
+        This is Feuilloley's notion of average running time: time until a
+        node *commits* its output, even if it participates afterwards.
+        Nodes that never reported a decision count as deciding at the end.
+        """
+        if not self.node_stats:
+            return 0.0
+        total = 0
+        for stats in self.node_stats.values():
+            round_ = stats.decision_round
+            total += round_ if round_ is not None else self.rounds
+        return total / len(self.node_stats)
+
+    @property
+    def all_finished(self) -> bool:
+        """Whether every node terminated."""
+        return all(s.finished for s in self.node_stats.values())
+
+    # ------------------------------------------------------------------
+    # MIS convenience accessors.
+    # ------------------------------------------------------------------
+
+    @property
+    def mis(self) -> FrozenSet[int]:
+        """The set of nodes whose output is ``True`` (MIS membership)."""
+        return frozenset(v for v, out in self.outputs.items() if out is True)
+
+    @property
+    def undecided(self) -> FrozenSet[int]:
+        """Nodes whose output is ``None`` (Monte Carlo failures)."""
+        return frozenset(v for v, out in self.outputs.items() if out is None)
+
+    def summary(self) -> Dict[str, float]:
+        """A flat dict of the headline measures, handy for tables and CSVs."""
+        return {
+            "n": self.n,
+            "node_averaged_awake": self.node_averaged_awake_complexity,
+            "worst_case_awake": self.worst_case_awake_complexity,
+            "node_averaged_rounds": self.node_averaged_round_complexity,
+            "worst_case_rounds": self.worst_case_round_complexity,
+            "total_messages": self.total_messages,
+            "total_bits": self.total_bits,
+        }

@@ -1,0 +1,130 @@
+"""Node runtime: drives one protocol generator through its lifecycle.
+
+A node is in exactly one of three states (the paper's sleeping model,
+Section 1.2):
+
+* ``AWAKE``    -- it has a pending :class:`SendAndReceive` for some round;
+* ``SLEEPING`` -- it yielded :class:`Sleep` and wakes at ``wake_round``;
+* ``TERMINATED`` -- its generator returned.
+
+Timing convention: ``advance(value, next_round)`` resumes the generator and
+interprets the next yielded action as applying *from* ``next_round``.  A node
+that yields ``Sleep(d)`` after acting in round ``r`` is asleep during rounds
+``r+1 .. r+d`` and performs its next action in round ``r+d+1``.  ``Sleep(0)``
+consumes no rounds.  ``finish_round`` is the number of rounds that had fully
+elapsed when the generator returned.
+"""
+
+from __future__ import annotations
+
+from enum import Enum
+from typing import Any, Generator, Optional
+
+from .actions import Action, SendAndReceive, Sleep
+from .context import NodeContext
+from .errors import ProtocolError
+from .metrics import NodeStats
+from .protocol import Protocol
+from .trace import Trace
+
+
+class NodeState(Enum):
+    """Lifecycle state of a node runtime."""
+
+    AWAKE = "awake"
+    SLEEPING = "sleeping"
+    TERMINATED = "terminated"
+
+
+class NodeRuntime:
+    """Owns one node's generator, state, and statistics."""
+
+    __slots__ = (
+        "node_id",
+        "protocol",
+        "ctx",
+        "stats",
+        "state",
+        "pending",
+        "wake_round",
+        "_gen",
+        "_trace",
+    )
+
+    def __init__(
+        self,
+        node_id: int,
+        protocol: Protocol,
+        ctx: NodeContext,
+        stats: NodeStats,
+        trace: Trace,
+    ):
+        self.node_id = node_id
+        self.protocol = protocol
+        self.ctx = ctx
+        self.stats = stats
+        self.state = NodeState.AWAKE
+        #: the SendAndReceive to execute at the current/next round (if AWAKE).
+        self.pending: Optional[SendAndReceive] = None
+        #: the round at which the next action executes (if SLEEPING).
+        self.wake_round: int = 0
+        self._gen: Optional[Generator[Action, Any, None]] = None
+        self._trace = trace
+
+    def start(self) -> None:
+        """Create the generator and obtain the action for round 0."""
+        self._gen = self.protocol.run(self.ctx)
+        self.advance(None, 0)
+
+    def advance(self, value: Any, next_round: int) -> None:
+        """Resume the generator; its next action applies from ``next_round``.
+
+        Zero-length sleeps are resolved immediately so that a chain of
+        ``Sleep(0)`` yields (the recursion's ``T(0) = 0`` base case) costs
+        nothing.
+        """
+        assert self._gen is not None, "advance() before start()"
+        while True:
+            try:
+                action = self._gen.send(value)
+            except StopIteration:
+                self._terminate(next_round)
+                return
+            value = None
+            if isinstance(action, SendAndReceive):
+                self.state = NodeState.AWAKE
+                self.pending = action
+                return
+            if isinstance(action, Sleep):
+                duration = action.duration
+                if not isinstance(duration, int):
+                    raise ProtocolError(
+                        f"node {self.node_id} slept for non-integer "
+                        f"duration {duration!r}"
+                    )
+                if duration < 0:
+                    raise ProtocolError(
+                        f"node {self.node_id} slept for negative "
+                        f"duration {duration}"
+                    )
+                if duration == 0:
+                    continue
+                self.state = NodeState.SLEEPING
+                self.pending = None
+                self.wake_round = next_round + duration
+                self.stats.sleep_rounds += duration
+                self._trace.record(
+                    next_round, self.node_id, "sleep", until=self.wake_round
+                )
+                return
+            raise ProtocolError(
+                f"node {self.node_id} yielded unknown action {action!r}"
+            )
+
+    def _terminate(self, at_round: int) -> None:
+        self.state = NodeState.TERMINATED
+        self.pending = None
+        self._gen = None
+        self.stats.finish_round = at_round
+        self.stats.awake_at_finish = self.stats.awake_rounds
+        self._trace.record(at_round, self.node_id, "terminate")

@@ -1,0 +1,68 @@
+"""Protocol base class.
+
+A protocol describes the behaviour of a single node as a generator: the body
+of :meth:`Protocol.run` is a direct transcription of per-node pseudocode.
+See :mod:`repro.sim.actions` for the yield vocabulary.
+
+Example -- a node that is awake for one round, says hello to every neighbor,
+then sleeps five rounds and terminates::
+
+    class Hello(Protocol):
+        def run(self, ctx):
+            inbox = yield SendAndReceive({u: "hi" for u in ctx.neighbors})
+            self.heard = sorted(inbox)
+            yield Sleep(5)
+
+        def output(self):
+            return self.heard
+"""
+
+from __future__ import annotations
+
+from abc import ABC, abstractmethod
+from typing import Any, Generator, Optional
+
+from .actions import Action
+from .context import NodeContext
+
+
+class Protocol(ABC):
+    """Behaviour of one node, written as a generator."""
+
+    @abstractmethod
+    def run(self, ctx: NodeContext) -> Generator[Action, Any, None]:
+        """Yield actions; return to terminate the node."""
+
+    def output(self) -> Any:
+        """The node's committed output after the run (``None`` by default)."""
+        return None
+
+
+class MISProtocol(Protocol):
+    """Base class for MIS protocols.
+
+    Subclasses maintain ``self.in_mis`` with the paper's three-valued
+    convention: ``None`` (unknown), ``True`` (in the MIS), ``False`` (not in
+    the MIS).  Once set to a boolean it must never change.
+    """
+
+    def __init__(self) -> None:
+        self.in_mis: Optional[bool] = None
+        #: the mechanism that fixed ``in_mis`` (e.g. ``"isolated"``,
+        #: ``"eliminated"``, ``"base_greedy_join"``), for analyses.
+        self.decided_how: Optional[str] = None
+
+    def output(self) -> Optional[bool]:
+        return self.in_mis
+
+    def _decide(self, ctx: NodeContext, value: bool, how: str) -> None:
+        """Set ``in_mis`` exactly once and record the decision."""
+        if self.in_mis is not None:
+            raise AssertionError(
+                f"node {ctx.node_id} re-deciding in_mis "
+                f"({self.in_mis} -> {value} via {how})"
+            )
+        self.in_mis = value
+        self.decided_how = how
+        ctx.report_decision(value)
+        ctx.trace("mis_decision", value=value, how=how)

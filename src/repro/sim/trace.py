@@ -1,0 +1,76 @@
+"""Optional execution tracing.
+
+Tracing is off by default (the :class:`NullTrace` singleton) because the
+recursive algorithms generate a lot of events.  Enable it by passing a
+:class:`Trace` to :class:`repro.sim.network.Simulator` when you want to
+inspect an execution -- e.g. to reconstruct the recursion tree of Figure 1.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Any, Dict, List
+
+
+@dataclass(frozen=True)
+class TraceEvent:
+    """One recorded event: ``(round, node, kind, data)``."""
+
+    round: int
+    node: int
+    kind: str
+    data: Dict[str, Any]
+
+
+class Trace:
+    """A bounded in-memory event log.
+
+    ``max_events`` guards against runaway memory use; once the bound is hit
+    further events are silently dropped and :attr:`truncated` is set.
+    """
+
+    enabled = True
+
+    def __init__(self, max_events: int = 1_000_000):
+        self.max_events = max_events
+        self.events: List[TraceEvent] = []
+        self.truncated = False
+
+    def record(self, round_: int, node: int, kind: str, **data: Any) -> None:
+        """Append an event unless the bound has been reached."""
+        if len(self.events) >= self.max_events:
+            self.truncated = True
+            return
+        self.events.append(TraceEvent(round_, node, kind, data))
+
+    def by_kind(self, kind: str) -> List[TraceEvent]:
+        """All events of the given kind, in order."""
+        return [e for e in self.events if e.kind == kind]
+
+    def by_node(self, node: int) -> List[TraceEvent]:
+        """All events for the given node, in order."""
+        return [e for e in self.events if e.node == node]
+
+    def __len__(self) -> int:
+        return len(self.events)
+
+
+class NullTrace(Trace):
+    """A no-op trace used when tracing is disabled."""
+
+    enabled = False
+
+    def __init__(self):
+        super().__init__(max_events=0)
+
+    def record(self, round_: int, node: int, kind: str, **data: Any) -> None:
+        pass
+
+
+#: Shared disabled-trace instance.
+NULL_TRACE = NullTrace()
+
+
+def make_trace(enabled: bool, max_events: int = 1_000_000) -> Trace:
+    """Return a :class:`Trace` if ``enabled`` else the shared null trace."""
+    return Trace(max_events=max_events) if enabled else NULL_TRACE

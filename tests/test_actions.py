@@ -1,0 +1,35 @@
+"""Unit tests for the protocol action vocabulary."""
+
+from repro.sim.actions import LISTEN, SendAndReceive, Sleep
+
+
+class TestSendAndReceive:
+    def test_holds_messages(self):
+        action = SendAndReceive({1: "hi", 2: 42})
+        assert action.messages == {1: "hi", 2: 42}
+
+    def test_default_is_empty(self):
+        assert SendAndReceive().messages == {}
+
+    def test_listen_is_empty_send(self):
+        assert isinstance(LISTEN, SendAndReceive)
+        assert LISTEN.messages == {}
+
+    def test_frozen(self):
+        import pytest
+
+        action = SendAndReceive({1: "x"})
+        with pytest.raises(AttributeError):
+            action.messages = {}
+
+
+class TestSleep:
+    def test_duration(self):
+        assert Sleep(7).duration == 7
+
+    def test_zero_duration_allowed(self):
+        assert Sleep(0).duration == 0
+
+    def test_equality(self):
+        assert Sleep(3) == Sleep(3)
+        assert Sleep(3) != Sleep(4)

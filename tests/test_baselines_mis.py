@@ -1,0 +1,149 @@
+"""Tests for the traditional-model MIS baselines: Luby, greedy, Ghaffari."""
+
+import networkx as nx
+import pytest
+
+from repro.baselines import GhaffariMIS, LubyMIS
+from repro.graphs import assert_valid_mis
+from repro.sim import Simulator
+
+from conftest import run_mis
+
+ALGORITHMS = ["luby", "greedy", "ghaffari"]
+
+
+class TestCorrectness:
+    @pytest.mark.parametrize("algorithm", ALGORITHMS)
+    def test_valid_mis_on_corner_cases(self, small_graph, algorithm):
+        result = run_mis(small_graph, algorithm, seed=1)
+        assert_valid_mis(small_graph, result.mis)
+
+    @pytest.mark.parametrize("algorithm", ALGORITHMS)
+    @pytest.mark.parametrize("seed", range(5))
+    def test_valid_mis_many_seeds(self, gnp60, algorithm, seed):
+        result = run_mis(gnp60, algorithm, seed=seed)
+        assert_valid_mis(gnp60, result.mis)
+
+    @pytest.mark.parametrize("algorithm", ALGORITHMS)
+    def test_isolated_nodes_join_immediately(self, algorithm):
+        result = run_mis(nx.empty_graph(5), algorithm, seed=0)
+        assert result.mis == frozenset(range(5))
+        assert result.rounds == 0  # decided before any communication
+
+    @pytest.mark.parametrize("algorithm", ALGORITHMS)
+    def test_complete_graph_one_winner(self, algorithm):
+        result = run_mis(nx.complete_graph(25), algorithm, seed=2)
+        assert len(result.mis) == 1
+
+
+class TestTraditionalModel:
+    @pytest.mark.parametrize("algorithm", ALGORITHMS)
+    def test_nodes_never_sleep(self, gnp60, algorithm):
+        result = run_mis(gnp60, algorithm, seed=3)
+        assert all(
+            s.sleep_rounds == 0 for s in result.node_stats.values()
+        )
+
+    @pytest.mark.parametrize("algorithm", ALGORITHMS)
+    def test_awake_equals_finish_round(self, gnp60, algorithm):
+        # In the traditional model awake time IS the finish time.
+        result = run_mis(gnp60, algorithm, seed=3)
+        for stats in result.node_stats.values():
+            assert stats.awake_rounds == stats.finish_round
+
+    @pytest.mark.parametrize("algorithm", ALGORITHMS)
+    def test_terminate_after_announcing(self, gnp60, algorithm):
+        # Barenboim--Tzur convention: decide, announce, terminate; so the
+        # finish round trails the decision round by at most the announce
+        # rounds of one phase.
+        result = run_mis(gnp60, algorithm, seed=3)
+        for stats in result.node_stats.values():
+            assert stats.decision_round is not None
+            assert stats.finish_round - stats.decision_round <= 2
+
+
+class TestPhaseStructure:
+    def test_luby_redraws_priorities(self, gnp60):
+        # Two Luby runs from the same seed agree; but the per-phase values
+        # differ across phases (statistically certain on 60 nodes).
+        result = run_mis(gnp60, "luby", seed=4)
+        assert_valid_mis(gnp60, result.mis)
+        max_phases = max(
+            p.phases_run for p in result.protocols.values()
+        )
+        assert max_phases >= 1
+        assert result.rounds == 3 * max_phases or result.rounds == 0
+
+    def test_greedy_rank_fixed(self, gnp60):
+        result = run_mis(gnp60, "greedy", seed=4)
+        for protocol in result.protocols.values():
+            if protocol.phases_run:
+                assert protocol.rank is not None
+
+    def test_greedy_is_lexicographically_first(self, gnp60):
+        # The distributed greedy must equal sequential greedy on its ranks.
+        from repro.baselines.seq_greedy import lexicographically_first_mis
+
+        result = run_mis(gnp60, "greedy", seed=4)
+        priorities = {
+            v: p.rank if p.rank is not None else (-1, v)
+            for v, p in result.protocols.items()
+        }
+        expected = lexicographically_first_mis(gnp60, priorities)
+        assert set(result.mis) == expected
+
+    def test_rounds_are_three_per_phase(self, gnp60):
+        result = run_mis(gnp60, "greedy", seed=5)
+        assert result.rounds % 3 == 0
+
+    def test_ghaffari_desire_levels_move(self):
+        # On a clique, effective degrees exceed 2 so desire levels drop;
+        # the algorithm must still finish.
+        graph = nx.complete_graph(30)
+        result = run_mis(graph, "ghaffari", seed=1)
+        assert_valid_mis(graph, result.mis)
+
+
+class TestMaxPhases:
+    def test_give_up_leaves_undecided(self):
+        graph = nx.complete_graph(40)
+        result = Simulator(
+            graph, lambda v: GhaffariMIS(max_phases=1), seed=0
+        ).run()
+        assert len(result.undecided) > 0
+
+    def test_max_phases_validation(self):
+        with pytest.raises(ValueError):
+            LubyMIS(max_phases=0)
+        with pytest.raises(ValueError):
+            GhaffariMIS(max_phases=0)
+
+    def test_luby_with_generous_budget_finishes(self, gnp60):
+        result = Simulator(
+            gnp60, lambda v: LubyMIS(max_phases=200), seed=1
+        ).run()
+        assert result.undecided == frozenset()
+
+
+class TestScaling:
+    @pytest.mark.parametrize("algorithm", ALGORITHMS)
+    def test_rounds_grow_slowly(self, algorithm):
+        # O(log n) phases w.h.p.: going from n=50 to n=400 should not even
+        # double the round count on sparse random graphs.
+        small = run_mis(
+            nx.gnp_random_graph(50, 8 / 50, seed=1), algorithm, seed=1
+        )
+        large = run_mis(
+            nx.gnp_random_graph(400, 8 / 400, seed=1), algorithm, seed=1
+        )
+        assert large.rounds <= max(3, 3 * small.rounds)
+
+    def test_congest_budget(self, gnp60):
+        import math
+
+        limit = 64 * math.ceil(math.log2(60))
+        for algorithm in ALGORITHMS:
+            result = run_mis(
+                gnp60, algorithm, seed=2, congest_bit_limit=limit
+            )
+            assert_valid_mis(gnp60, result.mis)

@@ -1,0 +1,128 @@
+"""Tests for the beeping-model MIS extension."""
+
+import math
+
+import networkx as nx
+import pytest
+
+from repro.extensions.beeping import BeepingMIS
+from repro.graphs import assert_valid_mis
+from repro.sim import Simulator
+
+
+def run_beeping(graph, seed=0, congest_bit_limit=None, **kwargs):
+    return Simulator(
+        graph,
+        lambda v: BeepingMIS(**kwargs),
+        seed=seed,
+        congest_bit_limit=congest_bit_limit,
+    ).run()
+
+
+class TestCorrectness:
+    @pytest.mark.parametrize(
+        "graph_builder",
+        [
+            lambda: nx.empty_graph(5),
+            lambda: nx.path_graph(10),
+            lambda: nx.cycle_graph(9),
+            lambda: nx.complete_graph(12),
+            lambda: nx.star_graph(8),
+            lambda: nx.gnp_random_graph(40, 0.15, seed=3),
+            lambda: nx.disjoint_union(nx.cycle_graph(5), nx.complete_graph(4)),
+        ],
+        ids=["empty", "path", "cycle", "complete", "star", "gnp", "components"],
+    )
+    def test_valid_mis(self, graph_builder):
+        graph = graph_builder()
+        result = run_beeping(graph, seed=7)
+        assert_valid_mis(graph, result.mis)
+
+    @pytest.mark.parametrize("seed", range(6))
+    def test_valid_mis_many_seeds(self, gnp60, seed):
+        result = run_beeping(gnp60, seed=seed)
+        assert_valid_mis(gnp60, result.mis)
+
+    def test_isolated_decides_with_zero_rounds(self):
+        result = run_beeping(nx.empty_graph(3), seed=1)
+        assert result.mis == frozenset({0, 1, 2})
+        assert result.rounds == 0
+
+    def test_every_node_decides(self, gnp60):
+        result = run_beeping(gnp60, seed=2)
+        assert result.undecided == frozenset()
+
+
+class TestBeepingDiscipline:
+    def test_messages_are_single_beeps(self, gnp60):
+        # One carrier-sense bit per message: the CONGEST limit can be set
+        # to the minimum payload size and everything still works.
+        result = run_beeping(gnp60, seed=3, congest_bit_limit=2)
+        assert_valid_mis(gnp60, result.mis)
+
+    def test_nodes_never_sleep(self, gnp60):
+        result = run_beeping(gnp60, seed=3)
+        assert all(s.sleep_rounds == 0 for s in result.node_stats.values())
+
+    def test_phase_length(self):
+        # A clique decides in exactly one phase: B contention rounds plus
+        # the JOIN round.
+        n = 16
+        graph = nx.complete_graph(n)
+        result = run_beeping(graph, seed=4)
+        bits = math.ceil(4 * math.log2(n))
+        assert result.rounds == bits + 1
+        assert len(result.mis) == 1
+
+
+class TestParameters:
+    def test_rank_bits_override(self):
+        graph = nx.complete_graph(6)
+        result = run_beeping(graph, seed=5, rank_bits=30)
+        assert result.rounds == 31
+        assert_valid_mis(graph, result.mis)
+
+    def test_tiny_ranks_can_tie_and_fail(self):
+        # 1-bit ranks collide constantly: some seed must produce an
+        # invalid MIS (two adjacent winners), which validation catches.
+        from repro.graphs import is_maximal_independent_set
+
+        graph = nx.complete_graph(10)
+        outcomes = [
+            is_maximal_independent_set(
+                graph, run_beeping(graph, seed=seed, rank_bits=1).mis
+            )
+            for seed in range(12)
+        ]
+        assert not all(outcomes)
+
+    def test_max_phases_gives_up(self):
+        graph = nx.cycle_graph(30)
+        result = run_beeping(graph, seed=6, max_phases=1)
+        # One phase cannot decide a long cycle completely.
+        assert len(result.undecided) > 0
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            BeepingMIS(rank_bits=0)
+        with pytest.raises(ValueError):
+            BeepingMIS(max_phases=0)
+
+
+class TestAwakeContrast:
+    def test_beeping_awake_grows_with_log_n(self):
+        # Every live node is awake through whole Theta(log n)-round
+        # phases: node-averaged awake is at least one phase, i.e. already
+        # larger than the sleeping algorithms' O(1) total at modest n.
+        graph = nx.gnp_random_graph(100, 0.08, seed=8)
+        beeping = run_beeping(graph, seed=8)
+        bits = math.ceil(4 * math.log2(100))
+        assert beeping.node_averaged_awake_complexity >= bits + 1
+
+        from repro.api import solve_mis
+
+        sleeping = solve_mis(graph, algorithm="fast-sleeping", seed=8)
+        assert (
+            sleeping.node_averaged_awake_complexity
+            < beeping.node_averaged_awake_complexity
+        )

@@ -1,0 +1,94 @@
+"""Tests for the command-line interface."""
+
+import pytest
+
+from repro.cli import build_parser, main
+
+
+class TestParser:
+    def test_requires_command(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args([])
+
+    def test_run_defaults(self):
+        args = build_parser().parse_args(["run"])
+        assert args.algorithm == "fast-sleeping"
+        assert args.n == 128
+
+    def test_sizes_parsing(self):
+        args = build_parser().parse_args(["sweep", "--sizes", "8,16,32"])
+        assert args.sizes == [8, 16, 32]
+
+    def test_bad_sizes_rejected(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["sweep", "--sizes", "8,x"])
+
+    def test_unknown_algorithm_rejected(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["run", "--algorithm", "nope"])
+
+
+class TestCommands:
+    def test_run(self, capsys):
+        assert main(["run", "--n", "24", "--seed", "1"]) == 0
+        out = capsys.readouterr().out
+        assert "MIS size" in out
+        assert "valid MIS          : True" in out
+
+    def test_run_luby(self, capsys):
+        assert main(["run", "--algorithm", "luby", "--n", "24"]) == 0
+        assert "luby" in capsys.readouterr().out
+
+    def test_sweep(self, capsys):
+        code = main(
+            [
+                "sweep",
+                "--algorithm",
+                "luby",
+                "--sizes",
+                "12,24",
+                "--trials",
+                "2",
+            ]
+        )
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "mean" in out
+
+    def test_table1(self, capsys):
+        code = main(
+            ["table1", "--sizes", "12,24", "--trials", "1", "--family", "cycle"]
+        )
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "node_averaged_awake" in out
+        assert "O(1)" in out
+
+    def test_table1_markdown(self, capsys):
+        main(
+            [
+                "table1",
+                "--sizes",
+                "12",
+                "--trials",
+                "1",
+                "--family",
+                "cycle",
+                "--markdown",
+            ]
+        )
+        assert "| algorithm |" in capsys.readouterr().out
+
+    def test_tree(self, capsys):
+        code = main(
+            ["tree", "--n", "16", "--algorithm", "sleeping", "--max-depth", "2"]
+        )
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "root k=" in out
+
+    def test_energy(self, capsys):
+        code = main(["energy", "--n", "32", "--family", "cycle"])
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "fast-sleeping" in out

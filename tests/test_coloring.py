@@ -1,0 +1,71 @@
+"""Tests for Luby's (Delta+1)-coloring baseline."""
+
+import networkx as nx
+import pytest
+
+from repro.baselines import LubyColoring
+from repro.graphs import coloring_palette_size, is_proper_coloring
+from repro.sim import Simulator
+
+
+def run_coloring(graph, seed=0, **kwargs):
+    return Simulator(graph, lambda v: LubyColoring(**kwargs), seed=seed).run()
+
+
+class TestCorrectness:
+    @pytest.mark.parametrize(
+        "graph_builder",
+        [
+            lambda: nx.empty_graph(5),
+            lambda: nx.path_graph(10),
+            lambda: nx.cycle_graph(9),
+            lambda: nx.complete_graph(12),
+            lambda: nx.star_graph(14),
+            lambda: nx.gnp_random_graph(50, 0.1, seed=2),
+        ],
+        ids=["empty", "path", "cycle", "complete", "star", "gnp"],
+    )
+    def test_proper_coloring(self, graph_builder):
+        graph = graph_builder()
+        result = run_coloring(graph, seed=3)
+        assert is_proper_coloring(graph, result.outputs)
+
+    def test_palette_bound_per_node(self):
+        # Node v's color is drawn from {0..deg(v)}: a (Delta+1)-coloring
+        # with the stronger per-node (deg+1) bound.
+        graph = nx.gnp_random_graph(40, 0.15, seed=5)
+        result = run_coloring(graph, seed=5)
+        for v, color in result.outputs.items():
+            assert 0 <= color <= graph.degree(v)
+
+    def test_complete_graph_uses_all_colors(self):
+        graph = nx.complete_graph(8)
+        result = run_coloring(graph, seed=1)
+        assert coloring_palette_size(result.outputs) == 8
+
+    def test_isolated_node_gets_color_zero(self):
+        result = run_coloring(nx.empty_graph(3), seed=0)
+        assert all(c == 0 for c in result.outputs.values())
+
+
+class TestNodeAveragedBehaviour:
+    def test_constant_fraction_finishes_per_phase(self):
+        # The Section 6.2 property from Barenboim--Tzur's account of
+        # Luby's coloring: node-averaged finish time stays small while
+        # n quadruples.
+        small = run_coloring(nx.gnp_random_graph(64, 0.5, seed=1), seed=1)
+        large = run_coloring(nx.gnp_random_graph(256, 0.5, seed=1), seed=1)
+        assert (
+            large.node_averaged_round_complexity
+            <= 2.0 * small.node_averaged_round_complexity + 2.0
+        )
+
+    def test_max_phases_gives_up(self):
+        graph = nx.complete_graph(30)
+        result = run_coloring(graph, seed=0, max_phases=1)
+        assert any(c is None for c in result.outputs.values())
+
+    def test_phases_counted(self):
+        graph = nx.cycle_graph(12)
+        result = run_coloring(graph, seed=2)
+        assert all(p.phases_run >= 1 for p in result.protocols.values())

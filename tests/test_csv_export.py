@@ -1,0 +1,34 @@
+"""Tests for CSV export of sweep trials."""
+
+from repro.analysis.complexity import (
+    CSV_FIELDS,
+    sweep,
+    trials_to_csv,
+    write_csv,
+)
+
+
+class TestCsvExport:
+    def test_header_and_rows(self):
+        rows = sweep("luby", "cycle", [10], trials=2, seed0=1)
+        csv = trials_to_csv(rows)
+        lines = csv.splitlines()
+        assert lines[0] == ",".join(CSV_FIELDS)
+        assert len(lines) == 3
+        assert lines[1].startswith("luby,cycle,10,")
+
+    def test_field_count_consistent(self):
+        rows = sweep("greedy", "cycle", [10], trials=1, seed0=1)
+        for line in trials_to_csv(rows).splitlines():
+            assert len(line.split(",")) == len(CSV_FIELDS)
+
+    def test_write_csv(self, tmp_path):
+        rows = sweep("luby", "cycle", [10], trials=1, seed0=1)
+        target = tmp_path / "trials.csv"
+        write_csv(rows, str(target))
+        content = target.read_text()
+        assert content.startswith(",".join(CSV_FIELDS))
+        assert content.endswith("\n")
+
+    def test_empty_rows(self):
+        assert trials_to_csv([]) == ",".join(CSV_FIELDS)

@@ -1,0 +1,101 @@
+"""Tests for the awake-time distribution analysis (A_v properties)."""
+
+import networkx as nx
+import pytest
+
+from repro.analysis.distribution import (
+    average_concentration,
+    awake_histogram,
+    awake_quantiles,
+    awake_values,
+    survival_curve,
+    tail_fraction,
+)
+
+from conftest import run_mis
+
+
+@pytest.fixture(scope="module")
+def runs():
+    results = []
+    for seed in range(4):
+        graph = nx.gnp_random_graph(80, 0.08, seed=seed)
+        results.append(run_mis(graph, "sleeping", seed=seed))
+    return results
+
+
+class TestAwakeValues:
+    def test_sorted_and_complete(self, runs):
+        values = awake_values(runs[0])
+        assert values == sorted(values)
+        assert len(values) == runs[0].n
+
+    def test_histogram_sums_to_n(self, runs):
+        histogram = awake_histogram(runs[0])
+        assert sum(histogram.values()) == runs[0].n
+
+    def test_histogram_multiples_of_three(self, runs):
+        # Algorithm 1 nodes pay exactly 3 awake rounds per internal call.
+        for value in awake_histogram(runs[0]):
+            assert value % 3 == 0
+
+
+class TestQuantiles:
+    def test_monotone(self, runs):
+        quantiles = awake_quantiles(runs[0], qs=(0.1, 0.5, 0.9, 1.0))
+        ordered = [quantiles[q] for q in (0.1, 0.5, 0.9, 1.0)]
+        assert ordered == sorted(ordered)
+
+    def test_max_is_worst_case(self, runs):
+        quantiles = awake_quantiles(runs[0], qs=(1.0,))
+        assert quantiles[1.0] == runs[0].worst_case_awake_complexity
+
+    def test_invalid_quantile(self, runs):
+        with pytest.raises(ValueError):
+            awake_quantiles(runs[0], qs=(1.5,))
+
+    def test_empty_result(self):
+        result = run_mis(nx.empty_graph(0), "sleeping")
+        assert awake_quantiles(result)[1.0] == 0.0
+
+
+class TestSurvivalCurve:
+    def test_monotone_decreasing(self, runs):
+        curve = survival_curve(runs, thresholds=[0, 3, 6, 9, 12, 15])
+        fractions = [f for _, f in curve]
+        assert fractions == sorted(fractions, reverse=True)
+        assert fractions[0] == 1.0
+
+    def test_geometric_style_decay(self, runs):
+        # P[A_v >= 3(i+1)] should shrink markedly as i grows (Lemma 7's
+        # (3/4)^i participation bound; empirically much faster).
+        curve = dict(survival_curve(runs, thresholds=[3, 9, 15]))
+        assert curve[15] < curve[9] < curve[3]
+        assert curve[15] < 0.5 * curve[3]
+
+    def test_empty(self):
+        assert survival_curve([], [1, 2]) == [(1, 0.0), (2, 0.0)]
+
+
+class TestConcentration:
+    def test_stats_consistent(self, runs):
+        stats = average_concentration(runs)
+        assert stats["min"] <= stats["mean"] <= stats["max"]
+        assert stats["stdev"] < stats["mean"]  # tightly concentrated
+
+    def test_empty(self):
+        assert average_concentration([])["mean"] == 0.0
+
+
+class TestTailFraction:
+    def test_bounds(self, runs):
+        assert 0.0 <= tail_fraction(runs, 2.0) <= 1.0
+
+    def test_large_multiplier_empties_tail(self, runs):
+        assert tail_fraction(runs, 100.0) == 0.0
+
+    def test_zero_multiplier_catches_everyone_positive(self, runs):
+        assert tail_fraction(runs, 0.0) > 0.9
+
+    def test_empty(self):
+        assert tail_fraction([], 2.0) == 0.0

@@ -1,0 +1,61 @@
+"""Unit tests for the energy model."""
+
+import pytest
+
+from repro.sim.energy import DEFAULT_MODEL, IDEAL_MODEL, EnergyModel
+from repro.sim.metrics import NodeStats, RunResult
+
+
+def make_result(stats_list):
+    stats = {s.node_id: s for s in stats_list}
+    return RunResult(
+        n=len(stats), rounds=0, seed=0, node_stats=stats, outputs={}
+    )
+
+
+class TestEnergyModel:
+    def test_node_energy_weighted_sum(self):
+        model = EnergyModel(tx=2.0, rx=1.0, idle=0.5, sleep=0.1)
+        stats = NodeStats(
+            0, tx_rounds=3, rx_rounds=2, idle_rounds=4, sleep_rounds=10
+        )
+        assert model.node_energy(stats) == pytest.approx(
+            2.0 * 3 + 1.0 * 2 + 0.5 * 4 + 0.1 * 10
+        )
+
+    def test_total_energy_sums_nodes(self):
+        model = EnergyModel(tx=1, rx=1, idle=1, sleep=0)
+        result = make_result(
+            [
+                NodeStats(0, tx_rounds=1, rx_rounds=1),
+                NodeStats(1, idle_rounds=3),
+            ]
+        )
+        assert model.total_energy(result) == pytest.approx(5.0)
+
+    def test_average_energy(self):
+        model = EnergyModel(tx=1, rx=1, idle=1, sleep=0)
+        result = make_result(
+            [NodeStats(0, tx_rounds=2), NodeStats(1, tx_rounds=4)]
+        )
+        assert model.average_energy(result) == pytest.approx(3.0)
+
+    def test_average_energy_empty(self):
+        assert DEFAULT_MODEL.average_energy(make_result([])) == 0.0
+
+    def test_per_node_energy(self):
+        model = EnergyModel(tx=1, rx=0, idle=0, sleep=0)
+        result = make_result(
+            [NodeStats(0, tx_rounds=1), NodeStats(1, tx_rounds=2)]
+        )
+        assert model.per_node_energy(result) == {0: 1.0, 1: 2.0}
+
+    def test_ideal_model_makes_sleep_free(self):
+        stats = NodeStats(0, sleep_rounds=10**9, tx_rounds=1)
+        assert IDEAL_MODEL.node_energy(stats) == pytest.approx(1.0)
+
+    def test_default_weights_shape(self):
+        # Idle listening nearly as expensive as receiving; sleeping cheap.
+        assert DEFAULT_MODEL.tx > DEFAULT_MODEL.rx
+        assert 0.5 < DEFAULT_MODEL.idle / DEFAULT_MODEL.rx < 1.0
+        assert DEFAULT_MODEL.sleep < 0.1 * DEFAULT_MODEL.idle

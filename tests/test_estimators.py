@@ -1,0 +1,85 @@
+"""Tests for the curve-fitting and growth-classification helpers."""
+
+import math
+
+import pytest
+
+from repro.analysis.estimators import (
+    classify_growth,
+    fit_constant,
+    fit_logarithmic,
+    fit_polylog,
+    fit_power,
+    growth_factor,
+)
+
+NS = [64, 128, 256, 512, 1024, 2048]
+
+
+class TestFits:
+    def test_constant_recovered(self):
+        fit = fit_constant(NS, [7.0] * len(NS))
+        assert fit.params[0] == pytest.approx(7.0)
+        assert fit.r_squared == pytest.approx(1.0)
+
+    def test_logarithmic_recovered(self):
+        ys = [2.0 + 3.0 * math.log2(n) for n in NS]
+        fit = fit_logarithmic(NS, ys)
+        assert fit.params[0] == pytest.approx(2.0, abs=1e-6)
+        assert fit.params[1] == pytest.approx(3.0, abs=1e-6)
+        assert fit.r_squared == pytest.approx(1.0)
+
+    def test_power_recovered(self):
+        ys = [0.5 * n**3 for n in NS]
+        fit = fit_power(NS, ys)
+        assert fit.params[1] == pytest.approx(3.0, abs=1e-6)
+        assert fit.r_squared == pytest.approx(1.0)
+
+    def test_polylog_recovered(self):
+        ys = [4.0 * math.log2(n) ** 3.41 for n in NS]
+        fit = fit_polylog(NS, ys)
+        assert fit.params[1] == pytest.approx(3.41, abs=1e-6)
+
+    def test_power_rejects_nonpositive(self):
+        with pytest.raises(ValueError):
+            fit_power(NS, [0.0] * len(NS))
+
+    def test_polylog_rejects_nonpositive(self):
+        with pytest.raises(ValueError):
+            fit_polylog(NS, [-1.0] * len(NS))
+
+    def test_fit_str(self):
+        fit = fit_constant(NS, [1.0] * len(NS))
+        assert "constant" in str(fit)
+        assert "R2" in str(fit)
+
+
+class TestGrowthFactor:
+    def test_flat_series(self):
+        assert growth_factor(NS, [5.0] * len(NS)) == pytest.approx(1.0)
+
+    def test_linear_series(self):
+        assert growth_factor(NS, NS) == pytest.approx(2048 / 64)
+
+    def test_zero_start(self):
+        assert growth_factor([1, 2], [0.0, 3.0]) == float("inf")
+        assert growth_factor([1, 2], [0.0, 0.0]) == 1.0
+
+    def test_unsorted_input(self):
+        assert growth_factor([1024, 64], [10.0, 5.0]) == pytest.approx(2.0)
+
+
+class TestClassifyGrowth:
+    def test_constant(self):
+        assert classify_growth(NS, [6.5, 6.8, 6.6, 6.7, 6.5, 6.9]) == "constant"
+
+    def test_logarithmic(self):
+        ys = [1.0 + 4.0 * math.log2(n) for n in NS]
+        assert classify_growth(NS, ys) == "logarithmic"
+
+    def test_polynomial(self):
+        ys = [n**3 / 1e5 for n in NS]
+        assert classify_growth(NS, ys) == "power"
+
+    def test_all_zero(self):
+        assert classify_growth(NS, [0.0] * len(NS)) == "constant"

@@ -1,0 +1,165 @@
+"""Tests for Algorithm 2 (Fast-SleepingMIS): correctness, base cases, schedule."""
+
+import networkx as nx
+import pytest
+
+from repro.analysis import base_level_participants, verify_schedule
+from repro.core import FastSleepingMIS, schedule
+from repro.graphs import assert_valid_mis
+from repro.sim import Simulator
+
+from conftest import run_mis
+
+
+class TestCorrectness:
+    def test_valid_mis_on_corner_cases(self, small_graph):
+        result = run_mis(small_graph, "fast-sleeping", seed=1)
+        assert_valid_mis(small_graph, result.mis)
+
+    @pytest.mark.parametrize("seed", range(8))
+    def test_valid_mis_many_seeds(self, gnp60, seed):
+        result = run_mis(gnp60, "fast-sleeping", seed=seed)
+        assert_valid_mis(gnp60, result.mis)
+
+    def test_every_node_decides(self, gnp60):
+        result = run_mis(gnp60, "fast-sleeping", seed=2)
+        assert result.undecided == frozenset()
+
+    def test_no_base_truncation_at_default_constant(self, gnp60):
+        result = run_mis(gnp60, "fast-sleeping", seed=2)
+        assert not any(
+            p.base_truncated for p in result.protocols.values()
+        )
+
+    def test_larger_graph(self):
+        graph = nx.gnp_random_graph(400, 0.02, seed=9)
+        result = run_mis(graph, "fast-sleeping", seed=9)
+        assert_valid_mis(graph, result.mis)
+
+    def test_two_node_graph_degenerates_to_greedy(self):
+        # truncated_depth(2) == 0: the whole run is one greedy base case.
+        result = run_mis(nx.path_graph(2), "fast-sleeping", seed=1)
+        assert len(result.mis) == 1
+        assert result.rounds == schedule.greedy_rounds(2)
+
+
+class TestSchedule:
+    def test_total_rounds(self):
+        graph = nx.gnp_random_graph(50, 0.1, seed=4)
+        result = run_mis(graph, "fast-sleeping", seed=4)
+        depth = schedule.truncated_depth(50)
+        window = schedule.greedy_rounds(50)
+        assert result.rounds == schedule.fast_call_duration(depth, window)
+
+    def test_every_call_matches_schedule(self, gnp60):
+        result = run_mis(gnp60, "fast-sleeping", seed=5)
+        window = schedule.greedy_rounds(60)
+        violations = verify_schedule(
+            result, lambda k: schedule.fast_call_duration(k, window)
+        )
+        assert violations == []
+
+    def test_polylog_versus_algorithm1(self):
+        # The whole point of Algorithm 2: exponentially shorter wall clock.
+        n = 100
+        fast = schedule.fast_call_duration(
+            schedule.truncated_depth(n), schedule.greedy_rounds(n)
+        )
+        slow = schedule.call_duration(schedule.recursion_depth(n))
+        assert fast * 100 < slow
+
+
+class TestGreedyBaseCase:
+    def _run_forcing_base(self, n=40, seed=3, depth=1):
+        # Depth 1 forces nearly everyone into greedy base cases.
+        graph = nx.gnp_random_graph(n, 0.12, seed=seed)
+        result = Simulator(
+            graph, lambda v: FastSleepingMIS(depth=depth), seed=seed
+        ).run()
+        return graph, result
+
+    def test_forced_base_cases_still_correct(self):
+        graph, result = self._run_forcing_base()
+        assert_valid_mis(graph, result.mis)
+
+    def test_base_participants_have_ranks(self):
+        _, result = self._run_forcing_base()
+        for protocol in result.protocols.values():
+            reached_base = any(rec.k == 0 for rec in protocol.calls)
+            assert (protocol.base_rank is not None) == reached_base
+
+    def test_base_participation_counted(self):
+        _, result = self._run_forcing_base()
+        assert base_level_participants(result) > 0
+
+    def test_depth_zero_is_pure_greedy(self):
+        graph = nx.gnp_random_graph(30, 0.15, seed=6)
+        result = Simulator(
+            graph, lambda v: FastSleepingMIS(depth=0), seed=6
+        ).run()
+        assert_valid_mis(graph, result.mis)
+        assert result.rounds == schedule.greedy_rounds(30)
+
+    def test_tiny_greedy_constant_can_truncate(self):
+        # With a 1-round window the greedy cannot possibly finish on a
+        # non-trivial graph: the Monte Carlo failure path must trigger
+        # and be reported rather than crash.
+        graph = nx.complete_graph(30)
+
+        class OneRoundWindow(FastSleepingMIS):
+            def _prepare(self, ctx):
+                self.base_rounds = 1
+
+        result = Simulator(
+            graph, lambda v: OneRoundWindow(depth=0), seed=2
+        ).run()
+        assert any(p.base_truncated for p in result.protocols.values())
+        assert len(result.undecided) > 0
+
+    def test_greedy_constant_parameter(self):
+        graph = nx.gnp_random_graph(30, 0.15, seed=6)
+        result = Simulator(
+            graph, lambda v: FastSleepingMIS(greedy_constant=12), seed=6
+        ).run()
+        assert_valid_mis(graph, result.mis)
+        window = schedule.greedy_rounds(30, constant=12)
+        depth = schedule.truncated_depth(30)
+        assert result.rounds == schedule.fast_call_duration(depth, window)
+
+
+class TestAwakeBounds:
+    def test_awake_is_logarithmic_not_linear(self):
+        graph = nx.gnp_random_graph(300, 0.03, seed=7)
+        result = run_mis(graph, "fast-sleeping", seed=7)
+        # Worst-case awake = 3 per level + O(log n) in the base window.
+        depth = schedule.truncated_depth(300)
+        window = schedule.greedy_rounds(300)
+        assert result.worst_case_awake_complexity <= 3 * (depth + 1) + window
+
+    def test_base_participants_sleep_out_the_window(self):
+        # Wall clock charges the full window to everyone, but decided
+        # base participants sleep most of it.
+        graph = nx.gnp_random_graph(40, 0.12, seed=3)
+        result = Simulator(
+            graph, lambda v: FastSleepingMIS(depth=1), seed=3
+        ).run()
+        window = schedule.greedy_rounds(40)
+        for v, protocol in result.protocols.items():
+            if protocol.base_rank is not None:
+                assert result.node_stats[v].awake_rounds < window + 6
+
+
+class TestDeterminism:
+    def test_same_seed_same_mis(self, gnp60):
+        a = run_mis(gnp60, "fast-sleeping", seed=11)
+        b = run_mis(gnp60, "fast-sleeping", seed=11)
+        assert a.mis == b.mis
+
+    def test_congest_budget_respected(self, gnp60):
+        import math
+
+        limit = 64 * math.ceil(math.log2(60))
+        result = run_mis(
+            gnp60, "fast-sleeping", seed=3, congest_bit_limit=limit
+        )
+        assert_valid_mis(gnp60, result.mis)

@@ -1,0 +1,94 @@
+"""Tests for message-loss fault injection.
+
+The paper's model assumes reliable delivery; these tests document what the
+algorithms rely on: with injected loss the protocols mis-detect their
+neighborhoods and the validators catch the resulting non-MIS outputs.
+"""
+
+import networkx as nx
+import pytest
+
+from repro.baselines import LubyMIS
+from repro.core import SleepingMIS
+from repro.graphs import is_maximal_independent_set
+from repro.sim import Simulator
+
+
+class TestLossRateParameter:
+    def test_invalid_rate_rejected(self):
+        with pytest.raises(ValueError):
+            Simulator(nx.path_graph(2), lambda v: SleepingMIS(), loss_rate=1.5)
+        with pytest.raises(ValueError):
+            Simulator(nx.path_graph(2), lambda v: SleepingMIS(), loss_rate=-0.1)
+
+    def test_zero_loss_is_default_behaviour(self):
+        graph = nx.gnp_random_graph(40, 0.1, seed=2)
+        plain = Simulator(graph, lambda v: SleepingMIS(), seed=2).run()
+        injected = Simulator(
+            graph, lambda v: SleepingMIS(), seed=2, loss_rate=0.0
+        ).run()
+        assert plain.mis == injected.mis
+
+    def test_loss_counter(self):
+        graph = nx.complete_graph(10)
+        sim = Simulator(
+            graph, lambda v: SleepingMIS(), seed=1, loss_rate=0.5
+        )
+        sim.run()
+        assert sim.messages_lost > 0
+
+    def test_loss_deterministic_per_seed(self):
+        graph = nx.gnp_random_graph(30, 0.15, seed=3)
+        runs = [
+            Simulator(
+                graph, lambda v: SleepingMIS(), seed=7, loss_rate=0.3
+            ).run()
+            for _ in range(2)
+        ]
+        assert runs[0].mis == runs[1].mis
+
+
+class TestFailureModes:
+    def test_total_loss_makes_everyone_look_isolated(self):
+        # With every message dropped, each node's first isolated-node
+        # detection hears nothing, so every node joins -- an invalid MIS
+        # on any graph with an edge, which the validator must flag.
+        graph = nx.complete_graph(8)
+        result = Simulator(
+            graph, lambda v: SleepingMIS(), seed=1, loss_rate=1.0
+        ).run()
+        assert result.mis == frozenset(range(8))
+        assert not is_maximal_independent_set(graph, result.mis)
+
+    def test_total_loss_stalls_luby(self):
+        # Luby's phases make no progress without rank exchanges; the
+        # phase budget ends the run with everyone undecided.
+        graph = nx.complete_graph(8)
+        result = Simulator(
+            graph,
+            lambda v: LubyMIS(max_phases=5),
+            seed=1,
+            loss_rate=1.0,
+        ).run()
+        assert len(result.undecided) == 8
+
+    def test_moderate_loss_sometimes_corrupts_sleeping_mis(self):
+        # At 20% loss some run within a few seeds must produce a non-MIS
+        # output -- demonstrating that the model's reliability assumption
+        # is load-bearing and that validation catches violations.
+        graph = nx.gnp_random_graph(40, 0.2, seed=5)
+        outcomes = []
+        for seed in range(8):
+            result = Simulator(
+                graph, lambda v: SleepingMIS(), seed=seed, loss_rate=0.2
+            ).run()
+            outcomes.append(is_maximal_independent_set(graph, result.mis))
+        assert not all(outcomes)
+
+    def test_loss_never_crashes(self):
+        graph = nx.gnp_random_graph(30, 0.15, seed=4)
+        for rate in (0.1, 0.5, 0.9):
+            result = Simulator(
+                graph, lambda v: SleepingMIS(), seed=4, loss_rate=rate
+            ).run()
+            assert result.all_finished

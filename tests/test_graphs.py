@@ -1,0 +1,197 @@
+"""Tests for graph generators, validators, and structural properties."""
+
+import networkx as nx
+import pytest
+
+from repro.graphs import (
+    FAMILIES,
+    arboricity_upper_bound,
+    caterpillar,
+    complete_bipartite,
+    cycle_graph,
+    degeneracy,
+    disjoint_cliques,
+    domination_violations,
+    family_names,
+    gnp,
+    graph_stats,
+    grid_graph,
+    h_partition,
+    hypercube,
+    independence_violations,
+    is_dominating_set,
+    is_independent_set,
+    is_maximal_independent_set,
+    is_proper_coloring,
+    log_star,
+    make_family_graph,
+    max_degree,
+    random_geometric,
+    random_regular,
+    random_tree,
+    star_graph,
+)
+
+
+class TestGenerators:
+    @pytest.mark.parametrize("family", sorted(FAMILIES))
+    def test_family_labels_consecutive(self, family):
+        graph = make_family_graph(family, 20, seed=1)
+        assert set(graph.nodes()) == set(range(graph.number_of_nodes()))
+
+    @pytest.mark.parametrize("family", sorted(FAMILIES))
+    def test_family_size_close(self, family):
+        graph = make_family_graph(family, 20, seed=1)
+        # regular-4 may round n up by one to make n*d even.
+        assert 20 <= graph.number_of_nodes() <= 21
+
+    def test_unknown_family(self):
+        with pytest.raises(KeyError):
+            make_family_graph("nope", 10)
+
+    def test_family_names_sorted(self):
+        assert family_names() == sorted(FAMILIES)
+
+    def test_gnp_seeded(self):
+        assert set(gnp(30, 0.2, seed=4).edges()) == set(
+            gnp(30, 0.2, seed=4).edges()
+        )
+
+    def test_random_regular_degrees(self):
+        graph = random_regular(20, 4, seed=1)
+        assert all(d == 4 for _, d in graph.degree())
+
+    def test_random_tree_is_tree(self):
+        graph = random_tree(15, seed=2)
+        assert nx.is_tree(graph)
+
+    def test_random_tree_single_node(self):
+        assert random_tree(1).number_of_nodes() == 1
+
+    def test_star_counts(self):
+        graph = star_graph(10)
+        assert graph.number_of_nodes() == 10
+        assert graph.number_of_edges() == 9
+
+    def test_star_requires_node(self):
+        with pytest.raises(ValueError):
+            star_graph(0)
+
+    def test_grid(self):
+        graph = grid_graph(3, 4)
+        assert graph.number_of_nodes() == 12
+        assert max_degree(graph) == 4
+
+    def test_complete_bipartite(self):
+        graph = complete_bipartite(3, 4)
+        assert graph.number_of_edges() == 12
+
+    def test_caterpillar_is_tree(self):
+        graph = caterpillar(17, seed=3)
+        assert nx.is_tree(graph)
+        assert graph.number_of_nodes() == 17
+
+    def test_caterpillar_tiny(self):
+        assert caterpillar(2).number_of_edges() == 1
+
+    def test_disjoint_cliques(self):
+        graph = disjoint_cliques(3, 4)
+        assert graph.number_of_nodes() == 12
+        assert nx.number_connected_components(graph) == 3
+
+    def test_hypercube(self):
+        graph = hypercube(3)
+        assert graph.number_of_nodes() == 8
+        assert all(d == 3 for _, d in graph.degree())
+
+    def test_random_geometric_default_radius(self):
+        graph = random_geometric(50, seed=1)
+        assert graph.number_of_nodes() == 50
+
+    def test_cycle(self):
+        graph = cycle_graph(7)
+        assert all(d == 2 for _, d in graph.degree())
+
+
+class TestValidators:
+    def test_independent_ok(self):
+        graph = nx.path_graph(4)
+        assert is_independent_set(graph, {0, 2})
+
+    def test_independent_violation_reported(self):
+        graph = nx.path_graph(4)
+        violations = independence_violations(graph, {0, 1})
+        assert len(violations) == 1
+        assert set(violations[0]) == {0, 1}
+
+    def test_dominating(self):
+        graph = nx.star_graph(5)
+        assert is_dominating_set(graph, {0})
+        assert domination_violations(graph, set()) == list(range(6))
+
+    def test_mis_requires_both(self):
+        graph = nx.path_graph(5)
+        assert is_maximal_independent_set(graph, {0, 2, 4})
+        assert not is_maximal_independent_set(graph, {0, 4})  # 2 uncovered
+        assert not is_maximal_independent_set(graph, {0, 1, 3})  # adjacent
+
+    def test_empty_set_on_empty_graph(self):
+        assert is_maximal_independent_set(nx.empty_graph(0), set())
+
+    def test_proper_coloring(self):
+        graph = nx.path_graph(3)
+        assert is_proper_coloring(graph, {0: 0, 1: 1, 2: 0})
+        assert not is_proper_coloring(graph, {0: 0, 1: 0, 2: 1})
+        assert not is_proper_coloring(graph, {0: 0, 1: None, 2: 1})
+
+    def test_adjacency_mapping_inputs(self):
+        adjacency = {0: [1], 1: [0]}
+        assert is_maximal_independent_set(adjacency, {0})
+
+
+class TestProperties:
+    def test_degeneracy_known_values(self):
+        assert degeneracy(nx.empty_graph(5)) == 0
+        assert degeneracy(nx.path_graph(10)) == 1
+        assert degeneracy(nx.cycle_graph(10)) == 2
+        assert degeneracy(nx.complete_graph(7)) == 6
+
+    def test_degeneracy_tree(self):
+        assert degeneracy(random_tree(20, seed=1)) == 1
+
+    def test_arboricity_bound(self):
+        assert arboricity_upper_bound(nx.complete_graph(6)) >= 3
+
+    def test_h_partition_covers_all_nodes(self):
+        graph = nx.gnp_random_graph(40, 0.2, seed=2)
+        layers = h_partition(graph)
+        covered = set().union(*layers)
+        assert covered == set(graph.nodes())
+        sizes = sum(len(layer) for layer in layers)
+        assert sizes == 40  # layers are disjoint
+
+    def test_h_partition_empty(self):
+        assert h_partition(nx.empty_graph(0)) == []
+
+    def test_log_star(self):
+        assert log_star(1) == 0
+        assert log_star(2) == 1
+        assert log_star(4) == 2
+        assert log_star(16) == 3
+        assert log_star(65536) == 4
+        assert log_star(2**65536 if False else 10**9) == 5
+
+    def test_log_star_negative(self):
+        with pytest.raises(ValueError):
+            log_star(-1)
+
+    def test_graph_stats(self):
+        stats = graph_stats(nx.path_graph(4))
+        assert stats["n"] == 4
+        assert stats["edges"] == 3
+        assert stats["max_degree"] == 2
+        assert stats["isolated"] == 0
+
+    def test_graph_stats_counts_isolated(self):
+        stats = graph_stats(nx.empty_graph(3))
+        assert stats["isolated"] == 3

@@ -1,0 +1,115 @@
+"""Structural tests of Algorithm 2's greedy base case.
+
+Forcing ``depth=0`` makes the entire run a single greedy base call, so the
+base-case machinery can be examined in isolation: phase progress, decision
+kinds, window padding, and per-pair exclusivity.
+"""
+
+import networkx as nx
+import pytest
+
+from repro.analysis.lemmas import decision_site
+from repro.core import FastSleepingMIS, schedule
+from repro.graphs import assert_valid_mis
+from repro.sim import Simulator
+
+
+def run_pure_greedy(graph, seed=0, constant=8):
+    return Simulator(
+        graph,
+        lambda v: FastSleepingMIS(depth=0, greedy_constant=constant),
+        seed=seed,
+    ).run()
+
+
+class TestBaseCaseDecisions:
+    @pytest.mark.parametrize("seed", range(5))
+    def test_all_decide_with_default_window(self, seed):
+        graph = nx.gnp_random_graph(40, 0.15, seed=seed)
+        result = run_pure_greedy(graph, seed=seed)
+        assert result.undecided == frozenset()
+        assert_valid_mis(graph, result.mis)
+
+    def test_decision_kinds_are_base_variants(self):
+        graph = nx.gnp_random_graph(40, 0.15, seed=2)
+        result = run_pure_greedy(graph, seed=2)
+        kinds = {
+            decision_site(p)[1] for p in result.protocols.values()
+        }
+        allowed = {
+            "base_isolated",
+            "base_greedy_isolated",
+            "base_greedy_join",
+            "base_greedy_eliminated",
+        }
+        assert kinds <= allowed
+
+    def test_eliminated_nodes_have_joined_neighbor(self):
+        graph = nx.gnp_random_graph(40, 0.15, seed=3)
+        result = run_pure_greedy(graph, seed=3)
+        for v, protocol in result.protocols.items():
+            if decision_site(protocol)[1] == "base_greedy_eliminated":
+                assert any(
+                    result.outputs[u] is True for u in graph.adj[v]
+                ), v
+
+    def test_isolated_in_graph_decides_first_round(self):
+        graph = nx.disjoint_union(nx.empty_graph(1), nx.complete_graph(4))
+        result = run_pure_greedy(graph, seed=1)
+        assert decision_site(result.protocols[0])[1] == "base_greedy_isolated"
+        assert result.node_stats[0].awake_rounds == 1  # one probe round
+
+
+class TestWindowDiscipline:
+    def test_everyone_occupies_exactly_the_window(self):
+        # All nodes finish at the same round: the window's end.
+        graph = nx.gnp_random_graph(30, 0.2, seed=4)
+        result = run_pure_greedy(graph, seed=4)
+        window = schedule.greedy_rounds(30)
+        finishes = {s.finish_round for s in result.node_stats.values()}
+        assert finishes == {window}
+
+    def test_awake_far_below_window_for_early_deciders(self):
+        graph = nx.complete_graph(40)  # one phase decides everyone
+        result = run_pure_greedy(graph, seed=5)
+        window = schedule.greedy_rounds(40)
+        for stats in result.node_stats.values():
+            assert stats.awake_rounds <= 4  # probe + one 3-round phase
+            assert stats.sleep_rounds >= window - 4
+
+    def test_larger_constant_stretches_wall_clock_only(self):
+        graph = nx.gnp_random_graph(30, 0.2, seed=4)
+        small = run_pure_greedy(graph, seed=4, constant=8)
+        large = run_pure_greedy(graph, seed=4, constant=16)
+        assert large.rounds == 2 * small.rounds
+        assert (
+            large.node_averaged_awake_complexity
+            == small.node_averaged_awake_complexity
+        )
+        assert large.mis == small.mis  # same ranks, same greedy outcome
+
+
+class TestProgressGuarantee:
+    def test_max_rank_node_joins_in_first_phase(self):
+        graph = nx.gnp_random_graph(30, 0.2, seed=6)
+        result = run_pure_greedy(graph, seed=6)
+        ranks = {
+            v: p.base_rank
+            for v, p in result.protocols.items()
+            if p.base_rank is not None
+        }
+        top = max(ranks, key=ranks.get)
+        assert result.outputs[top] is True
+        # Probe round + phase round A, joined announced in B: decided at
+        # round 2 (0-indexed round counting: decision during processing
+        # of round 1's inbox or round 2's).
+        assert result.node_stats[top].decision_round <= 3
+
+    def test_phases_strictly_shrink_live_sets(self):
+        # After each phase the undecided subgraph loses at least its
+        # maximum-rank node: #phases <= #nodes; on random ranks it is
+        # O(log n) w.h.p. -- sanity-check a generous bound.
+        graph = nx.gnp_random_graph(60, 0.1, seed=7)
+        result = run_pure_greedy(graph, seed=7)
+        max_awake = result.worst_case_awake_complexity
+        assert max_awake <= 1 + 3 * 20  # probe + at most 20 phases at n=60

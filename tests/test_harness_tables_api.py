@@ -1,0 +1,148 @@
+"""Tests for the trial harness, table builders, and the top-level API."""
+
+import networkx as nx
+import pytest
+
+from repro.analysis.complexity import (
+    MEASURES,
+    all_valid,
+    mean_by_size,
+    run_trial,
+    summarize,
+    sweep,
+)
+from repro.analysis.tables import PAPER_CLAIMS, Table, build_table1
+from repro.api import algorithm_names, make_protocol_factory, solve_mis
+
+
+class TestRunTrial:
+    def test_returns_result_and_row(self, gnp60):
+        result, trial = run_trial(gnp60, "luby", seed=1, family="test")
+        assert trial.n == 60
+        assert trial.valid
+        assert trial.family == "test"
+        assert trial.worst_case_rounds == result.rounds
+
+    def test_protocol_kwargs_forwarded(self, gnp60):
+        result, trial = run_trial(
+            gnp60, "fast-sleeping", seed=1, greedy_constant=10
+        )
+        assert result.protocols[0].greedy_constant == 10
+
+    def test_energy_accounted(self, gnp60):
+        _, trial = run_trial(gnp60, "luby", seed=1)
+        assert trial.total_energy > 0
+
+
+class TestSweep:
+    def test_row_counts(self):
+        rows = sweep("luby", "cycle", [10, 20], trials=2, seed0=0)
+        assert len(rows) == 4
+        assert {row.n for row in rows} == {10, 20}
+
+    def test_all_valid(self):
+        rows = sweep("greedy", "gnp-sparse", [20, 40], trials=2, seed0=0)
+        assert all_valid(rows)
+
+    def test_reproducible(self):
+        a = sweep("luby", "cycle", [12], trials=2, seed0=5)
+        b = sweep("luby", "cycle", [12], trials=2, seed0=5)
+        assert [r.worst_case_rounds for r in a] == [
+            r.worst_case_rounds for r in b
+        ]
+
+
+class TestSummarize:
+    def test_statistics(self):
+        rows = sweep("luby", "cycle", [10], trials=3, seed0=0)
+        summary = summarize(rows, "node_averaged_awake")
+        assert 10 in summary
+        stats = summary[10]
+        assert stats["count"] == 3
+        eps = 1e-9
+        assert stats["min"] - eps <= stats["mean"] <= stats["max"] + eps
+
+    def test_unknown_measure_rejected(self):
+        with pytest.raises(KeyError):
+            summarize([], "nope")
+
+    def test_mean_by_size_sorted(self):
+        rows = sweep("luby", "cycle", [20, 10], trials=1, seed0=0)
+        sizes, means = mean_by_size(rows, "worst_case_rounds")
+        assert sizes == [10, 20]
+        assert len(means) == 2
+
+    def test_all_measures_supported(self):
+        rows = sweep("luby", "cycle", [10], trials=1, seed0=0)
+        for measure in MEASURES:
+            assert summarize(rows, measure)
+
+
+class TestTable:
+    def test_text_rendering(self):
+        table = Table("Demo", ["a", "b"])
+        table.add_row(1, "x")
+        text = table.to_text()
+        assert "Demo" in text
+        assert "1" in text and "x" in text
+
+    def test_markdown_rendering(self):
+        table = Table("Demo", ["a", "b"])
+        table.add_row(1, 2)
+        md = table.to_markdown()
+        assert "| a | b |" in md
+        assert "| 1 | 2 |" in md
+
+    def test_row_width_checked(self):
+        table = Table("Demo", ["a", "b"])
+        with pytest.raises(ValueError):
+            table.add_row(1)
+
+    def test_empty_table_renders(self):
+        assert "Demo" in Table("Demo", ["a"]).to_text()
+
+
+class TestBuildTable1:
+    def test_structure(self):
+        table = build_table1(
+            sizes=(16, 32),
+            algorithms=("luby", "fast-sleeping"),
+            trials=1,
+            seed0=1,
+        )
+        # 2 algorithms x 4 measures.
+        assert len(table.rows) == 8
+        assert table.headers[:2] == ["algorithm", "measure"]
+        assert table.headers[-1] == "paper"
+
+    def test_paper_claims_present_for_all_algorithms(self):
+        for name in algorithm_names():
+            assert name in PAPER_CLAIMS
+
+
+class TestAPI:
+    def test_algorithm_names(self):
+        names = algorithm_names()
+        assert "sleeping" in names
+        assert "fast-sleeping" in names
+        assert names == sorted(names)
+
+    def test_unknown_algorithm(self):
+        with pytest.raises(KeyError):
+            solve_mis(nx.path_graph(3), algorithm="nope")
+
+    def test_factory_builds_fresh_instances(self):
+        factory = make_protocol_factory("luby")
+        assert factory(0) is not factory(1)
+
+    def test_solve_mis_defaults(self):
+        result = solve_mis(nx.cycle_graph(9), seed=2)
+        from repro.graphs import assert_valid_mis
+
+        assert_valid_mis(nx.cycle_graph(9), result.mis)
+
+    def test_kwargs_reach_protocol(self):
+        result = solve_mis(
+            nx.cycle_graph(9), algorithm="sleeping", seed=2, depth=6
+        )
+        assert all(len(p.x_bits) == 6 for p in result.protocols.values())

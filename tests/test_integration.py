@@ -1,0 +1,152 @@
+"""Cross-module integration tests: whole-pipeline behaviour.
+
+These exercise the paths a downstream user actually takes: run several
+algorithms on the same graph, compare their outputs and measures, validate
+against theory-level expectations, and check the package surface.
+"""
+
+import math
+
+import networkx as nx
+import pytest
+
+import repro
+from repro import solve_mis
+from repro.analysis import (
+    aggregate_calls,
+    check_lexicographically_first,
+    pruning_summary,
+    verify_schedule,
+)
+from repro.core import schedule
+from repro.graphs import assert_valid_mis
+from repro.sim import DEFAULT_MODEL, IDEAL_MODEL
+
+
+class TestAllAlgorithmsAgreeOnStructure:
+    @pytest.fixture(scope="class")
+    def graph(self):
+        return nx.gnp_random_graph(80, 0.06, seed=21)
+
+    def test_all_produce_valid_mis(self, graph):
+        for algorithm in repro.algorithm_names():
+            result = solve_mis(graph, algorithm=algorithm, seed=21)
+            assert_valid_mis(graph, result.mis)
+
+    def test_mis_sizes_comparable(self, graph):
+        # Different algorithms give different MIS's, but sizes should be
+        # in the same ballpark (all maximal independent sets).
+        sizes = {
+            algorithm: len(solve_mis(graph, algorithm=algorithm, seed=21).mis)
+            for algorithm in repro.algorithm_names()
+        }
+        assert max(sizes.values()) <= 2 * min(sizes.values())
+
+    def test_same_bits_same_mis_across_depths(self, graph):
+        # Corollary 1 consequence: Algorithm 1 and sequential greedy agree;
+        # hence two Algorithm-1 runs with the same seed (same bits) agree.
+        a = solve_mis(graph, algorithm="sleeping", seed=3)
+        b = solve_mis(graph, algorithm="sleeping", seed=3)
+        assert a.mis == b.mis
+
+
+class TestSleepingVersusTraditional:
+    def test_sleeping_node_avg_awake_flat_while_rounds_explode(self):
+        ns = [32, 128, 512]
+        awake = []
+        rounds = []
+        for n in ns:
+            graph = nx.gnp_random_graph(n, 8.0 / n, seed=n)
+            result = solve_mis(graph, algorithm="sleeping", seed=n)
+            awake.append(result.node_averaged_awake_complexity)
+            rounds.append(result.rounds)
+        # awake flat within 2x across a 16x size range...
+        assert max(awake) <= 2.0 * min(awake)
+        # ...while wall clock grows by the schedule's 2^{3 log} factor.
+        assert rounds[-1] > 1000 * rounds[0]
+
+    def test_fast_sleeping_rounds_polylog(self):
+        small = solve_mis(
+            nx.gnp_random_graph(64, 0.1, seed=1), algorithm="fast-sleeping", seed=1
+        )
+        large = solve_mis(
+            nx.gnp_random_graph(1024, 8 / 1024, seed=1),
+            algorithm="fast-sleeping",
+            seed=1,
+        )
+        # log^3.41 growth from n=64 to n=1024 is about (10/6)^3.41 ~ 5.7x;
+        # allow generous headroom but forbid polynomial blow-up.
+        assert large.rounds < 40 * small.rounds
+
+    def test_luby_total_awake_grows_with_n_while_sleeping_flat(self):
+        # Total awake rounds: Luby pays n * avg_finish; sleeping pays O(n).
+        n = 512
+        graph = nx.gnp_random_graph(n, 8.0 / n, seed=5)
+        sleeping = solve_mis(graph, algorithm="sleeping", seed=5)
+        assert sleeping.total_awake_rounds < 10 * n
+
+
+class TestEnergyPipeline:
+    def test_ideal_energy_equals_awake_rounds(self, gnp60):
+        result = solve_mis(gnp60, algorithm="fast-sleeping", seed=2)
+        assert IDEAL_MODEL.total_energy(result) == pytest.approx(
+            float(result.total_awake_rounds)
+        )
+
+    def test_default_model_charges_sleep(self, gnp60):
+        result = solve_mis(gnp60, algorithm="fast-sleeping", seed=2)
+        assert DEFAULT_MODEL.total_energy(result) > IDEAL_MODEL.total_energy(
+            result
+        )
+
+
+class TestCongestDiscipline:
+    @pytest.mark.parametrize(
+        "algorithm", ["sleeping", "fast-sleeping", "luby", "greedy", "ghaffari"]
+    )
+    def test_all_algorithms_fit_logarithmic_messages(self, algorithm):
+        n = 100
+        graph = nx.gnp_random_graph(n, 0.06, seed=3)
+        limit = 64 * math.ceil(math.log2(n))
+        result = solve_mis(
+            graph, algorithm=algorithm, seed=3, congest_bit_limit=limit
+        )
+        assert_valid_mis(graph, result.mis)
+
+
+class TestAnalysisPipelineOnFastVariant:
+    def test_full_analysis_stack(self):
+        graph = nx.gnp_random_graph(120, 0.05, seed=8)
+        result = solve_mis(graph, algorithm="fast-sleeping", seed=8)
+        assert_valid_mis(graph, result.mis)
+        assert check_lexicographically_first(result)
+        window = schedule.greedy_rounds(120)
+        assert (
+            verify_schedule(
+                result, lambda k: schedule.fast_call_duration(k, window)
+            )
+            == []
+        )
+        summary = pruning_summary([result])
+        assert 0.0 <= summary.right_fraction <= 0.5
+        calls = aggregate_calls(result)
+        assert calls[""].size == 120
+
+
+class TestPackageSurface:
+    def test_version(self):
+        assert repro.__version__
+
+    def test_public_names_importable(self):
+        for name in repro.__all__:
+            assert hasattr(repro, name), name
+
+    def test_subpackage_alls_resolve(self):
+        import repro.analysis as analysis
+        import repro.baselines as baselines
+        import repro.graphs as graphs
+        import repro.sim as sim
+
+        for module in (analysis, baselines, graphs, sim):
+            for name in module.__all__:
+                assert hasattr(module, name), (module.__name__, name)

@@ -1,0 +1,138 @@
+"""Tests for the lemma-validation analysis layer (Lemmas 2, 3, 7)."""
+
+import networkx as nx
+import pytest
+
+from repro.analysis import (
+    aggregate_calls,
+    decision_counts,
+    decision_site,
+    level_decay_table,
+    level_totals,
+    pruning_summary,
+)
+
+from conftest import run_mis
+
+
+@pytest.fixture(scope="module")
+def runs():
+    """A pool of finished Algorithm 1 runs for aggregation tests."""
+    results = []
+    for seed in range(6):
+        graph = nx.gnp_random_graph(70, 0.08, seed=seed)
+        results.append(run_mis(graph, "sleeping", seed=seed))
+    return results
+
+
+class TestAggregateCalls:
+    def test_root_call_has_everyone(self, runs):
+        calls = aggregate_calls(runs[0])
+        assert len(calls[""].members) == runs[0].n
+
+    def test_left_right_subsets_of_members(self, runs):
+        for agg in aggregate_calls(runs[0]).values():
+            assert agg.left <= agg.members
+            assert agg.right <= agg.members
+            assert not (agg.left & agg.right)
+
+    def test_children_members_match_parent_roles(self, runs):
+        calls = aggregate_calls(runs[0])
+        for path, agg in calls.items():
+            left_child = calls.get(path + "L")
+            if left_child is not None:
+                assert left_child.members == agg.left
+            right_child = calls.get(path + "R")
+            if right_child is not None:
+                assert right_child.members == agg.right
+
+    def test_call_levels_decrease_along_paths(self, runs):
+        calls = aggregate_calls(runs[0])
+        for path, agg in calls.items():
+            assert agg.k == calls[""].k - len(path)
+
+    def test_requires_instrumented_protocol(self, gnp60):
+        result = run_mis(gnp60, "luby", seed=0)
+        with pytest.raises(TypeError):
+            aggregate_calls(result)
+
+
+class TestLevelTotals:
+    def test_top_level_is_n(self, runs):
+        for result in runs:
+            totals = level_totals(result)
+            assert totals[max(totals)] == result.n
+
+    def test_totals_match_call_sizes(self, runs):
+        result = runs[0]
+        calls = aggregate_calls(result)
+        totals = level_totals(result)
+        assert sum(totals.values()) == sum(a.size for a in calls.values())
+
+
+class TestPruningLemma:
+    def test_fractions_respect_bounds_in_aggregate(self, runs):
+        # Lemma 2: E|L| <= |U|/2; Lemma 3: E|R| <= |U|/4.  Pooled over
+        # hundreds of calls the empirical fractions should sit at or below
+        # the bounds (with slack for sampling noise).
+        summary = pruning_summary(runs)
+        assert summary.calls > 20
+        assert summary.left_fraction <= 0.55
+        assert summary.right_fraction <= 0.30
+        assert summary.recursion_fraction <= 0.80
+
+    def test_right_fraction_well_below_left(self, runs):
+        # The pruning effect: the right recursion is much smaller than
+        # the left one.
+        summary = pruning_summary(runs)
+        assert summary.right_fraction < summary.left_fraction
+
+    def test_empty_input(self):
+        summary = pruning_summary([])
+        assert summary.calls == 0
+        assert summary.left_fraction == 0.0
+
+
+class TestLevelDecay:
+    def test_observed_below_envelope(self, runs):
+        # Lemma 7: E[Z_{K-i}] <= (3/4)^i n.  Allow slack at deep levels
+        # where counts are tiny.
+        for row in level_decay_table(runs):
+            if row["envelope"] >= 5:
+                assert row["mean_z"] <= row["envelope"] * 1.25
+
+    def test_depth_zero_exact(self, runs):
+        rows = level_decay_table(runs)
+        assert rows[0]["depth"] == 0
+        assert rows[0]["mean_z"] == pytest.approx(rows[0]["envelope"])
+
+    def test_decay_is_geometric_not_linear(self, runs):
+        # After ell ~ 2.41 levels the work should roughly halve; after 8
+        # levels it must be far below n.
+        rows = level_decay_table(runs)
+        by_depth = {row["depth"]: row["mean_z"] for row in rows}
+        if 8 in by_depth:
+            assert by_depth[8] < 0.3 * by_depth[0]
+
+
+class TestDecisionAccounting:
+    def test_every_node_has_decision_site(self, runs):
+        for result in runs:
+            for protocol in result.protocols.values():
+                assert decision_site(protocol) is not None
+
+    def test_decision_counts_sum_to_n(self, runs):
+        for result in runs:
+            counts = decision_counts(result)
+            assert sum(counts.values()) == result.n
+
+    def test_known_mechanisms_only(self, runs):
+        allowed = {"base", "isolated", "eliminated", "second_isolated"}
+        for result in runs:
+            assert set(decision_counts(result)) <= allowed
+
+    def test_mis_members_never_eliminated(self, runs):
+        for result in runs:
+            for v in result.mis:
+                _, how = decision_site(result.protocols[v])
+                assert how != "eliminated"

@@ -1,0 +1,145 @@
+"""Tests for Corollary 1 (lex-first MIS) and Lemma 6 (deferred decisions)."""
+
+import networkx as nx
+import pytest
+
+from repro.analysis import (
+    check_lexicographically_first,
+    recover_priorities,
+    reference_mis,
+    replay_deferred_decisions,
+    verify_lemma6,
+    verify_lemma6_everywhere,
+)
+from repro.core import FastSleepingMIS
+from repro.sim import Simulator
+
+from conftest import run_mis
+
+
+class TestCorollary1Algorithm1:
+    @pytest.mark.parametrize("seed", range(10))
+    def test_exact_equality_gnp(self, seed):
+        graph = nx.gnp_random_graph(50, 0.1, seed=seed)
+        result = run_mis(graph, "sleeping", seed=seed)
+        assert check_lexicographically_first(result)
+
+    @pytest.mark.parametrize(
+        "graph_builder",
+        [
+            lambda: nx.cycle_graph(20),
+            lambda: nx.complete_graph(15),
+            lambda: nx.star_graph(14),
+            lambda: nx.random_regular_graph(4, 20, seed=1),
+        ],
+        ids=["cycle", "complete", "star", "regular"],
+    )
+    def test_exact_equality_structured(self, graph_builder):
+        graph = graph_builder()
+        result = run_mis(graph, "sleeping", seed=5)
+        assert check_lexicographically_first(result)
+
+    def test_reference_is_valid_mis(self, gnp60):
+        from repro.graphs import assert_valid_mis
+
+        result = run_mis(gnp60, "sleeping", seed=1)
+        assert_valid_mis(gnp60, reference_mis(result))
+
+
+class TestCorollary1Algorithm2:
+    @pytest.mark.parametrize("seed", range(6))
+    def test_exact_equality(self, seed):
+        graph = nx.gnp_random_graph(60, 0.08, seed=seed)
+        result = run_mis(graph, "fast-sleeping", seed=seed)
+        assert check_lexicographically_first(result)
+
+    def test_equality_with_forced_base_cases(self):
+        # Shallow depth pushes most nodes into greedy base cases, making
+        # the combined (bits, base-rank) priority do real work.
+        graph = nx.gnp_random_graph(40, 0.12, seed=2)
+        result = Simulator(
+            graph, lambda v: FastSleepingMIS(depth=1), seed=2
+        ).run()
+        assert check_lexicographically_first(result)
+
+
+class TestRecoverPriorities:
+    def test_rejects_uninstrumented_protocols(self, gnp60):
+        result = run_mis(gnp60, "luby", seed=0)
+        with pytest.raises(TypeError):
+            recover_priorities(result)
+
+    def test_priorities_comparable(self, gnp60):
+        result = run_mis(gnp60, "sleeping", seed=0)
+        priorities = sorted(recover_priorities(result).values())
+        assert len(priorities) == 60
+
+
+class TestLemma6:
+    @pytest.mark.parametrize("seed", range(4))
+    def test_no_violations_anywhere(self, seed):
+        graph = nx.gnp_random_graph(50, 0.1, seed=seed)
+        result = run_mis(graph, "sleeping", seed=seed)
+        assert verify_lemma6_everywhere(result) == []
+
+    def test_root_call_labels_partition_members(self, gnp60):
+        result = run_mis(gnp60, "sleeping", seed=3)
+        outcome = replay_deferred_decisions(result, "")
+        assert set(outcome.labels) == set(outcome.order)
+        assert outcome.sequence_fixed() | outcome.neighbor_fixed() == set(
+            outcome.order
+        )
+        assert not outcome.sequence_fixed() & outcome.neighbor_fixed()
+
+    def test_first_in_sequence_is_sequence_fixed(self, gnp60):
+        result = run_mis(gnp60, "sleeping", seed=3)
+        outcome = replay_deferred_decisions(result, "")
+        assert outcome.labels[outcome.order[0]] == "sequence"
+
+    def test_unknown_path_rejected(self, gnp60):
+        result = run_mis(gnp60, "sleeping", seed=3)
+        with pytest.raises(KeyError):
+            replay_deferred_decisions(result, "LLLLLLLLLLLL")
+
+    def test_base_call_rejected(self):
+        graph = nx.gnp_random_graph(30, 0.15, seed=1)
+        from repro.core import SleepingMIS
+
+        result = Simulator(
+            graph, lambda v: SleepingMIS(depth=1), seed=4
+        ).run()
+        from repro.analysis import aggregate_calls
+
+        base_paths = [
+            p for p, a in aggregate_calls(result).items() if a.k == 0
+        ]
+        if base_paths:
+            with pytest.raises(ValueError):
+                replay_deferred_decisions(result, base_paths[0])
+
+    def test_lemma6_on_specific_call(self, gnp60):
+        result = run_mis(gnp60, "sleeping", seed=3)
+        assert verify_lemma6(result, "") == []
+
+
+class TestLemma6TruncationBoundary:
+    """Lemma 6 is samplewise-exact only for Algorithm 1 (see module docs)."""
+
+    def test_forced_base_cases_break_samplewise_replay(self):
+        # Algorithm 2 with depth 1 funnels nodes into greedy base cases
+        # whose fresh ranks differ from the X-bit continuation: the replay
+        # must detect samplewise violations (the equality is only in
+        # distribution, which is all Corollary 1 needs).
+        import networkx as nx
+
+        from repro.core import FastSleepingMIS
+        from repro.sim import Simulator
+
+        graph = nx.gnp_random_graph(60, 0.1, seed=3)
+        result = Simulator(
+            graph, lambda v: FastSleepingMIS(depth=1), seed=3
+        ).run()
+        assert verify_lemma6_everywhere(result) != []
+        # ...while the realized run is still a correct lex-first MIS of
+        # its own (bits, base-rank) priorities.
+        assert check_lexicographically_first(result)

@@ -1,0 +1,116 @@
+"""Tests for the maximal-matching extension (MIS on the line graph)."""
+
+import networkx as nx
+import pytest
+
+from repro.extensions.matching import (
+    is_maximal_matching,
+    line_graph_with_edge_map,
+    solve_maximal_matching,
+)
+
+
+class TestLineGraph:
+    def test_path_line_graph_is_path(self):
+        line, edge_of = line_graph_with_edge_map(nx.path_graph(4))
+        assert line.number_of_nodes() == 3
+        assert line.number_of_edges() == 2  # consecutive edges share nodes
+
+    def test_triangle_line_graph_is_triangle(self):
+        line, _ = line_graph_with_edge_map(nx.complete_graph(3))
+        assert line.number_of_nodes() == 3
+        assert line.number_of_edges() == 3
+
+    def test_star_line_graph_is_clique(self):
+        line, _ = line_graph_with_edge_map(nx.star_graph(5))
+        assert line.number_of_nodes() == 5
+        assert line.number_of_edges() == 10  # K5
+
+    def test_edge_map_covers_all_edges(self):
+        graph = nx.gnp_random_graph(15, 0.3, seed=1)
+        line, edge_of = line_graph_with_edge_map(graph)
+        assert len(edge_of) == graph.number_of_edges()
+        for u, v in edge_of.values():
+            assert graph.has_edge(u, v)
+
+    def test_empty_graph(self):
+        line, edge_of = line_graph_with_edge_map(nx.empty_graph(4))
+        assert line.number_of_nodes() == 0
+        assert edge_of == {}
+
+    def test_adjacency_mapping_input(self):
+        line, edge_of = line_graph_with_edge_map({0: [1], 1: [0, 2], 2: [1]})
+        assert line.number_of_nodes() == 2
+
+
+class TestIsMaximalMatching:
+    def test_valid(self):
+        graph = nx.path_graph(4)
+        assert is_maximal_matching(graph, [(1, 2)])
+        assert is_maximal_matching(graph, [(0, 1), (2, 3)])
+
+    def test_not_a_matching(self):
+        graph = nx.path_graph(4)
+        assert not is_maximal_matching(graph, [(0, 1), (1, 2)])
+
+    def test_not_maximal(self):
+        graph = nx.path_graph(5)
+        assert not is_maximal_matching(graph, [(0, 1)])  # (2,3)/(3,4) free
+
+    def test_non_edge_rejected(self):
+        graph = nx.path_graph(4)
+        assert not is_maximal_matching(graph, [(0, 2)])
+
+    def test_empty_matching_on_empty_graph(self):
+        assert is_maximal_matching(nx.empty_graph(3), [])
+
+    def test_reversed_edge_orientation_accepted(self):
+        graph = nx.path_graph(3)
+        assert is_maximal_matching(graph, [(1, 0)]) == is_maximal_matching(
+            graph, [(0, 1)]
+        )
+
+
+class TestSolveMaximalMatching:
+    @pytest.mark.parametrize(
+        "algorithm", ["sleeping", "fast-sleeping", "luby", "greedy"]
+    )
+    def test_valid_matching(self, algorithm):
+        graph = nx.gnp_random_graph(25, 0.2, seed=4)
+        matching, result = solve_maximal_matching(
+            graph, algorithm=algorithm, seed=4
+        )
+        assert is_maximal_matching(graph, matching)
+        assert result.n == graph.number_of_edges()
+
+    def test_complete_graph_perfect_matching_size(self):
+        graph = nx.complete_graph(8)
+        matching, _ = solve_maximal_matching(graph, seed=1)
+        # A maximal matching of K8 matches at least 3 pairs; at most 4.
+        assert 3 <= len(matching) <= 4
+
+    def test_edge_agents_have_constant_average_awake(self):
+        # The headline guarantee carries over: O(1) awake rounds per edge.
+        small = nx.gnp_random_graph(40, 6 / 40, seed=2)
+        large = nx.gnp_random_graph(160, 6 / 160, seed=2)
+        _, result_small = solve_maximal_matching(
+            small, algorithm="fast-sleeping", seed=2
+        )
+        _, result_large = solve_maximal_matching(
+            large, algorithm="fast-sleeping", seed=2
+        )
+        assert (
+            result_large.node_averaged_awake_complexity
+            <= 2.0 * result_small.node_averaged_awake_complexity
+        )
+
+    def test_deterministic(self):
+        graph = nx.gnp_random_graph(20, 0.25, seed=3)
+        a, _ = solve_maximal_matching(graph, seed=9)
+        b, _ = solve_maximal_matching(graph, seed=9)
+        assert a == b
+
+    def test_edgeless_graph(self):
+        matching, result = solve_maximal_matching(nx.empty_graph(5), seed=0)
+        assert matching == frozenset()
+        assert result.n == 0

@@ -1,0 +1,80 @@
+"""Unit tests for CONGEST payload bit accounting."""
+
+import math
+
+import pytest
+
+from repro.sim.errors import ProtocolError
+from repro.sim.messages import Message, payload_bits
+
+
+class TestPayloadBits:
+    def test_none(self):
+        assert payload_bits(None) == 2
+
+    def test_bool(self):
+        assert payload_bits(True) == 2
+        assert payload_bits(False) == 2
+
+    def test_small_int(self):
+        assert payload_bits(0) == 3
+        assert payload_bits(1) == 3
+
+    def test_int_grows_with_bit_length(self):
+        assert payload_bits(255) == 8 + 2
+        assert payload_bits(2**20) == 21 + 2
+
+    def test_negative_int(self):
+        assert payload_bits(-5) == payload_bits(5)
+
+    def test_float(self):
+        assert payload_bits(3.14) == 66
+
+    def test_str(self):
+        assert payload_bits("abc") == 8 * 3 + 8
+
+    def test_empty_str(self):
+        assert payload_bits("") == 8
+
+    def test_bytes(self):
+        assert payload_bits(b"xy") == 8 * 2 + 8
+
+    def test_tuple_sums_elements(self):
+        single = payload_bits(7)
+        assert payload_bits((7, 7)) == 2 * (single + 4)
+
+    def test_list_same_as_tuple(self):
+        assert payload_bits([1, 2]) == payload_bits((1, 2))
+
+    def test_nested_tuple(self):
+        assert payload_bits(((1,),)) == payload_bits((1,)) + 4
+
+    def test_unencodable_type_raises(self):
+        with pytest.raises(ProtocolError):
+            payload_bits({"a": 1})
+
+    def test_unencodable_object_raises(self):
+        with pytest.raises(ProtocolError):
+            payload_bits(object())
+
+    def test_bool_is_not_counted_as_int(self):
+        # bool is a subclass of int; ensure the cheaper bool encoding wins.
+        assert payload_bits(True) < payload_bits(1 << 10)
+        assert payload_bits(True) == 2
+
+    def test_rank_payload_is_logarithmic(self):
+        # The rank messages used by the greedy base case must fit in
+        # O(log n) bits.
+        n = 1024
+        rank = (n**6, n - 1)
+        assert payload_bits(rank) <= 64 * math.ceil(math.log2(n))
+
+
+class TestMessage:
+    def test_fields(self):
+        msg = Message(round=3, sender=1, recipient=2, payload="x")
+        assert (msg.round, msg.sender, msg.recipient) == (3, 1, 2)
+
+    def test_bits_property(self):
+        msg = Message(round=0, sender=0, recipient=1, payload=True)
+        assert msg.bits == 2

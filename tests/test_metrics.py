@@ -1,0 +1,124 @@
+"""Unit tests for NodeStats / RunResult measure computation."""
+
+from repro.sim.metrics import NodeStats, RunResult
+
+
+def make_result(stats_list, outputs=None, rounds=None):
+    stats = {s.node_id: s for s in stats_list}
+    if rounds is None:
+        rounds = max(
+            (s.finish_round or 0 for s in stats_list), default=0
+        )
+    return RunResult(
+        n=len(stats),
+        rounds=rounds,
+        seed=0,
+        node_stats=stats,
+        outputs=outputs or {},
+    )
+
+
+class TestMeasures:
+    def test_node_averaged_awake(self):
+        result = make_result(
+            [
+                NodeStats(0, awake_rounds=2, finish_round=5),
+                NodeStats(1, awake_rounds=6, finish_round=5),
+            ]
+        )
+        assert result.node_averaged_awake_complexity == 4.0
+
+    def test_worst_case_awake(self):
+        result = make_result(
+            [
+                NodeStats(0, awake_rounds=2, finish_round=5),
+                NodeStats(1, awake_rounds=6, finish_round=5),
+            ]
+        )
+        assert result.worst_case_awake_complexity == 6
+
+    def test_worst_case_rounds_is_wall_clock(self):
+        result = make_result(
+            [NodeStats(0, finish_round=9)], rounds=9
+        )
+        assert result.worst_case_round_complexity == 9
+
+    def test_node_averaged_rounds(self):
+        result = make_result(
+            [
+                NodeStats(0, finish_round=2),
+                NodeStats(1, finish_round=10),
+            ]
+        )
+        assert result.node_averaged_round_complexity == 6.0
+
+    def test_unfinished_node_counts_as_finishing_at_end(self):
+        result = make_result(
+            [NodeStats(0, finish_round=None), NodeStats(1, finish_round=4)],
+            rounds=10,
+        )
+        assert result.node_averaged_round_complexity == 7.0
+        assert not result.all_finished
+
+    def test_empty_result(self):
+        result = make_result([])
+        assert result.node_averaged_awake_complexity == 0.0
+        assert result.worst_case_awake_complexity == 0
+        assert result.node_averaged_round_complexity == 0.0
+
+
+class TestTotals:
+    def test_message_totals(self):
+        result = make_result(
+            [
+                NodeStats(0, messages_sent=3, bits_sent=6, finish_round=1),
+                NodeStats(1, messages_sent=1, bits_sent=2, finish_round=1),
+            ]
+        )
+        assert result.total_messages == 4
+        assert result.total_bits == 8
+
+    def test_total_awake_rounds(self):
+        result = make_result(
+            [
+                NodeStats(0, awake_rounds=5, finish_round=1),
+                NodeStats(1, awake_rounds=7, finish_round=1),
+            ]
+        )
+        assert result.total_awake_rounds == 12
+
+
+class TestOutputs:
+    def test_mis_property_selects_true(self):
+        result = make_result(
+            [NodeStats(0, finish_round=0), NodeStats(1, finish_round=0)],
+            outputs={0: True, 1: False},
+        )
+        assert result.mis == frozenset({0})
+
+    def test_undecided_property(self):
+        result = make_result(
+            [NodeStats(0, finish_round=0), NodeStats(1, finish_round=0)],
+            outputs={0: True, 1: None},
+        )
+        assert result.undecided == frozenset({1})
+
+    def test_decision_round_average(self):
+        result = make_result(
+            [
+                NodeStats(0, decision_round=2, finish_round=4),
+                NodeStats(1, decision_round=None, finish_round=4),
+            ],
+            rounds=4,
+        )
+        assert result.node_averaged_decision_round == 3.0
+
+
+class TestSummary:
+    def test_summary_keys(self):
+        result = make_result([NodeStats(0, awake_rounds=1, finish_round=2)])
+        summary = result.summary()
+        assert summary["n"] == 1
+        assert summary["node_averaged_awake"] == 1.0
+        assert summary["worst_case_rounds"] == 2
+        assert "total_messages" in summary

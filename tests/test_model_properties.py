@@ -1,0 +1,114 @@
+"""Trace-level verification of the model properties the algorithms rely on.
+
+The correctness of Algorithm 1's isolated-node detection rests on a global
+scheduling invariant the paper states informally: *at any round, the only
+awake nodes are the participants of the currently executing recursive
+call*.  These tests reconstruct per-round awake sets from an execution
+trace and check that invariant (and its consequences) directly.
+"""
+
+import networkx as nx
+
+from repro.analysis.lemmas import aggregate_calls
+from repro.core import SleepingMIS
+from repro.sim import Simulator, Trace
+
+
+def traced_run(n=24, p=0.15, seed=4):
+    graph = nx.gnp_random_graph(n, p, seed=seed)
+    trace = Trace(max_events=2_000_000)
+    result = Simulator(graph, lambda v: SleepingMIS(), seed=seed, trace=trace).run()
+    return graph, trace, result
+
+
+def awake_rounds_per_node(trace):
+    """node -> set of rounds in which it sent at least one message."""
+    rounds = {}
+    for event in trace.by_kind("send"):
+        rounds.setdefault(event.node, set()).add(event.round)
+    return rounds
+
+
+class TestGlobalSchedulingInvariant:
+    def test_call_communication_rounds_have_only_participants_awake(self):
+        graph, trace, result = traced_run()
+        calls = aggregate_calls(result)
+        sends = awake_rounds_per_node(trace)
+
+        # Map each round in which anybody sent to the set of senders.
+        senders_by_round = {}
+        for v, rounds in sends.items():
+            for r in rounds:
+                senders_by_round.setdefault(r, set()).add(v)
+
+        # The first isolated-node detection of a call happens at its start
+        # round; every participant sends and *only* participants send.
+        for path, agg in calls.items():
+            if agg.k < 1:
+                continue
+            detection_round = agg.start_round
+            assert senders_by_round.get(detection_round) == agg.members, path
+
+    def test_sync_rounds_synchronized(self):
+        # All members of a call send their inMIS in the same two rounds
+        # (sync + second detection), located right after the left window.
+        graph, trace, result = traced_run()
+        calls = aggregate_calls(result)
+        sends = awake_rounds_per_node(trace)
+        from repro.core import schedule
+
+        for path, agg in calls.items():
+            if agg.k < 1:
+                continue
+            sync_round = agg.start_round + 1 + schedule.call_duration(agg.k - 1)
+            second_round = sync_round + 1
+            for v in agg.members:
+                assert sync_round in sends[v], (path, v)
+                assert second_round in sends[v], (path, v)
+
+    def test_each_node_sends_exactly_three_rounds_per_internal_call(self):
+        graph, trace, result = traced_run()
+        sends = awake_rounds_per_node(trace)
+        for v, protocol in result.protocols.items():
+            internal_calls = sum(1 for rec in protocol.calls if rec.k >= 1)
+            assert len(sends.get(v, set())) == 3 * internal_calls
+
+    def test_no_sends_outside_own_call_windows(self):
+        graph, trace, result = traced_run()
+        sends = awake_rounds_per_node(trace)
+        for v, protocol in result.protocols.items():
+            windows = [
+                (rec.start_round, rec.end_round)
+                for rec in protocol.calls
+                if rec.k >= 1
+            ]
+            for r in sends.get(v, set()):
+                assert any(start <= r < end for start, end in windows), (v, r)
+
+
+class TestMessageVisibility:
+    def test_presence_probe_reveals_exactly_call_neighborhood(self):
+        # For every internal call and participant v, the set of messages v
+        # received at the detection round equals its graph-neighbors within
+        # the call's member set -- the G[U] neighborhood.
+        graph, trace, result = traced_run(n=20, p=0.25, seed=9)
+        calls = aggregate_calls(result)
+
+        received = {}
+        for event in trace.by_kind("send"):
+            received.setdefault((event.round, event.data["to"]), set()).add(
+                event.node
+            )
+
+        for path, agg in calls.items():
+            if agg.k < 1:
+                continue
+            detection = agg.start_round
+            for v in agg.members:
+                got = {
+                    u
+                    for u in received.get((detection, v), set())
+                    if u in agg.members
+                }
+                expected = set(graph.adj[v]) & agg.members
+                assert got == expected, (path, v)

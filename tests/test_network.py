@@ -1,0 +1,419 @@
+"""Unit tests for the sleeping-model simulator core.
+
+These tests pin down the model semantics the algorithms rely on:
+synchronous delivery, message dropping to sleeping/terminated nodes,
+exact sleep durations, fast-forward over all-asleep windows, and the
+awake/round accounting.
+"""
+
+import pytest
+
+from repro.sim import (
+    CongestViolationError,
+    MaxRoundsExceededError,
+    Protocol,
+    ProtocolError,
+    SendAndReceive,
+    Simulator,
+    Sleep,
+    node_rng,
+    normalize_graph,
+    simulate,
+)
+
+PATH3 = {0: [1], 1: [0, 2], 2: [1]}
+
+
+class Echo(Protocol):
+    """Awake one round, record the inbox, terminate."""
+
+    def __init__(self, payload="hello"):
+        self.payload = payload
+        self.inbox = None
+
+    def run(self, ctx):
+        self.inbox = yield SendAndReceive(
+            {u: self.payload for u in ctx.neighbors}
+        )
+
+    def output(self):
+        return self.inbox
+
+
+class SleepThenListen(Protocol):
+    """Sleep some rounds, then listen one round."""
+
+    def __init__(self, duration):
+        self.duration = duration
+        self.inbox = None
+        self.woke_at = None
+
+    def run(self, ctx):
+        yield Sleep(self.duration)
+        self.woke_at = ctx.current_round()
+        self.inbox = yield SendAndReceive({})
+
+    def output(self):
+        return self.inbox
+
+
+class TestNormalizeGraph:
+    def test_networkx_graph(self):
+        import networkx as nx
+
+        adjacency = normalize_graph(nx.path_graph(3))
+        assert adjacency == {0: (1,), 1: (0, 2), 2: (1,)}
+
+    def test_mapping(self):
+        adjacency = normalize_graph({0: [1], 1: [0]})
+        assert adjacency == {0: (1,), 1: (0,)}
+
+    def test_symmetrizes(self):
+        adjacency = normalize_graph({0: [1], 1: []})
+        assert adjacency == {0: (1,), 1: (0,)}
+
+    def test_drops_self_loops(self):
+        adjacency = normalize_graph({0: [0, 1], 1: []})
+        assert adjacency == {0: (1,), 1: (0,)}
+
+    def test_unknown_neighbor_rejected(self):
+        with pytest.raises(ValueError):
+            normalize_graph({0: [9]})
+
+    def test_bad_type_rejected(self):
+        with pytest.raises(TypeError):
+            normalize_graph([0, 1])
+
+    def test_empty(self):
+        assert normalize_graph({}) == {}
+
+
+class TestNodeRng:
+    def test_deterministic(self):
+        assert node_rng(1, 5).random() == node_rng(1, 5).random()
+
+    def test_distinct_per_node(self):
+        assert node_rng(1, 5).random() != node_rng(1, 6).random()
+
+    def test_distinct_per_seed(self):
+        assert node_rng(1, 5).random() != node_rng(2, 5).random()
+
+
+class TestDelivery:
+    def test_awake_neighbors_exchange(self):
+        result = simulate(PATH3, lambda v: Echo())
+        assert result.outputs[0] == {1: "hello"}
+        assert result.outputs[1] == {0: "hello", 2: "hello"}
+        assert result.outputs[2] == {1: "hello"}
+
+    def test_message_to_sleeping_node_dropped(self):
+        # Node 1 sleeps through round 0, so node 0's message is lost.
+        def factory(v):
+            return Echo() if v == 0 else SleepThenListen(1)
+
+        result = simulate({0: [1], 1: [0]}, factory)
+        assert result.outputs[0] == {}  # neighbor asleep, nothing received
+        assert result.outputs[1] == {}  # sender already terminated
+
+    def test_message_to_terminated_node_dropped(self):
+        # Node 0 terminates after round 0; node 1 sends during round 1.
+        class TwoRounds(Protocol):
+            def __init__(self):
+                self.second = None
+
+            def run(self, ctx):
+                yield SendAndReceive({u: "a" for u in ctx.neighbors})
+                self.second = yield SendAndReceive(
+                    {u: "b" for u in ctx.neighbors}
+                )
+
+            def output(self):
+                return self.second
+
+        def factory(v):
+            return Echo() if v == 0 else TwoRounds()
+
+        result = simulate({0: [1], 1: [0]}, factory)
+        assert result.outputs[0] == {1: "a"}
+        assert result.outputs[1] == {}  # round-1 send hit a terminated node
+
+    def test_send_to_non_neighbor_rejected(self):
+        class Bad(Protocol):
+            def run(self, ctx):
+                yield SendAndReceive({99: "x"})
+
+        with pytest.raises(ProtocolError):
+            simulate(PATH3, lambda v: Bad())
+
+    def test_distinct_payloads_per_neighbor(self):
+        class PerNeighbor(Protocol):
+            def __init__(self):
+                self.inbox = None
+
+            def run(self, ctx):
+                self.inbox = yield SendAndReceive(
+                    {u: ("to", u) for u in ctx.neighbors}
+                )
+
+            def output(self):
+                return self.inbox
+
+        result = simulate(PATH3, lambda v: PerNeighbor())
+        assert result.outputs[1] == {0: ("to", 1), 2: ("to", 1)}
+
+
+class TestSleepSemantics:
+    def test_sleep_duration_exact(self):
+        result = simulate({0: []}, lambda v: SleepThenListen(5))
+        assert result.protocols[0].woke_at == 5
+        assert result.node_stats[0].sleep_rounds == 5
+        assert result.node_stats[0].awake_rounds == 1
+        assert result.rounds == 6  # acted in round 5, finished after it
+
+    def test_sleep_zero_is_noop(self):
+        class ZeroSleep(Protocol):
+            def run(self, ctx):
+                yield Sleep(0)
+                yield SendAndReceive({})
+
+        result = simulate({0: []}, lambda v: ZeroSleep())
+        assert result.node_stats[0].sleep_rounds == 0
+        assert result.rounds == 1
+
+    def test_negative_sleep_rejected(self):
+        class Negative(Protocol):
+            def run(self, ctx):
+                yield Sleep(-1)
+
+        with pytest.raises(ProtocolError):
+            simulate({0: []}, lambda v: Negative())
+
+    def test_non_integer_sleep_rejected(self):
+        class Fractional(Protocol):
+            def run(self, ctx):
+                yield Sleep(1.5)
+
+        with pytest.raises(ProtocolError):
+            simulate({0: []}, lambda v: Fractional())
+
+    def test_fast_forward_skips_all_asleep_windows(self):
+        # Both nodes sleep a huge window; the simulator must finish fast
+        # while the round counter reflects the full wall clock.
+        big = 10**9
+
+        result = simulate(
+            {0: [1], 1: [0]},
+            lambda v: SleepThenListen(big),
+            max_iterations=1000,
+        )
+        assert result.rounds == big + 1
+        assert result.node_stats[0].sleep_rounds == big
+
+    def test_interleaved_sleep_and_wake(self):
+        # Node 0 awake rounds 0,1,2; node 1 awake only round 1.
+        class AwakeThree(Protocol):
+            def __init__(self):
+                self.inboxes = []
+
+            def run(self, ctx):
+                for _ in range(3):
+                    inbox = yield SendAndReceive(
+                        {u: "ping" for u in ctx.neighbors}
+                    )
+                    self.inboxes.append(dict(inbox))
+
+            def output(self):
+                return self.inboxes
+
+        class AwakeMiddle(Protocol):
+            def __init__(self):
+                self.inbox = None
+
+            def run(self, ctx):
+                yield Sleep(1)
+                self.inbox = yield SendAndReceive(
+                    {u: "pong" for u in ctx.neighbors}
+                )
+
+            def output(self):
+                return self.inbox
+
+        def factory(v):
+            return AwakeThree() if v == 0 else AwakeMiddle()
+
+        result = simulate({0: [1], 1: [0]}, factory)
+        assert result.outputs[0] == [{}, {1: "pong"}, {}]
+        assert result.outputs[1] == {0: "ping"}
+
+
+class TestTermination:
+    def test_immediate_termination(self):
+        class Immediate(Protocol):
+            def run(self, ctx):
+                return
+                yield  # pragma: no cover
+
+        result = simulate({0: []}, lambda v: Immediate())
+        assert result.rounds == 0
+        assert result.node_stats[0].finish_round == 0
+        assert result.all_finished
+
+    def test_finish_round_counts_elapsed_rounds(self):
+        result = simulate({0: []}, lambda v: Echo())
+        assert result.node_stats[0].finish_round == 1
+
+    def test_termination_after_sleep(self):
+        class SleepOnly(Protocol):
+            def run(self, ctx):
+                yield Sleep(4)
+
+        result = simulate({0: []}, lambda v: SleepOnly())
+        assert result.node_stats[0].finish_round == 4
+        assert result.node_stats[0].awake_rounds == 0
+
+
+class TestAccounting:
+    def test_awake_rounds_counted(self):
+        result = simulate(PATH3, lambda v: Echo())
+        assert all(s.awake_rounds == 1 for s in result.node_stats.values())
+
+    def test_tx_rx_idle_classification(self):
+        # Node 0 sends (tx); node 1 sleeps; node 2 listens and hears
+        # nothing (idle).
+        class Silent(Protocol):
+            def run(self, ctx):
+                yield SendAndReceive({})
+
+        def factory(v):
+            if v == 0:
+                return Echo()
+            if v == 1:
+                return SleepThenListen(2)
+            return Silent()
+
+        result = simulate(PATH3, factory)
+        assert result.node_stats[0].tx_rounds == 1
+        assert result.node_stats[2].idle_rounds == 1
+
+    def test_rx_round_classification(self):
+        # Node 1 listens silently while node 0 transmits to it.
+        class Silent(Protocol):
+            def run(self, ctx):
+                yield SendAndReceive({})
+
+        def factory(v):
+            return Echo() if v == 0 else Silent()
+
+        result = simulate({0: [1], 1: [0]}, factory)
+        assert result.node_stats[1].rx_rounds == 1
+        assert result.node_stats[1].idle_rounds == 0
+
+    def test_message_and_bit_totals(self):
+        result = simulate(PATH3, lambda v: Echo(payload=True))
+        # path 0-1-2: degree sum = 4 messages of 2 bits each.
+        assert result.total_messages == 4
+        assert result.total_bits == 8
+
+    def test_messages_received_counted(self):
+        result = simulate(PATH3, lambda v: Echo())
+        assert result.node_stats[1].messages_received == 2
+
+
+class TestCongestEnforcement:
+    def test_within_limit_passes(self):
+        result = simulate(
+            PATH3, lambda v: Echo(payload=True), congest_bit_limit=8
+        )
+        assert result.all_finished
+
+    def test_violation_raises(self):
+        with pytest.raises(CongestViolationError) as info:
+            simulate(
+                PATH3,
+                lambda v: Echo(payload="a long string payload"),
+                congest_bit_limit=8,
+            )
+        assert info.value.limit == 8
+        assert info.value.bits > 8
+
+
+class TestGuards:
+    def test_max_rounds_exceeded(self):
+        class Forever(Protocol):
+            def run(self, ctx):
+                while True:
+                    yield SendAndReceive({})
+
+        with pytest.raises(MaxRoundsExceededError):
+            simulate({0: []}, lambda v: Forever(), max_rounds=10)
+
+    def test_max_iterations_exceeded(self):
+        class Forever(Protocol):
+            def run(self, ctx):
+                while True:
+                    yield SendAndReceive({})
+
+        with pytest.raises(MaxRoundsExceededError):
+            simulate({0: []}, lambda v: Forever(), max_iterations=10)
+
+    def test_unknown_action_rejected(self):
+        class BadAction(Protocol):
+            def run(self, ctx):
+                yield "not-an-action"
+
+        with pytest.raises(ProtocolError):
+            simulate({0: []}, lambda v: BadAction())
+
+    def test_factory_type_checked(self):
+        with pytest.raises(TypeError):
+            Simulator({0: []}, lambda v: object())
+
+
+class TestDeterminism:
+    def test_same_seed_same_result(self):
+        class RandomReporter(Protocol):
+            def __init__(self):
+                self.value = None
+
+            def run(self, ctx):
+                self.value = ctx.rng.random()
+                yield SendAndReceive({})
+
+            def output(self):
+                return self.value
+
+        a = simulate(PATH3, lambda v: RandomReporter(), seed=5)
+        b = simulate(PATH3, lambda v: RandomReporter(), seed=5)
+        c = simulate(PATH3, lambda v: RandomReporter(), seed=6)
+        assert a.outputs == b.outputs
+        assert a.outputs != c.outputs
+
+
+class TestEmptyGraph:
+    def test_zero_nodes(self):
+        result = simulate({}, lambda v: Echo())
+        assert result.n == 0
+        assert result.rounds == 0
+        assert result.outputs == {}
+
+
+class TestClock:
+    def test_current_round_visible_to_protocol(self):
+        class ClockReader(Protocol):
+            def __init__(self):
+                self.readings = []
+
+            def run(self, ctx):
+                self.readings.append(ctx.current_round())
+                yield SendAndReceive({})
+                self.readings.append(ctx.current_round())
+                yield Sleep(3)
+                self.readings.append(ctx.current_round())
+                yield SendAndReceive({})
+
+            def output(self):
+                return self.readings
+
+        result = simulate({0: []}, lambda v: ClockReader())
+        # primed at 0; after round 0 reads 1; wakes at round 4.
+        assert result.outputs[0] == [0, 1, 4]

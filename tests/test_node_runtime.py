@@ -1,0 +1,128 @@
+"""Direct unit tests for the NodeRuntime state machine."""
+
+import random
+
+import pytest
+
+from repro.sim.actions import SendAndReceive, Sleep
+from repro.sim.context import NodeContext
+from repro.sim.errors import ProtocolError
+from repro.sim.metrics import NodeStats
+from repro.sim.node import NodeRuntime, NodeState
+from repro.sim.protocol import Protocol
+from repro.sim.trace import NULL_TRACE
+
+
+def make_runtime(protocol):
+    stats = NodeStats(node_id=0)
+    ctx = NodeContext(
+        node_id=0,
+        neighbors=(),
+        n=1,
+        rng=random.Random(0),
+        stats=stats,
+        trace=NULL_TRACE,
+        clock=lambda: 0,
+    )
+    return NodeRuntime(0, protocol, ctx, stats, NULL_TRACE)
+
+
+class TestLifecycle:
+    def test_starts_awake_with_pending_action(self):
+        class Sender(Protocol):
+            def run(self, ctx):
+                yield SendAndReceive({})
+
+        rt = make_runtime(Sender())
+        rt.start()
+        assert rt.state is NodeState.AWAKE
+        assert isinstance(rt.pending, SendAndReceive)
+
+    def test_sleep_sets_wake_round(self):
+        class Sleeper(Protocol):
+            def run(self, ctx):
+                yield Sleep(5)
+
+        rt = make_runtime(Sleeper())
+        rt.start()
+        assert rt.state is NodeState.SLEEPING
+        assert rt.wake_round == 5
+        assert rt.stats.sleep_rounds == 5
+
+    def test_chained_zero_sleeps_resolve_immediately(self):
+        class ZeroChain(Protocol):
+            def run(self, ctx):
+                yield Sleep(0)
+                yield Sleep(0)
+                yield SendAndReceive({})
+
+        rt = make_runtime(ZeroChain())
+        rt.start()
+        assert rt.state is NodeState.AWAKE
+        assert rt.stats.sleep_rounds == 0
+
+    def test_immediate_return_terminates(self):
+        class Quitter(Protocol):
+            def run(self, ctx):
+                return
+                yield  # pragma: no cover
+
+        rt = make_runtime(Quitter())
+        rt.start()
+        assert rt.state is NodeState.TERMINATED
+        assert rt.stats.finish_round == 0
+
+    def test_consecutive_sleeps_accumulate(self):
+        class DoubleSleeper(Protocol):
+            def run(self, ctx):
+                yield Sleep(3)
+                yield Sleep(4)
+
+        rt = make_runtime(DoubleSleeper())
+        rt.start()
+        assert rt.wake_round == 3
+        rt.advance(None, 3)
+        assert rt.wake_round == 7
+        assert rt.stats.sleep_rounds == 7
+        rt.advance(None, 7)
+        assert rt.state is NodeState.TERMINATED
+        assert rt.stats.finish_round == 7
+
+
+class TestValidation:
+    def test_bool_sleep_duration_allowed_as_int(self):
+        # bool is an int subclass; Sleep(True) is a 1-round sleep.
+        class BoolSleeper(Protocol):
+            def run(self, ctx):
+                yield Sleep(True)
+
+        rt = make_runtime(BoolSleeper())
+        rt.start()
+        assert rt.wake_round == 1
+
+    def test_string_action_rejected(self):
+        class Bad(Protocol):
+            def run(self, ctx):
+                yield "nope"
+
+        rt = make_runtime(Bad())
+        with pytest.raises(ProtocolError):
+            rt.start()
+
+    def test_float_sleep_rejected(self):
+        class Bad(Protocol):
+            def run(self, ctx):
+                yield Sleep(2.5)
+
+        rt = make_runtime(Bad())
+        with pytest.raises(ProtocolError):
+            rt.start()
+
+    def test_advance_before_start_asserts(self):
+        class Sender(Protocol):
+            def run(self, ctx):
+                yield SendAndReceive({})
+
+        rt = make_runtime(Sender())
+        with pytest.raises(AssertionError):
+            rt.advance(None, 0)

@@ -1,0 +1,81 @@
+"""Unit tests for the shared phased-MIS skeleton (`baselines._phased`)."""
+
+import networkx as nx
+import pytest
+
+from repro.baselines._phased import PhasedMISProtocol
+from repro.graphs import assert_valid_mis
+from repro.sim import Simulator
+
+
+class FixedPriority(PhasedMISProtocol):
+    """Deterministic priorities = node id (highest id wins each phase)."""
+
+    def _priority_value(self, ctx, phase):
+        return ctx.node_id
+
+
+class TestDeterministicPhasing:
+    def test_ids_as_priorities_give_greedy_by_id(self):
+        # On a path 0-1-2-3-4, greedy by decreasing id picks {4, 2, 0}.
+        graph = nx.path_graph(5)
+        result = Simulator(graph, lambda v: FixedPriority(), seed=0).run()
+        assert set(result.mis) == {4, 2, 0}
+
+    def test_clique_highest_id_wins(self):
+        graph = nx.complete_graph(6)
+        result = Simulator(graph, lambda v: FixedPriority(), seed=0).run()
+        assert result.mis == frozenset({5})
+
+    def test_one_phase_on_clique(self):
+        # The single winner is found in phase 1: 3 rounds total (winner
+        # terminates after round B, the eliminated after round C).
+        graph = nx.complete_graph(6)
+        result = Simulator(graph, lambda v: FixedPriority(), seed=0).run()
+        assert result.rounds == 3
+
+    def test_path3_second_join_is_free(self):
+        # 0-1-2: node 2 wins phase 1 eliminating 1; at the next phase
+        # boundary node 0 sees an empty live set and joins with no further
+        # communication -- still 3 rounds total.
+        graph = nx.path_graph(3)
+        result = Simulator(graph, lambda v: FixedPriority(), seed=0).run()
+        assert set(result.mis) == {0, 2}
+        assert result.rounds == 3
+
+    def test_path5_needs_two_full_phases(self):
+        # 0-1-2-3-4: phase 1 -> 4 joins, 3 out; phase 2 -> 2 joins, 1 out;
+        # 0 then joins for free.  Two 3-round phases.
+        graph = nx.path_graph(5)
+        result = Simulator(graph, lambda v: FixedPriority(), seed=0).run()
+        assert set(result.mis) == {4, 2, 0}
+        assert result.rounds == 6
+
+    def test_decision_reported_before_termination(self):
+        graph = nx.path_graph(4)
+        result = Simulator(graph, lambda v: FixedPriority(), seed=0).run()
+        for stats in result.node_stats.values():
+            assert stats.decision_round is not None
+            assert stats.decision_round <= stats.finish_round
+
+
+class TestAbstractBase:
+    def test_priority_hook_required(self):
+        graph = nx.path_graph(2)
+        with pytest.raises(NotImplementedError):
+            Simulator(graph, lambda v: PhasedMISProtocol(), seed=0).run()
+
+
+class TestMixedProtocolInterop:
+    def test_different_phased_protocols_do_not_interfere(self):
+        # Not a sanctioned deployment, but the simulator must keep
+        # per-node protocols independent.
+        from repro.baselines import DistGreedyMIS, LubyMIS
+
+        graph = nx.gnp_random_graph(20, 0.2, seed=2)
+
+        def factory(v):
+            return LubyMIS() if v % 2 else DistGreedyMIS()
+
+        result = Simulator(graph, factory, seed=2).run()
+        assert_valid_mis(graph, result.mis)

@@ -1,0 +1,102 @@
+"""Unit tests for NodeContext bookkeeping and the MISProtocol base."""
+
+import pytest
+
+from repro.sim import SendAndReceive, simulate
+from repro.sim.protocol import MISProtocol, Protocol
+
+
+class TestReportDecision:
+    def test_first_decision_recorded(self):
+        class Decider(Protocol):
+            def run(self, ctx):
+                yield SendAndReceive({})
+                ctx.report_decision("value")
+                yield SendAndReceive({})
+
+        result = simulate({0: []}, lambda v: Decider())
+        stats = result.node_stats[0]
+        assert stats.decision_round == 1
+        assert stats.awake_at_decision == 1
+        assert stats.finish_round == 2
+
+    def test_second_decision_ignored(self):
+        class DoubleDecider(Protocol):
+            def run(self, ctx):
+                ctx.report_decision("first")
+                yield SendAndReceive({})
+                ctx.report_decision("second")
+
+        result = simulate({0: []}, lambda v: DoubleDecider())
+        assert result.node_stats[0].decision_round == 0
+
+    def test_decided_flag(self):
+        class Checker(Protocol):
+            def __init__(self):
+                self.states = []
+
+            def run(self, ctx):
+                self.states.append(ctx.decided)
+                ctx.report_decision(1)
+                self.states.append(ctx.decided)
+                return
+                yield  # pragma: no cover
+
+            def output(self):
+                return self.states
+
+        result = simulate({0: []}, lambda v: Checker())
+        assert result.outputs[0] == [False, True]
+
+
+class TestContextBasics:
+    def test_degree_and_neighbors(self):
+        class Inspect(Protocol):
+            def __init__(self):
+                self.info = None
+
+            def run(self, ctx):
+                self.info = (ctx.node_id, ctx.degree, ctx.neighbors, ctx.n)
+                return
+                yield  # pragma: no cover
+
+            def output(self):
+                return self.info
+
+        result = simulate({0: [1, 2], 1: [0], 2: [0]}, lambda v: Inspect())
+        assert result.outputs[0] == (0, 2, (1, 2), 3)
+        assert result.outputs[1] == (1, 1, (0,), 3)
+
+
+class TestMISProtocolBase:
+    def test_default_output_is_in_mis(self):
+        class Trivial(MISProtocol):
+            def run(self, ctx):
+                self._decide(ctx, True, "test")
+                return
+                yield  # pragma: no cover
+
+        result = simulate({0: []}, lambda v: Trivial())
+        assert result.outputs[0] is True
+        assert result.mis == frozenset({0})
+
+    def test_double_decide_raises(self):
+        class Doubler(MISProtocol):
+            def run(self, ctx):
+                self._decide(ctx, True, "a")
+                self._decide(ctx, False, "b")
+                return
+                yield  # pragma: no cover
+
+        with pytest.raises(AssertionError):
+            simulate({0: []}, lambda v: Doubler())
+
+    def test_undecided_output_is_none(self):
+        class Undecided(MISProtocol):
+            def run(self, ctx):
+                return
+                yield  # pragma: no cover
+
+        result = simulate({0: []}, lambda v: Undecided())
+        assert result.outputs[0] is None
+        assert result.undecided == frozenset({0})

@@ -1,0 +1,91 @@
+"""Unit tests for k-ranks and evaluation sequences (Definitions 1-2)."""
+
+import pytest
+
+from repro.core.ranks import (
+    evaluation_sequence,
+    full_rank_order,
+    k_rank,
+    rank_less,
+    ranks_unique,
+)
+
+
+class TestKRank:
+    def test_zero_rank_is_sentinel(self):
+        assert k_rank((1, 0, 1), 0) == (-1,)
+
+    def test_orders_bits_from_x_k_down(self):
+        # bits = (X_1, X_2, X_3); r_3 = (X_3, X_2, X_1, -1).
+        assert k_rank((1, 0, 1), 3) == (1, 0, 1, -1)
+        assert k_rank((0, 1, 1), 3) == (1, 1, 0, -1)
+
+    def test_partial_rank(self):
+        assert k_rank((1, 0, 1), 2) == (0, 1, -1)
+
+    def test_level_bounds(self):
+        with pytest.raises(ValueError):
+            k_rank((1, 0), 3)
+        with pytest.raises(ValueError):
+            k_rank((1, 0), -1)
+
+    def test_prefix_property(self):
+        # If r_k(a) <= r_k(b) and X_k equal, then the (k-1)-ranks compare
+        # the same way (used throughout the proof of Lemma 4).
+        a, b = (1, 1, 0), (0, 1, 0)
+        assert a[2] == b[2]  # X_3 equal
+        assert (k_rank(a, 3) < k_rank(b, 3)) == (
+            k_rank(a, 2) < k_rank(b, 2)
+        )
+
+
+class TestRankLess:
+    def test_lexicographic(self):
+        assert rank_less((0, 1), (1, 1), 2)  # (1,0,-1) < (1,1,-1)
+        assert not rank_less((1, 1), (0, 1), 2)
+
+    def test_equal_not_less(self):
+        assert not rank_less((1, 0), (1, 0), 2)
+
+
+class TestEvaluationSequence:
+    def test_sorted_by_decreasing_k_minus_1_rank(self):
+        bits_of = {
+            "a": (1, 1),  # r_1 = (1, -1)
+            "b": (0, 1),  # r_1 = (0, -1)
+            "c": (1, 0),  # r_1 = (1, -1)  (tie with a on r_1)
+        }
+        seq = evaluation_sequence(["a", "b", "c"], bits_of, k=2)
+        assert seq[-1] == "b"
+        assert set(seq[:2]) == {"a", "c"}
+
+    def test_needs_positive_k(self):
+        with pytest.raises(ValueError):
+            evaluation_sequence(["a"], {"a": (1,)}, k=0)
+
+    def test_deterministic_tiebreak(self):
+        bits_of = {1: (1,), 2: (1,)}
+        assert evaluation_sequence([1, 2], bits_of, k=1) == (
+            evaluation_sequence([2, 1], bits_of, k=1)
+        )
+
+
+class TestFullRankOrder:
+    def test_orders_by_decreasing_full_rank(self):
+        bits_of = {0: (0, 0), 1: (1, 1), 2: (0, 1)}
+        # K-ranks: 0 -> (0,0,-1); 1 -> (1,1,-1); 2 -> (1,0,-1).
+        assert full_rank_order(bits_of) == [1, 2, 0]
+
+    def test_empty(self):
+        assert full_rank_order({}) == []
+
+
+class TestRanksUnique:
+    def test_unique(self):
+        assert ranks_unique({0: (0, 1), 1: (1, 1)})
+
+    def test_duplicate(self):
+        assert not ranks_unique({0: (0, 1), 1: (0, 1)})
+
+    def test_empty(self):
+        assert ranks_unique({})

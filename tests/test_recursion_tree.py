@@ -1,0 +1,130 @@
+"""Tests for recursion-tree reconstruction and schedule verification."""
+
+import networkx as nx
+import pytest
+
+from repro.analysis import (
+    base_level_participants,
+    build_tree,
+    render_tree,
+    tree_stats,
+    verify_schedule,
+)
+from repro.core import FastSleepingMIS, SleepingMIS, schedule
+from repro.sim import Simulator
+
+from conftest import run_mis
+
+
+@pytest.fixture(scope="module")
+def tree_run():
+    graph = nx.gnp_random_graph(40, 0.12, seed=6)
+    return run_mis(graph, "sleeping", seed=6)
+
+
+class TestBuildTree:
+    def test_root_level_is_depth(self, tree_run):
+        root = build_tree(tree_run)
+        assert root.k == schedule.recursion_depth(40)
+        assert root.call.size == 40
+
+    def test_children_paths_extend_parent(self, tree_run):
+        root = build_tree(tree_run)
+
+        def visit(node):
+            for child in node.children:
+                assert child.path[:-1] == node.path
+                assert child.k == node.k - 1
+                visit(child)
+
+        visit(root)
+
+    def test_children_within_parent_window(self, tree_run):
+        root = build_tree(tree_run)
+
+        def visit(node):
+            for child in node.children:
+                assert child.call.start_round >= node.call.start_round
+                assert child.call.end_round <= node.call.end_round
+                visit(child)
+
+        visit(root)
+
+    def test_left_before_right(self, tree_run):
+        root = build_tree(tree_run)
+
+        def visit(node):
+            lefts = [c for c in node.children if c.path.endswith("L")]
+            rights = [c for c in node.children if c.path.endswith("R")]
+            if lefts and rights:
+                assert lefts[0].call.end_round <= rights[0].call.start_round
+            for child in node.children:
+                visit(child)
+
+        visit(root)
+
+    def test_empty_graph_tree(self):
+        result = run_mis(nx.empty_graph(0), "sleeping")
+        assert build_tree(result) is None
+
+
+class TestRenderTree:
+    def test_contains_figure1_labels(self, tree_run):
+        text = render_tree(build_tree(tree_run))
+        assert "root k=" in text
+        assert "(0, " in text  # root first-reached label
+        assert "|U|=40" in text
+
+    def test_max_depth_truncates(self, tree_run):
+        full = render_tree(build_tree(tree_run))
+        short = render_tree(build_tree(tree_run), max_depth=1)
+        assert len(short.splitlines()) <= len(full.splitlines())
+
+    def test_empty_render(self):
+        assert "empty" in render_tree(None)
+
+
+class TestVerifySchedule:
+    def test_algorithm1_schedule_exact(self, tree_run):
+        assert verify_schedule(tree_run, schedule.call_duration) == []
+
+    def test_algorithm2_schedule_exact(self):
+        graph = nx.gnp_random_graph(40, 0.12, seed=6)
+        result = Simulator(graph, lambda v: FastSleepingMIS(), seed=6).run()
+        window = schedule.greedy_rounds(40)
+        assert (
+            verify_schedule(
+                result, lambda k: schedule.fast_call_duration(k, window)
+            )
+            == []
+        )
+
+    def test_wrong_schedule_flagged(self, tree_run):
+        violations = verify_schedule(tree_run, lambda k: 0)
+        assert violations  # every internal call violates the zero schedule
+        assert all(v.expected == 0 for v in violations)
+
+
+class TestTreeStats:
+    def test_counts_consistent(self, tree_run):
+        stats = tree_stats(build_tree(tree_run))
+        assert stats["calls"] >= 1
+        assert stats["leaves"] >= 1
+        assert stats["max_depth"] <= schedule.recursion_depth(40)
+
+    def test_empty(self):
+        assert tree_stats(None)["calls"] == 0
+
+
+class TestBaseParticipants:
+    def test_algorithm1_rarely_reaches_base(self, tree_run):
+        # With K = 3 log n levels, reaching k=0 requires surviving every
+        # level; most runs see zero or very few base participants.
+        assert base_level_participants(tree_run) <= 3
+
+    def test_forced_shallow_depth_reaches_base(self):
+        graph = nx.gnp_random_graph(40, 0.12, seed=6)
+        result = Simulator(
+            graph, lambda v: SleepingMIS(depth=2), seed=6
+        ).run()
+        assert base_level_participants(result) > 0

@@ -1,0 +1,63 @@
+"""Tests for the one-command reproduction report."""
+
+import pytest
+
+from repro.analysis.report import build_report
+from repro.cli import main
+
+
+@pytest.fixture(scope="module")
+def small_report():
+    return build_report(sizes=(12, 24), family="cycle", trials=1, seed0=2)
+
+
+class TestBuildReport:
+    def test_contains_all_sections(self, small_report):
+        assert "# Reproduction report" in small_report
+        assert "Table 1 (measured)" in small_report
+        assert "Node-averaged awake complexity" in small_report
+        assert "Worst-case awake complexity" in small_report
+        assert "Pruning Lemma" in small_report
+        assert "Corollary 1" in small_report
+        assert "Awake-time distribution" in small_report
+
+    def test_mentions_paper_claims(self, small_report):
+        assert "O(1)" in small_report
+        assert "O(log^3.41 n)" in small_report
+
+    def test_lexfirst_full_marks(self, small_report):
+        # On the cycle family every configuration matches exactly.
+        assert "sleeping: 3/3 exact matches" in small_report
+        assert "fast-sleeping: 3/3 exact matches" in small_report
+
+    def test_markdown_table_syntax(self, small_report):
+        assert "| algorithm | measure |" in small_report
+
+
+class TestCliReport:
+    def test_stdout(self, capsys):
+        code = main(
+            ["report", "--sizes", "12", "--trials", "1", "--family", "cycle"]
+        )
+        assert code == 0
+        assert "# Reproduction report" in capsys.readouterr().out
+
+    def test_output_file(self, tmp_path, capsys):
+        target = tmp_path / "report.md"
+        code = main(
+            [
+                "report",
+                "--sizes",
+                "12",
+                "--trials",
+                "1",
+                "--family",
+                "cycle",
+                "--output",
+                str(target),
+            ]
+        )
+        assert code == 0
+        assert target.exists()
+        assert "# Reproduction report" in target.read_text()
+        assert "report written" in capsys.readouterr().out

@@ -1,0 +1,157 @@
+"""Unit tests for the recursion schedule (Lemma 10, Equation 2)."""
+
+import math
+
+import pytest
+
+from repro.core import schedule
+
+
+class TestCallDuration:
+    def test_base_case_is_zero(self):
+        assert schedule.call_duration(0) == 0
+
+    def test_closed_form(self):
+        for k in range(12):
+            assert schedule.call_duration(k) == 3 * (2**k - 1)
+
+    def test_recurrence(self):
+        # T(k) = 2 T(k-1) + 3 (proof of Lemma 10).
+        for k in range(1, 12):
+            assert (
+                schedule.call_duration(k)
+                == 2 * schedule.call_duration(k - 1) + 3
+            )
+
+    def test_negative_rejected(self):
+        with pytest.raises(ValueError):
+            schedule.call_duration(-1)
+
+
+class TestRecursionDepth:
+    def test_single_node(self):
+        assert schedule.recursion_depth(1) == 0
+
+    def test_matches_formula(self):
+        for n in [2, 3, 10, 64, 100, 1024]:
+            assert schedule.recursion_depth(n) == math.ceil(
+                3 * math.log2(n)
+            )
+
+    def test_power_of_two(self):
+        assert schedule.recursion_depth(8) == 9
+        assert schedule.recursion_depth(1024) == 30
+
+    def test_invalid_size(self):
+        with pytest.raises(ValueError):
+            schedule.recursion_depth(0)
+
+
+class TestTruncatedDepth:
+    def test_tiny_networks_degenerate_to_greedy(self):
+        assert schedule.truncated_depth(1) == 0
+        assert schedule.truncated_depth(2) == 0
+
+    def test_formula(self):
+        for n in [16, 100, 1024, 10**6]:
+            expected = math.ceil(schedule.ELL * math.log2(math.log2(n)))
+            assert schedule.truncated_depth(n) == expected
+
+    def test_much_smaller_than_full_depth(self):
+        for n in [64, 1024, 10**6]:
+            assert schedule.truncated_depth(n) < schedule.recursion_depth(n)
+
+    def test_invalid_size(self):
+        with pytest.raises(ValueError):
+            schedule.truncated_depth(0)
+
+
+class TestEll:
+    def test_value(self):
+        # Equation 2: ell = 1 / log2(4/3) ~= 2.4094;
+        # ell + 1 ~= 3.41, the exponent in Theorem 2.
+        assert schedule.ELL == pytest.approx(2.4094, abs=1e-3)
+        assert schedule.ELL + 1 == pytest.approx(3.41, abs=0.01)
+
+    def test_defining_property(self):
+        # (3/4)^ell = 1/2: one "ell block" of levels halves the work.
+        assert 0.75**schedule.ELL == pytest.approx(0.5)
+
+
+class TestGreedyRounds:
+    def test_formula(self):
+        assert schedule.greedy_rounds(1024, constant=8) == 80
+
+    def test_non_power_of_two_rounds_up(self):
+        assert schedule.greedy_rounds(1000, constant=8) == 80
+
+    def test_tiny_network(self):
+        assert schedule.greedy_rounds(1) == schedule.greedy_rounds(2)
+
+    def test_constant_validated(self):
+        with pytest.raises(ValueError):
+            schedule.greedy_rounds(64, constant=0)
+
+    def test_size_validated(self):
+        with pytest.raises(ValueError):
+            schedule.greedy_rounds(0)
+
+
+class TestFastCallDuration:
+    def test_base_is_window(self):
+        assert schedule.fast_call_duration(0, 80) == 80
+
+    def test_recurrence(self):
+        # T2(k) = 2 T2(k-1) + 3.
+        for k in range(1, 10):
+            assert (
+                schedule.fast_call_duration(k, 80)
+                == 2 * schedule.fast_call_duration(k - 1, 80) + 3
+            )
+
+    def test_closed_form(self):
+        for k in range(8):
+            assert schedule.fast_call_duration(k, 80) == 3 * (
+                2**k - 1
+            ) + (2**k) * 80
+
+    def test_zero_base_equals_algorithm1(self):
+        for k in range(8):
+            assert schedule.fast_call_duration(
+                k, 0
+            ) == schedule.call_duration(k)
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            schedule.fast_call_duration(-1, 80)
+        with pytest.raises(ValueError):
+            schedule.fast_call_duration(2, -1)
+
+
+class TestTheoryPredictions:
+    def test_leaf_count(self):
+        n = 1024
+        assert schedule.expected_leaf_count(n) == pytest.approx(
+            math.log2(n) ** schedule.ELL
+        )
+
+    def test_base_participants(self):
+        n = 1024
+        assert schedule.expected_base_participants(n) == pytest.approx(
+            n / math.log2(n)
+        )
+
+    def test_trivial_sizes(self):
+        assert schedule.expected_leaf_count(2) == 1.0
+        assert schedule.expected_base_participants(2) == 2.0
+
+    def test_total_rounds_polylog(self):
+        # T2(K2) with window c log n is O(log^{ell+1} n): check the ratio
+        # to log^3.41 n stays bounded across 6 orders of magnitude.
+        ratios = []
+        for n in [10**3, 10**6, 10**9]:
+            k2 = schedule.truncated_depth(n)
+            window = schedule.greedy_rounds(n)
+            total = schedule.fast_call_duration(k2, window)
+            ratios.append(total / math.log2(n) ** 3.41)
+        assert max(ratios) / min(ratios) < 25

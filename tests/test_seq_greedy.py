@@ -1,0 +1,82 @@
+"""Tests for the sequential greedy / lexicographically-first MIS oracle."""
+
+import random
+
+import networkx as nx
+import pytest
+
+from repro.baselines.seq_greedy import (
+    greedy_mis,
+    lexicographically_first_mis,
+    random_order_mis,
+)
+from repro.graphs import assert_valid_mis
+
+
+class TestGreedyMIS:
+    def test_path_forward_order(self):
+        graph = nx.path_graph(5)
+        assert greedy_mis(graph, [0, 1, 2, 3, 4]) == {0, 2, 4}
+
+    def test_path_middle_first(self):
+        graph = nx.path_graph(5)
+        assert greedy_mis(graph, [2, 0, 1, 3, 4]) == {2, 0, 4}
+
+    def test_always_valid(self):
+        graph = nx.gnp_random_graph(40, 0.2, seed=7)
+        rng = random.Random(1)
+        for _ in range(10):
+            order = list(graph.nodes())
+            rng.shuffle(order)
+            assert_valid_mis(graph, greedy_mis(graph, order))
+
+    def test_order_must_be_permutation(self):
+        graph = nx.path_graph(3)
+        with pytest.raises(ValueError):
+            greedy_mis(graph, [0, 1])
+        with pytest.raises(ValueError):
+            greedy_mis(graph, [0, 1, 1])
+
+    def test_empty_graph(self):
+        assert greedy_mis(nx.empty_graph(0), []) == set()
+
+    def test_deterministic_given_order(self):
+        graph = nx.gnp_random_graph(30, 0.2, seed=3)
+        order = sorted(graph.nodes())
+        assert greedy_mis(graph, order) == greedy_mis(graph, order)
+
+
+class TestLexicographicallyFirst:
+    def test_highest_priority_always_in(self):
+        graph = nx.gnp_random_graph(30, 0.2, seed=5)
+        priority = {v: v for v in graph.nodes()}
+        mis = lexicographically_first_mis(graph, priority)
+        assert 29 in mis  # the max-priority node is never blocked
+
+    def test_matches_explicit_order(self):
+        graph = nx.cycle_graph(6)
+        priority = {0: 10, 1: 9, 2: 8, 3: 7, 4: 6, 5: 5}
+        assert lexicographically_first_mis(graph, priority) == greedy_mis(
+            graph, [0, 1, 2, 3, 4, 5]
+        )
+
+    def test_missing_priority_rejected(self):
+        graph = nx.path_graph(3)
+        with pytest.raises(ValueError):
+            lexicographically_first_mis(graph, {0: 1, 1: 2})
+
+    def test_tuple_priorities(self):
+        graph = nx.path_graph(4)
+        priority = {0: (1, 0), 1: (0, 1), 2: (1, 1), 3: (0, 0)}
+        mis = lexicographically_first_mis(graph, priority)
+        assert_valid_mis(graph, mis)
+        assert 2 in mis  # highest tuple
+
+
+class TestRandomOrder:
+    def test_valid_and_seed_deterministic(self):
+        graph = nx.gnp_random_graph(25, 0.2, seed=2)
+        a = random_order_mis(graph, random.Random(9))
+        b = random_order_mis(graph, random.Random(9))
+        assert a == b
+        assert_valid_mis(graph, a)

@@ -1,0 +1,165 @@
+"""Edge-case tests: unusual node labelings, graph shapes, and re-runs."""
+
+import networkx as nx
+import pytest
+
+from repro.api import solve_mis
+from repro.graphs import assert_valid_mis
+from repro.sim import Simulator, simulate
+from repro.sim.protocol import Protocol
+from repro.sim.actions import SendAndReceive
+
+
+class TestNonContiguousNodeIds:
+    """Protocols send node ids in payloads; any integer labels must work."""
+
+    @pytest.mark.parametrize(
+        "algorithm", ["sleeping", "fast-sleeping", "luby", "greedy", "ghaffari"]
+    )
+    def test_sparse_integer_labels(self, algorithm):
+        graph = nx.relabel_nodes(
+            nx.gnp_random_graph(25, 0.2, seed=3),
+            {i: i * 97 + 13 for i in range(25)},
+        )
+        result = solve_mis(graph, algorithm=algorithm, seed=3)
+        assert_valid_mis(graph, result.mis)
+
+    def test_negative_labels(self):
+        graph = nx.relabel_nodes(nx.path_graph(6), {i: i - 3 for i in range(6)})
+        result = solve_mis(graph, algorithm="sleeping", seed=1)
+        assert_valid_mis(graph, result.mis)
+
+    def test_adjacency_dict_input(self):
+        adjacency = {10: [20], 20: [10, 30], 30: [20]}
+        result = solve_mis(adjacency, algorithm="luby", seed=1)
+        assert result.mis  # non-empty MIS on a path of 3
+
+
+class TestGraphShapes:
+    @pytest.mark.parametrize(
+        "algorithm", ["sleeping", "fast-sleeping", "luby"]
+    )
+    def test_many_components(self, algorithm):
+        graph = nx.disjoint_union_all(
+            [nx.cycle_graph(5), nx.complete_graph(4), nx.path_graph(3),
+             nx.empty_graph(2), nx.star_graph(4)]
+        )
+        result = solve_mis(graph, algorithm=algorithm, seed=2)
+        assert_valid_mis(graph, result.mis)
+
+    def test_self_loops_ignored(self):
+        graph = nx.path_graph(4)
+        graph.add_edge(1, 1)
+        result = solve_mis(graph, algorithm="sleeping", seed=1)
+        assert_valid_mis(nx.path_graph(4), result.mis)
+
+    @pytest.mark.parametrize("algorithm", ["sleeping", "fast-sleeping"])
+    def test_very_dense_graph(self, algorithm):
+        graph = nx.complete_graph(40)
+        result = solve_mis(graph, algorithm=algorithm, seed=5)
+        assert len(result.mis) == 1
+
+    def test_long_path(self):
+        graph = nx.path_graph(200)
+        result = solve_mis(graph, algorithm="fast-sleeping", seed=1)
+        assert_valid_mis(graph, result.mis)
+        # On a path the MIS has at least n/3 nodes.
+        assert len(result.mis) >= 66
+
+
+class TestSimulatorReuse:
+    def test_simulator_not_reusable_after_run(self):
+        # A second .run() on the same Simulator has terminated runtimes;
+        # it must return immediately with the same outputs rather than
+        # corrupt state.
+        graph = nx.path_graph(4)
+        sim = Simulator(graph, lambda v: _OneRound(), seed=1)
+        first = sim.run()
+        second = sim.run()
+        assert second.outputs == first.outputs
+
+    def test_fresh_simulators_independent(self):
+        graph = nx.path_graph(4)
+        a = simulate(graph, lambda v: _OneRound(), seed=1)
+        b = simulate(graph, lambda v: _OneRound(), seed=1)
+        assert a.outputs == b.outputs
+
+
+class _OneRound(Protocol):
+    def __init__(self):
+        self.inbox = None
+
+    def run(self, ctx):
+        self.inbox = yield SendAndReceive({u: 1 for u in ctx.neighbors})
+
+    def output(self):
+        return sorted(self.inbox) if self.inbox is not None else None
+
+
+class TestExamplesSmoke:
+    """The shipped examples must at least run to completion."""
+
+    def test_quickstart(self, capsys):
+        import importlib.util
+        import pathlib
+
+        path = (
+            pathlib.Path(__file__).resolve().parents[1]
+            / "examples"
+            / "quickstart.py"
+        )
+        spec = importlib.util.spec_from_file_location("quickstart", path)
+        module = importlib.util.module_from_spec(spec)
+        spec.loader.exec_module(module)
+        module.main()
+        out = capsys.readouterr().out
+        assert "MIS size" in out
+
+    def test_recursion_tree_demo(self, capsys):
+        import importlib.util
+        import pathlib
+
+        path = (
+            pathlib.Path(__file__).resolve().parents[1]
+            / "examples"
+            / "recursion_tree_demo.py"
+        )
+        spec = importlib.util.spec_from_file_location("tree_demo", path)
+        module = importlib.util.module_from_spec(spec)
+        spec.loader.exec_module(module)
+        module.main()
+        out = capsys.readouterr().out
+        assert "schedule violations vs T(k) = 3(2^k - 1): 0" in out
+
+    def test_awake_distribution_example_importable(self):
+        module = _load_example("awake_distribution.py")
+        assert callable(module.main)
+
+    def test_maximal_matching_example(self, capsys):
+        _load_example("maximal_matching.py").main()
+        out = capsys.readouterr().out
+        assert "True" in out and "avg awake / edge" in out
+
+    def test_beeping_example(self, capsys):
+        _load_example("beeping_vs_sleeping.py").main()
+        out = capsys.readouterr().out
+        assert "beeping avg awake" in out
+
+    def test_sensor_energy_example(self, capsys):
+        _load_example("sensor_network_energy.py").main()
+        out = capsys.readouterr().out
+        assert "Energy to elect an MIS backbone" in out
+        assert "fast-sleeping" in out
+
+
+def _load_example(filename):
+    import importlib.util
+    import pathlib
+
+    path = (
+        pathlib.Path(__file__).resolve().parents[1] / "examples" / filename
+    )
+    spec = importlib.util.spec_from_file_location(filename[:-3], path)
+    module = importlib.util.module_from_spec(spec)
+    spec.loader.exec_module(module)
+    return module

@@ -1,0 +1,134 @@
+"""Property-based tests of the simulator's accounting invariants.
+
+Random protocol scripts (arbitrary interleavings of sends and sleeps) are
+generated per node; whatever the schedule, the simulator's books must
+balance: awake + sleep rounds partition each node's lifetime, the run
+length equals the last finisher, message totals match across senders, and
+fast-forwarding never changes semantics (it is a pure optimization).
+"""
+
+import networkx as nx
+from hypothesis import HealthCheck, given, settings
+from hypothesis import strategies as st
+
+from repro.sim import SendAndReceive, Simulator, Sleep
+from repro.sim.protocol import Protocol
+
+SLOW = settings(
+    max_examples=40,
+    deadline=None,
+    suppress_health_check=[HealthCheck.too_slow],
+)
+
+
+class Scripted(Protocol):
+    """Execute a fixed script of ('send' | duration) steps."""
+
+    def __init__(self, script):
+        self.script = script
+        self.received = 0
+
+    def run(self, ctx):
+        for step in self.script:
+            if step == "send":
+                inbox = yield SendAndReceive(
+                    {u: 1 for u in ctx.neighbors}
+                )
+                self.received += len(inbox)
+            else:
+                yield Sleep(step)
+
+    def output(self):
+        return self.received
+
+
+def scripts_strategy():
+    step = st.one_of(
+        st.just("send"), st.integers(min_value=0, max_value=12)
+    )
+    return st.lists(step, max_size=12)
+
+
+@st.composite
+def scripted_networks(draw):
+    n = draw(st.integers(min_value=1, max_value=6))
+    graph = nx.complete_graph(n)
+    scripts = {v: draw(scripts_strategy()) for v in range(n)}
+    return graph, scripts
+
+
+class TestAccountingInvariants:
+    @SLOW
+    @given(scripted_networks())
+    def test_books_balance(self, case):
+        graph, scripts = case
+        result = Simulator(graph, lambda v: Scripted(scripts[v])).run()
+
+        for v, stats in result.node_stats.items():
+            sends = sum(1 for s in scripts[v] if s == "send")
+            sleeps = sum(s for s in scripts[v] if s != "send")
+            # Awake rounds == number of SendAndReceive actions.
+            assert stats.awake_rounds == sends
+            # Sleep rounds == total requested sleep.
+            assert stats.sleep_rounds == sleeps
+            # The node's lifetime is exactly awake + sleep.
+            assert stats.finish_round == sends + sleeps
+            # tx/rx/idle partition the awake rounds.
+            assert (
+                stats.tx_rounds + stats.rx_rounds + stats.idle_rounds
+                == stats.awake_rounds
+            )
+
+        # The run ends when the last node finishes.
+        assert result.rounds == max(
+            (s.finish_round for s in result.node_stats.values()), default=0
+        )
+
+    @SLOW
+    @given(scripted_networks())
+    def test_messages_sent_counted_exactly(self, case):
+        graph, scripts = case
+        result = Simulator(graph, lambda v: Scripted(scripts[v])).run()
+        degree = graph.number_of_nodes() - 1
+        for v, stats in result.node_stats.items():
+            sends = sum(1 for s in scripts[v] if s == "send")
+            assert stats.messages_sent == sends * degree
+
+    @SLOW
+    @given(scripted_networks())
+    def test_delivery_is_symmetric_simultaneity(self, case):
+        # u receives from v in round r iff both executed a send at r; so
+        # total received == number of coincident (round, ordered pair).
+        graph, scripts = case
+        result = Simulator(graph, lambda v: Scripted(scripts[v])).run()
+
+        def send_rounds(script):
+            rounds = []
+            t = 0
+            for step in script:
+                if step == "send":
+                    rounds.append(t)
+                    t += 1
+                else:
+                    t += step
+            return set(rounds)
+
+        rounds_of = {v: send_rounds(scripts[v]) for v in scripts}
+        expected = {
+            v: sum(
+                len(rounds_of[v] & rounds_of[u])
+                for u in graph.adj[v]
+            )
+            for v in scripts
+        }
+        for v in scripts:
+            assert result.outputs[v] == expected[v]
+
+    @SLOW
+    @given(scripted_networks(), st.integers(min_value=0, max_value=10**6))
+    def test_determinism_under_seed(self, case, seed):
+        graph, scripts = case
+        a = Simulator(graph, lambda v: Scripted(scripts[v]), seed=seed).run()
+        b = Simulator(graph, lambda v: Scripted(scripts[v]), seed=seed).run()
+        assert a.outputs == b.outputs
+        assert a.rounds == b.rounds

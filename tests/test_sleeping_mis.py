@@ -1,0 +1,210 @@
+"""Tests for Algorithm 1 (SleepingMIS): correctness, structure, measures."""
+
+import networkx as nx
+import pytest
+
+from repro.analysis import verify_schedule
+from repro.core import SleepingMIS, schedule
+from repro.graphs import assert_valid_mis, is_maximal_independent_set
+from repro.sim import Simulator
+
+from conftest import run_mis
+
+
+class TestCorrectness:
+    def test_valid_mis_on_corner_cases(self, small_graph):
+        # The algorithm is Monte Carlo: it is guaranteed correct whenever
+        # all rank vectors are distinct, which holds w.h.p. for large n but
+        # can fail on tiny graphs (Lemma 5's union bound is vacuous there).
+        # Condition on the guarantee's premise, as the paper's analysis does.
+        from repro.core.ranks import ranks_unique
+
+        result = run_mis(small_graph, "sleeping", seed=1)
+        bits_of = {v: p.x_bits for v, p in result.protocols.items()}
+        if ranks_unique(bits_of):
+            assert_valid_mis(small_graph, result.mis)
+        else:
+            assert small_graph.number_of_nodes() < 10  # only tiny graphs
+
+    @pytest.mark.parametrize("seed", range(8))
+    def test_valid_mis_many_seeds(self, gnp60, seed):
+        result = run_mis(gnp60, "sleeping", seed=seed)
+        assert_valid_mis(gnp60, result.mis)
+
+    def test_every_node_decides(self, gnp60):
+        result = run_mis(gnp60, "sleeping", seed=2)
+        assert result.undecided == frozenset()
+        assert all(
+            s.decision_round is not None
+            for s in result.node_stats.values()
+        )
+
+    def test_all_nodes_terminate_together(self, gnp60):
+        # Algorithm 1 returns from the top-level call in the same round at
+        # every node (Condition 1 of the correctness induction).
+        result = run_mis(gnp60, "sleeping", seed=2)
+        finishes = {s.finish_round for s in result.node_stats.values()}
+        assert len(finishes) == 1
+
+    def test_single_node_joins_immediately(self):
+        result = run_mis(nx.empty_graph(1), "sleeping")
+        assert result.mis == frozenset({0})
+        assert result.rounds == 0
+
+    def test_empty_graph_all_join(self):
+        result = run_mis(nx.empty_graph(6), "sleeping", seed=0)
+        assert result.mis == frozenset(range(6))
+
+    def test_complete_graph_exactly_one(self):
+        result = run_mis(nx.complete_graph(20), "sleeping", seed=3)
+        assert len(result.mis) == 1
+
+    def test_star_center_or_all_leaves(self):
+        result = run_mis(nx.star_graph(15), "sleeping", seed=4)
+        mis = result.mis
+        assert mis == frozenset({0}) or mis == frozenset(range(1, 16))
+
+
+class TestWallClockSchedule:
+    def test_total_rounds_is_t_of_k(self):
+        graph = nx.gnp_random_graph(20, 0.2, seed=1)
+        result = run_mis(graph, "sleeping", seed=1)
+        depth = schedule.recursion_depth(20)
+        assert result.rounds == schedule.call_duration(depth)
+
+    def test_every_call_matches_schedule(self, gnp60):
+        result = run_mis(gnp60, "sleeping", seed=5)
+        assert verify_schedule(result, schedule.call_duration) == []
+
+    def test_depth_override_shrinks_schedule(self):
+        graph = nx.gnp_random_graph(16, 0.2, seed=2)
+        result = run_mis(graph, "sleeping", seed=7, depth=5)
+        assert result.rounds == schedule.call_duration(5)
+
+
+class TestAwakeBounds:
+    def test_worst_case_awake_at_most_3_per_level(self, gnp60):
+        # A node is awake at most 3 rounds per recursion level it
+        # participates in (Lemma 9's constant is exactly 3 here).
+        result = run_mis(gnp60, "sleeping", seed=6)
+        depth = schedule.recursion_depth(60)
+        assert result.worst_case_awake_complexity <= 3 * (depth + 1)
+
+    def test_awake_rounds_equals_three_per_participation(self, gnp60):
+        # Exact accounting: every internal call a node participates in
+        # costs exactly 3 awake rounds; base cases cost 0.
+        result = run_mis(gnp60, "sleeping", seed=6)
+        for v, protocol in result.protocols.items():
+            internal = sum(1 for rec in protocol.calls if rec.k >= 1)
+            assert result.node_stats[v].awake_rounds == 3 * internal
+
+    def test_isolated_nodes_awake_constant(self):
+        result = run_mis(nx.empty_graph(10), "sleeping", seed=1)
+        # An isolated node joins at the top call's first detection and then
+        # only does the 2 sync rounds there: 3 awake rounds total.
+        assert result.worst_case_awake_complexity == 3
+
+
+class TestRandomBits:
+    def test_bits_length_matches_depth(self, gnp60):
+        result = run_mis(gnp60, "sleeping", seed=1)
+        depth = schedule.recursion_depth(60)
+        assert all(
+            len(p.x_bits) == depth for p in result.protocols.values()
+        )
+
+    def test_bits_are_binary(self, gnp60):
+        result = run_mis(gnp60, "sleeping", seed=1)
+        for protocol in result.protocols.values():
+            assert set(protocol.x_bits) <= {0, 1}
+
+    def test_coin_bias_shifts_distribution(self):
+        graph = nx.gnp_random_graph(24, 0.2, seed=3)
+        result = run_mis(graph, "sleeping", seed=3, coin_bias=0.7)
+        ones = sum(sum(p.x_bits) for p in result.protocols.values())
+        total = sum(len(p.x_bits) for p in result.protocols.values())
+        assert ones / total > 0.6
+        assert is_maximal_independent_set(graph, result.mis)
+
+    def test_extreme_bias_breaks_whp_guarantee(self):
+        # With p -> 1 the bit vectors collide with constant probability,
+        # producing the algorithm's documented Monte Carlo failure: two
+        # adjacent nodes share every coin, both reach the base case, both
+        # join.  The validators must catch it (we scan seeds to find one).
+        from repro.core.ranks import ranks_unique
+
+        graph = nx.complete_graph(12)
+        saw_collision_failure = False
+        for seed in range(40):
+            result = run_mis(graph, "sleeping", seed=seed, coin_bias=0.97)
+            bits_of = {v: p.x_bits for v, p in result.protocols.items()}
+            valid = is_maximal_independent_set(graph, result.mis)
+            if ranks_unique(bits_of):
+                assert valid  # distinct ranks still imply correctness
+            elif not valid:
+                saw_collision_failure = True
+                break
+        assert saw_collision_failure
+
+    def test_invalid_bias_rejected(self):
+        with pytest.raises(ValueError):
+            SleepingMIS(coin_bias=0.0)
+        with pytest.raises(ValueError):
+            SleepingMIS(coin_bias=1.0)
+
+
+class TestInstrumentation:
+    def test_calls_recorded_in_preorder(self, gnp60):
+        result = run_mis(gnp60, "sleeping", seed=2)
+        for protocol in result.protocols.values():
+            starts = [rec.start_round for rec in protocol.calls]
+            assert starts == sorted(starts)
+
+    def test_call_paths_nest(self, gnp60):
+        result = run_mis(gnp60, "sleeping", seed=2)
+        for protocol in result.protocols.values():
+            paths = [rec.path for rec in protocol.calls]
+            assert paths[0] == ""
+            for path in paths[1:]:
+                assert path[:-1] in paths  # parent seen earlier
+
+    def test_left_and_right_mutually_exclusive(self, gnp60):
+        result = run_mis(gnp60, "sleeping", seed=2)
+        for protocol in result.protocols.values():
+            for rec in protocol.calls:
+                assert not (rec.went_left and rec.went_right)
+
+    def test_record_calls_off(self, gnp60):
+        result = Simulator(
+            gnp60, lambda v: SleepingMIS(record_calls=False), seed=2
+        ).run()
+        assert_valid_mis(gnp60, result.mis)
+        assert all(p.calls == [] for p in result.protocols.values())
+
+    def test_exactly_one_decision_record(self, gnp60):
+        result = run_mis(gnp60, "sleeping", seed=2)
+        for protocol in result.protocols.values():
+            decided = [r for r in protocol.calls if r.decided is not None]
+            assert len(decided) == 1
+
+
+class TestDeterminism:
+    def test_same_seed_same_mis(self, gnp60):
+        a = run_mis(gnp60, "sleeping", seed=11)
+        b = run_mis(gnp60, "sleeping", seed=11)
+        assert a.mis == b.mis
+
+    def test_different_seed_usually_different_mis(self, gnp60):
+        outcomes = {
+            run_mis(gnp60, "sleeping", seed=s).mis for s in range(5)
+        }
+        assert len(outcomes) > 1
+
+
+class TestMessageSizes:
+    def test_congest_budget_respected(self, gnp60):
+        import math
+
+        limit = 8 * math.ceil(math.log2(60))
+        result = run_mis(gnp60, "sleeping", seed=3, congest_bit_limit=limit)
+        assert_valid_mis(gnp60, result.mis)

@@ -1,0 +1,55 @@
+"""Larger-scale soak tests: the simulator at thousands of nodes.
+
+These guard the fast-forward machinery and the overall O(awake work)
+simulation cost: a wall clock of 10^11 rounds must simulate in seconds.
+"""
+
+import time
+
+import networkx as nx
+import pytest
+
+from repro.api import solve_mis
+from repro.core import schedule
+from repro.graphs import assert_valid_mis
+
+
+class TestScale:
+    def test_algorithm1_at_n2000(self):
+        graph = nx.gnp_random_graph(2000, 8.0 / 2000, seed=1)
+        start = time.monotonic()
+        result = solve_mis(graph, algorithm="sleeping", seed=1)
+        elapsed = time.monotonic() - start
+        assert_valid_mis(graph, result.mis)
+        # Wall clock is ~3 * 2^33 rounds; simulation must stay fast.
+        assert result.rounds == schedule.call_duration(
+            schedule.recursion_depth(2000)
+        )
+        assert result.rounds > 10**9
+        assert elapsed < 30.0
+        assert result.node_averaged_awake_complexity < 10.0
+
+    def test_algorithm2_at_n4000(self):
+        graph = nx.gnp_random_graph(4000, 8.0 / 4000, seed=2)
+        start = time.monotonic()
+        result = solve_mis(graph, algorithm="fast-sleeping", seed=2)
+        elapsed = time.monotonic() - start
+        assert_valid_mis(graph, result.mis)
+        assert elapsed < 30.0
+        assert result.node_averaged_awake_complexity < 10.0
+        assert result.worst_case_awake_complexity < 3 * (
+            schedule.truncated_depth(4000) + 1
+        ) + schedule.greedy_rounds(4000)
+
+    def test_dense_graph_at_n1000(self):
+        # ~250k edges: message volume is the bottleneck here.
+        graph = nx.gnp_random_graph(1000, 0.5, seed=3)
+        result = solve_mis(graph, algorithm="fast-sleeping", seed=3)
+        assert_valid_mis(graph, result.mis)
+
+    @pytest.mark.parametrize("algorithm", ["luby", "greedy"])
+    def test_baselines_at_n3000(self, algorithm):
+        graph = nx.gnp_random_graph(3000, 8.0 / 3000, seed=4)
+        result = solve_mis(graph, algorithm=algorithm, seed=4)
+        assert_valid_mis(graph, result.mis)
+        assert result.rounds <= 3 * 20  # O(log n) phases

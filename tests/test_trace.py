@@ -1,0 +1,58 @@
+"""Unit tests for execution tracing."""
+
+from repro.sim import SendAndReceive, Sleep, simulate
+from repro.sim.protocol import Protocol
+from repro.sim.trace import NULL_TRACE, Trace, make_trace
+
+
+class TestTrace:
+    def test_record_and_query(self):
+        trace = Trace()
+        trace.record(0, 1, "send", to=2)
+        trace.record(1, 1, "decide", value=True)
+        assert len(trace) == 2
+        assert trace.by_kind("send")[0].data == {"to": 2}
+        assert [e.kind for e in trace.by_node(1)] == ["send", "decide"]
+
+    def test_bounded(self):
+        trace = Trace(max_events=2)
+        for i in range(5):
+            trace.record(i, 0, "x")
+        assert len(trace) == 2
+        assert trace.truncated
+
+    def test_null_trace_records_nothing(self):
+        NULL_TRACE.record(0, 0, "x")
+        assert len(NULL_TRACE) == 0
+        assert not NULL_TRACE.enabled
+
+    def test_make_trace(self):
+        assert make_trace(False) is NULL_TRACE
+        assert make_trace(True).enabled
+
+
+class TestSimulatorTracing:
+    def test_events_recorded_during_run(self):
+        class Chatty(Protocol):
+            def run(self, ctx):
+                yield SendAndReceive({u: "m" for u in ctx.neighbors})
+                ctx.trace("custom", note="hi")
+                yield Sleep(2)
+
+        trace = Trace()
+        simulate({0: [1], 1: [0]}, lambda v: Chatty(), trace=trace)
+        kinds = {e.kind for e in trace.events}
+        assert "send" in kinds
+        assert "custom" in kinds
+        assert "sleep" in kinds
+        assert "terminate" in kinds
+
+    def test_send_events_have_recipients(self):
+        class OneShot(Protocol):
+            def run(self, ctx):
+                yield SendAndReceive({u: "m" for u in ctx.neighbors})
+
+        trace = Trace()
+        simulate({0: [1], 1: [0]}, lambda v: OneShot(), trace=trace)
+        sends = trace.by_kind("send")
+        assert {e.data["to"] for e in sends} == {0, 1}
