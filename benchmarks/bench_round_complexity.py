@@ -20,7 +20,10 @@ SIZES = (64, 128, 256, 512, 1024)
 def test_algorithm1_rounds_cubic(benchmark):
     rows = once(
         benchmark,
-        lambda: sweep("sleeping", "gnp-sparse", SIZES, trials=1, seed0=7),
+        lambda: sweep(
+            "sleeping", "gnp-sparse", SIZES, trials=1, seed0=7,
+            engine="vectorized",
+        ),
     )
     ns, means = mean_by_size(rows, "worst_case_rounds")
 
@@ -39,7 +42,10 @@ def test_algorithm1_rounds_cubic(benchmark):
 def test_algorithm2_rounds_polylog(benchmark):
     rows = once(
         benchmark,
-        lambda: sweep("fast-sleeping", "gnp-sparse", SIZES, trials=1, seed0=7),
+        lambda: sweep(
+            "fast-sleeping", "gnp-sparse", SIZES, trials=1, seed0=7,
+            engine="vectorized",
+        ),
     )
     ns, means = mean_by_size(rows, "worst_case_rounds")
 
@@ -72,7 +78,12 @@ def test_crossover_ordering(benchmark):
     def measure():
         out = {}
         for algorithm in ("luby", "fast-sleeping", "sleeping"):
-            rows = sweep(algorithm, "gnp-sparse", SIZES, trials=1, seed0=7)
+            # auto: vectorized for the sleeping algorithms, generator
+            # engine for Luby -- same batch runner either way.
+            rows = sweep(
+                algorithm, "gnp-sparse", SIZES, trials=1, seed0=7,
+                engine="auto",
+            )
             out[algorithm] = mean_by_size(rows, "worst_case_rounds")[1]
         return out
 

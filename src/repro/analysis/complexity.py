@@ -4,6 +4,11 @@ This is the measurement loop behind every benchmark and the CLI: build a
 seeded graph from a registered family, run a registered algorithm, validate
 the output, and flatten the paper's four complexity measures (plus message
 and energy totals) into a :class:`Trial` row.
+
+:func:`sweep` routes through the batch runner
+(:func:`repro.sim.batch.run_trials`), so sweeps pick up the vectorized
+engine automatically (``engine="auto"``) and can fan trials out over
+worker processes (``n_jobs=``).
 """
 
 from __future__ import annotations
@@ -15,7 +20,10 @@ from typing import Any, Dict, Iterable, List, Optional, Sequence
 from ..api import make_protocol_factory
 from ..graphs.generators import make_family_graph
 from ..graphs.validation import is_maximal_independent_set
+from ..sim.batch import resolve_engine, run_trials
 from ..sim.energy import DEFAULT_MODEL, EnergyModel
+from ..sim.fast_engine import VectorizedEngine
+from ..sim.metrics import RunResult
 from ..sim.network import Simulator
 
 
@@ -38,6 +46,36 @@ class Trial:
     undecided: int
 
 
+def trial_from_result(
+    result: RunResult,
+    algorithm: str,
+    *,
+    family: str = "custom",
+    seed: Optional[int] = None,
+    energy_model: EnergyModel = DEFAULT_MODEL,
+) -> Trial:
+    """Flatten a finished :class:`RunResult` into a :class:`Trial` row.
+
+    Validation runs against the adjacency recorded in the result, so rows
+    can be built from batch-runner output without re-threading graphs.
+    """
+    return Trial(
+        algorithm=algorithm,
+        family=family,
+        n=result.n,
+        seed=result.seed if seed is None else seed,
+        node_averaged_awake=result.node_averaged_awake_complexity,
+        worst_case_awake=result.worst_case_awake_complexity,
+        node_averaged_rounds=result.node_averaged_round_complexity,
+        worst_case_rounds=result.worst_case_round_complexity,
+        total_messages=result.total_messages,
+        total_bits=result.total_bits,
+        total_energy=energy_model.total_energy(result),
+        valid=is_maximal_independent_set(result.adjacency, result.mis),
+        undecided=len(result.undecided),
+    )
+
+
 def run_trial(
     graph: Any,
     algorithm: str,
@@ -46,27 +84,30 @@ def run_trial(
     family: str = "custom",
     energy_model: EnergyModel = DEFAULT_MODEL,
     congest_bit_limit: Optional[int] = None,
+    engine: str = "generators",
     **protocol_kwargs: Any,
 ) -> tuple:
-    """Run one algorithm once; returns ``(RunResult, Trial)``."""
-    factory = make_protocol_factory(algorithm, **protocol_kwargs)
-    result = Simulator(
-        graph, factory, seed=seed, congest_bit_limit=congest_bit_limit
-    ).run()
-    trial = Trial(
-        algorithm=algorithm,
-        family=family,
-        n=result.n,
-        seed=seed,
-        node_averaged_awake=result.node_averaged_awake_complexity,
-        worst_case_awake=result.worst_case_awake_complexity,
-        node_averaged_rounds=result.node_averaged_round_complexity,
-        worst_case_rounds=result.worst_case_round_complexity,
-        total_messages=result.total_messages,
-        total_bits=result.total_bits,
-        total_energy=energy_model.total_energy(result),
-        valid=is_maximal_independent_set(graph, result.mis),
-        undecided=len(result.undecided),
+    """Run one algorithm once; returns ``(RunResult, Trial)``.
+
+    The default engine stays ``"generators"`` because single-trial callers
+    (recursion trees, lemma analyses) usually need ``result.protocols``,
+    which the vectorized engine does not populate.
+    """
+    resolved = resolve_engine(
+        engine, algorithm,
+        congest_bit_limit=congest_bit_limit, **protocol_kwargs,
+    )
+    if resolved == "vectorized":
+        result = VectorizedEngine(
+            graph, algorithm, seed=seed, **protocol_kwargs
+        ).run()
+    else:
+        factory = make_protocol_factory(algorithm, **protocol_kwargs)
+        result = Simulator(
+            graph, factory, seed=seed, congest_bit_limit=congest_bit_limit
+        ).run()
+    trial = trial_from_result(
+        result, algorithm, family=family, seed=seed, energy_model=energy_model
     )
     return result, trial
 
@@ -77,22 +118,40 @@ def sweep(
     sizes: Sequence[int],
     trials: int = 3,
     seed0: int = 0,
+    *,
+    engine: str = "auto",
+    n_jobs: Optional[int] = None,
+    energy_model: EnergyModel = DEFAULT_MODEL,
+    congest_bit_limit: Optional[int] = None,
     **protocol_kwargs: Any,
 ) -> List[Trial]:
     """Measure ``algorithm`` on ``family`` across ``sizes``.
 
     Each (size, trial index) pair gets its own graph seed and run seed so
-    repeated sweeps are reproducible yet independent across trials.
+    repeated sweeps are reproducible yet independent across trials.  The
+    trials go through the batch runner: ``engine="auto"`` uses the
+    vectorized engine for the sleeping algorithms, and ``n_jobs`` fans the
+    per-size seed batches over worker processes.
     """
     rows: List[Trial] = []
     for n in sizes:
-        for t in range(trials):
-            seed = seed0 + 1009 * t + n
-            graph = make_family_graph(family, n, seed=seed)
-            _, trial = run_trial(
-                graph, algorithm, seed=seed, family=family, **protocol_kwargs
+        seeds = [seed0 + 1009 * t + n for t in range(trials)]
+        results = run_trials(
+            lambda seed: make_family_graph(family, n, seed=seed),
+            algorithm,
+            seeds,
+            n_jobs=n_jobs,
+            engine=engine,
+            congest_bit_limit=congest_bit_limit,
+            **protocol_kwargs,
+        )
+        rows.extend(
+            trial_from_result(
+                result, algorithm,
+                family=family, seed=seed, energy_model=energy_model,
             )
-            rows.append(trial)
+            for result, seed in zip(results, seeds)
+        )
     return rows
 
 

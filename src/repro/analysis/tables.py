@@ -9,7 +9,7 @@ the corresponding measure, with the paper's asymptotic claim alongside.
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Dict, List, Sequence
+from typing import Dict, List, Optional, Sequence
 
 from .complexity import Trial, summarize, sweep
 
@@ -117,6 +117,8 @@ def build_table1(
     ),
     trials: int = 3,
     seed0: int = 0,
+    engine: str = "auto",
+    n_jobs: Optional[int] = None,
 ) -> Table:
     """Measured Table 1: one row per (algorithm, measure), one column per n."""
     table = Table(
@@ -130,7 +132,8 @@ def build_table1(
     )
     for algorithm in algorithms:
         rows: List[Trial] = sweep(
-            algorithm, family, sizes, trials=trials, seed0=seed0
+            algorithm, family, sizes, trials=trials, seed0=seed0,
+            engine=engine, n_jobs=n_jobs,
         )
         for measure in TABLE1_MEASURES:
             summary = summarize(rows, measure)

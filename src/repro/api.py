@@ -5,12 +5,26 @@ This is the entry point downstream users touch first::
     result = solve_mis(graph, algorithm="fast-sleeping", seed=7)
     result.mis                                  # frozenset of MIS nodes
     result.node_averaged_awake_complexity       # the paper's headline measure
+
+Two execution engines sit behind ``solve_mis``:
+
+* ``engine="generators"`` (default) -- the reference per-node generator
+  simulator; fully general (tracing, CONGEST checks, fault injection,
+  per-call instrumentation via ``result.protocols``);
+* ``engine="vectorized"`` -- the numpy array-backed engine for the two
+  sleeping algorithms; bit-for-bit identical results, much faster;
+* ``engine="auto"`` -- vectorized when the configuration allows it,
+  generator fallback otherwise (e.g. tracing or congest checks requested,
+  or a non-sleeping algorithm).
+
+For many seeds at once, see :func:`repro.sim.batch.run_trials`.
 """
 
 from __future__ import annotations
 
 from typing import Any, Callable, Dict, List, Optional
 
+from .sim import fast_engine
 from .sim.metrics import RunResult
 from .sim.network import Simulator
 from .sim.protocol import Protocol
@@ -72,6 +86,7 @@ def solve_mis(
     congest_bit_limit: Optional[int] = None,
     trace: Optional[Trace] = None,
     max_rounds: Optional[int] = None,
+    engine: str = "generators",
     **protocol_kwargs: Any,
 ) -> RunResult:
     """Compute an MIS of ``graph`` with the named distributed algorithm.
@@ -86,6 +101,12 @@ def solve_mis(
         ``"greedy"`` (distributed randomized greedy), or ``"ghaffari"``.
     seed:
         Master seed for all per-node random streams.
+    engine:
+        ``"generators"`` (default, the reference engine),
+        ``"vectorized"`` (numpy engine, sleeping algorithms only,
+        identical results), or ``"auto"`` (vectorized when eligible).
+        The vectorized engine returns no ``result.protocols``; analyses
+        needing per-call records must use the generator engine.
     protocol_kwargs:
         Forwarded to the protocol constructor (e.g. ``coin_bias=0.4``,
         ``greedy_constant=12``).
@@ -96,6 +117,23 @@ def solve_mis(
         ``result.mis`` is the computed set; the four complexity measures are
         available as properties.
     """
+    from .sim.batch import resolve_engine
+
+    resolved = resolve_engine(
+        engine,
+        algorithm,
+        trace=trace,
+        congest_bit_limit=congest_bit_limit,
+        **protocol_kwargs,
+    )
+    if resolved == "vectorized":
+        return fast_engine.VectorizedEngine(
+            graph,
+            algorithm,
+            seed=seed,
+            max_rounds=max_rounds,
+            **protocol_kwargs,
+        ).run()
     factory = make_protocol_factory(algorithm, **protocol_kwargs)
     simulator = Simulator(
         graph,

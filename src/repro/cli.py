@@ -59,16 +59,30 @@ def build_parser() -> argparse.ArgumentParser:
         )
         p.add_argument("--seed", type=int, default=0, help="master seed")
 
+    def engine_opt(p: argparse.ArgumentParser, default: str) -> None:
+        p.add_argument(
+            "--engine",
+            default=default,
+            choices=["auto", "generators", "vectorized"],
+            help="execution engine (vectorized: sleeping algorithms only)",
+        )
+
     run_p = sub.add_parser("run", help="run once and print the measures")
     common(run_p)
+    engine_opt(run_p, "generators")
     run_p.add_argument("--n", type=int, default=128, help="graph size")
 
     sweep_p = sub.add_parser("sweep", help="measure across sizes")
     common(sweep_p)
+    engine_opt(sweep_p, "auto")
     sweep_p.add_argument(
         "--sizes", type=_parse_sizes, default=[64, 128, 256], help="e.g. 64,128,256"
     )
     sweep_p.add_argument("--trials", type=int, default=3)
+    sweep_p.add_argument(
+        "--jobs", type=int, default=None,
+        help="worker processes for the batch runner (default: sequential)",
+    )
     sweep_p.add_argument(
         "--measure", default="node_averaged_awake",
         help="which measure to summarize",
@@ -81,6 +95,10 @@ def build_parser() -> argparse.ArgumentParser:
     table_p.add_argument("--family", default="gnp-sparse", choices=family_names())
     table_p.add_argument("--trials", type=int, default=3)
     table_p.add_argument("--seed", type=int, default=0)
+    table_p.add_argument(
+        "--jobs", type=int, default=None,
+        help="worker processes for the batch runner (default: sequential)",
+    )
     table_p.add_argument(
         "--markdown", action="store_true", help="emit markdown instead of text"
     )
@@ -114,7 +132,8 @@ def build_parser() -> argparse.ArgumentParser:
 def _cmd_run(args: argparse.Namespace) -> int:
     graph = make_family_graph(args.family, args.n, seed=args.seed)
     result, trial = run_trial(
-        graph, args.algorithm, seed=args.seed, family=args.family
+        graph, args.algorithm, seed=args.seed, family=args.family,
+        engine=args.engine,
     )
     print(f"algorithm          : {args.algorithm}")
     print(f"graph              : {args.family} n={result.n}")
@@ -133,6 +152,7 @@ def _cmd_sweep(args: argparse.Namespace) -> int:
     rows = sweep(
         args.algorithm, args.family, args.sizes,
         trials=args.trials, seed0=args.seed,
+        engine=args.engine, n_jobs=args.jobs,
     )
     summary = summarize(rows, args.measure)
     table = Table(
@@ -151,7 +171,7 @@ def _cmd_sweep(args: argparse.Namespace) -> int:
 def _cmd_table1(args: argparse.Namespace) -> int:
     table = build_table1(
         sizes=args.sizes, family=args.family,
-        trials=args.trials, seed0=args.seed,
+        trials=args.trials, seed0=args.seed, n_jobs=args.jobs,
     )
     print(table.to_markdown() if args.markdown else table.to_text())
     return 0
@@ -221,7 +241,12 @@ def main(argv: Optional[List[str]] = None) -> int:
         "energy": _cmd_energy,
         "report": _cmd_report,
     }
-    return handlers[args.command](args)
+    try:
+        return handlers[args.command](args)
+    except ValueError as exc:
+        # e.g. --engine vectorized with an algorithm it cannot run.
+        print(f"error: {exc}", file=sys.stderr)
+        return 2
 
 
 if __name__ == "__main__":

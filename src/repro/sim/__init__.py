@@ -10,6 +10,23 @@ Public surface:
 * :class:`RunResult`, :class:`NodeStats` -- the paper's complexity measures;
 * :class:`EnergyModel` -- energy accounting for the sensor-network story;
 * :class:`Trace` / :func:`make_trace` -- optional execution tracing.
+
+Two execution engines produce the same :class:`RunResult`:
+
+* the **generator engine** (:class:`Simulator`) runs any
+  :class:`Protocol` -- one generator per node -- and is the semantics
+  reference; tracing, CONGEST bit budgets, and fault injection
+  (``loss_rate``) live here exclusively;
+* the **vectorized engine** (:class:`VectorizedEngine` /
+  :func:`simulate_vectorized`) replays the two sleeping MIS algorithms
+  over numpy arrays, bit-for-bit equal to the generator engine for the
+  same ``(graph, seed)`` and far faster; configurations it cannot run
+  exactly (tracing, congest checks, other algorithms, per-call
+  instrumentation) fall back to the generator path via
+  ``engine="auto"``.
+
+:func:`run_trials` (in :mod:`repro.sim.batch`) fans many ``(graph, seed)``
+trials across both engines and, optionally, worker processes.
 """
 
 from .actions import LISTEN, Action, SendAndReceive, Sleep
@@ -21,6 +38,12 @@ from .errors import (
     ProtocolError,
     SimulationError,
 )
+from .fast_engine import (
+    GraphArrays,
+    VectorizedEngine,
+    simulate_vectorized,
+)
+from .batch import run_trials
 from .messages import Message, payload_bits
 from .metrics import NodeStats, RunResult
 from .node import NodeRuntime, NodeState
@@ -33,6 +56,7 @@ __all__ = [
     "CongestViolationError",
     "DEFAULT_MODEL",
     "EnergyModel",
+    "GraphArrays",
     "IDEAL_MODEL",
     "LISTEN",
     "MaxRoundsExceededError",
@@ -52,9 +76,12 @@ __all__ = [
     "Sleep",
     "Trace",
     "TraceEvent",
+    "VectorizedEngine",
     "make_trace",
     "node_rng",
     "normalize_graph",
     "payload_bits",
+    "run_trials",
     "simulate",
+    "simulate_vectorized",
 ]

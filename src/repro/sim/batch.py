@@ -1,0 +1,244 @@
+"""Batch trial runner: many ``(graph, seed)`` executions, optionally parallel.
+
+The paper's results are statistical -- every figure and table averages over
+many trials -- so the measurement loop, not any single run, is the hot
+path.  :func:`run_trials` runs one simulation per seed and returns the
+:class:`RunResult` objects in seed order.  It layers three optimizations
+over naive sequential calls:
+
+* **engine dispatch** -- trials run on the vectorized engine
+  (:mod:`repro.sim.fast_engine`) whenever it supports the configuration,
+  falling back to the generator engine otherwise (``engine="auto"``);
+* **graph-structure reuse** -- when many seeds share one graph object, its
+  normalized adjacency and edge arrays are built once
+  (:class:`repro.sim.fast_engine.GraphArrays`), not per seed;
+* **process parallelism** -- with ``n_jobs`` workers, seed chunks fan out
+  over a :class:`concurrent.futures.ProcessPoolExecutor`.  Graphs are
+  normalized in the parent, so ``graph_factory`` may be a lambda; only
+  plain adjacency dicts and results cross process boundaries.  If a pool
+  cannot be started (restricted sandboxes), the runner degrades to
+  sequential execution instead of failing.
+"""
+
+from __future__ import annotations
+
+import os
+import warnings
+from typing import Any, Callable, Dict, Iterable, List, Optional, Sequence, Tuple
+
+from . import fast_engine
+from .fast_engine import GraphArrays, VectorizedEngine
+from .metrics import RunResult
+from .network import Simulator, normalize_graph
+
+#: Engine names accepted throughout the package.
+ENGINES = ("auto", "generators", "vectorized")
+
+
+def resolve_engine(
+    engine: str, algorithm: str, **constraints: Any
+) -> str:
+    """Map an engine request to the concrete engine that will run.
+
+    ``"auto"`` selects ``"vectorized"`` exactly when
+    :func:`repro.sim.fast_engine.supports` certifies the configuration;
+    requesting ``"vectorized"`` for an unsupported configuration is an
+    error rather than a silent behaviour change.
+    """
+    if engine not in ENGINES:
+        raise ValueError(f"unknown engine {engine!r}; known: {ENGINES}")
+    if engine == "generators":
+        return "generators"
+    eligible = fast_engine.supports(algorithm, **constraints)
+    if engine == "vectorized" and not eligible:
+        active = {k: v for k, v in constraints.items() if v}
+        detail = f" with {active}" if active else ""
+        raise ValueError(
+            f"vectorized engine cannot run algorithm={algorithm!r}{detail}; "
+            f"use engine='generators' or engine='auto'"
+        )
+    return "vectorized" if eligible else "generators"
+
+
+def _run_one(
+    adjacency: Dict[Any, Tuple[Any, ...]],
+    arrays: Optional[GraphArrays],
+    algorithm: str,
+    seed: Optional[int],
+    engine: str,
+    max_rounds: Optional[int],
+    congest_bit_limit: Optional[int],
+    protocol_kwargs: Dict[str, Any],
+) -> RunResult:
+    if engine == "vectorized":
+        return VectorizedEngine(
+            arrays if arrays is not None else GraphArrays(adjacency),
+            algorithm,
+            seed=seed,
+            max_rounds=max_rounds,
+            **protocol_kwargs,
+        ).run()
+    from ..api import make_protocol_factory  # local: avoid import cycle
+
+    return Simulator(
+        adjacency,
+        make_protocol_factory(algorithm, **protocol_kwargs),
+        seed=seed,
+        max_rounds=max_rounds,
+        congest_bit_limit=congest_bit_limit,
+    ).run()
+
+
+def _run_chunk(payload: Tuple) -> List[RunResult]:
+    """Process-pool task: one graph, a chunk of seeds."""
+    (
+        adjacency, algorithm, seeds, engine, max_rounds,
+        congest_bit_limit, protocol_kwargs,
+    ) = payload
+    arrays = GraphArrays(adjacency) if engine == "vectorized" else None
+    return [
+        _run_one(
+            adjacency, arrays, algorithm, seed, engine, max_rounds,
+            congest_bit_limit, protocol_kwargs,
+        )
+        for seed in seeds
+    ]
+
+
+def run_trials(
+    graph_factory: Any,
+    algorithm: str = "fast-sleeping",
+    seeds: Iterable[Optional[int]] = range(10),
+    *,
+    n_jobs: Optional[int] = None,
+    engine: str = "auto",
+    max_rounds: Optional[int] = None,
+    congest_bit_limit: Optional[int] = None,
+    **protocol_kwargs: Any,
+) -> List[RunResult]:
+    """Run ``algorithm`` once per seed; results come back in seed order.
+
+    Parameters
+    ----------
+    graph_factory:
+        Either a callable ``seed -> graph`` (fresh graph per trial) or a
+        single graph object shared by every trial.
+    algorithm:
+        Name from :func:`repro.api.algorithm_names`.
+    seeds:
+        Master seeds, one trial each.
+    n_jobs:
+        ``None`` or ``1`` runs sequentially in-process; ``> 1`` uses that
+        many worker processes; ``<= 0`` means one worker per CPU.
+    engine:
+        ``"auto"`` (default), ``"generators"``, or ``"vectorized"``.
+    protocol_kwargs:
+        Forwarded to the protocol (``coin_bias=``, ``greedy_constant=``,
+        ``depth=``).
+    """
+    seed_list = list(seeds)
+    if not seed_list:
+        return []
+    resolved = resolve_engine(
+        engine, algorithm,
+        congest_bit_limit=congest_bit_limit, **protocol_kwargs,
+    )
+
+    # Build every graph in the parent and normalize once per distinct
+    # graph object, so factories may be closures and workers only ever see
+    # plain dicts.
+    factory: Callable[[Optional[int]], Any] = (
+        graph_factory if callable(graph_factory) else lambda seed: graph_factory
+    )
+    adjacencies: List[Dict[Any, Tuple[Any, ...]]] = []
+    norm_cache: Dict[int, Dict[Any, Tuple[Any, ...]]] = {}
+    keep_alive: List[Any] = []  # pin graph objects so id() keys stay valid
+    for seed in seed_list:
+        graph = factory(seed)
+        key = id(graph)
+        if key not in norm_cache:
+            norm_cache[key] = normalize_graph(graph)
+            keep_alive.append(graph)
+        adjacencies.append(norm_cache[key])
+
+    jobs = _effective_jobs(n_jobs, len(seed_list))
+    if jobs > 1:
+        from concurrent.futures.process import BrokenProcessPool
+
+        try:
+            return _run_parallel(
+                adjacencies, algorithm, seed_list, resolved, max_rounds,
+                congest_bit_limit, protocol_kwargs, jobs,
+            )
+        except (OSError, ImportError, BrokenProcessPool) as exc:
+            # Pool could not start, or its workers were killed before
+            # producing results (sandboxes commonly allow the former and
+            # forbid the latter) -- degrade to sequential either way.
+            warnings.warn(
+                f"process pool unavailable ({exc}); running sequentially",
+                RuntimeWarning,
+                stacklevel=2,
+            )
+
+    arrays_cache: Dict[int, GraphArrays] = {}
+    results: List[RunResult] = []
+    for adjacency, seed in zip(adjacencies, seed_list):
+        arrays = None
+        if resolved == "vectorized":
+            key = id(adjacency)
+            if key not in arrays_cache:
+                arrays_cache[key] = GraphArrays(adjacency)
+            arrays = arrays_cache[key]
+        results.append(
+            _run_one(
+                adjacency, arrays, algorithm, seed, resolved, max_rounds,
+                congest_bit_limit, protocol_kwargs,
+            )
+        )
+    return results
+
+
+def _effective_jobs(n_jobs: Optional[int], n_tasks: int) -> int:
+    if n_jobs is None or n_jobs == 1:
+        return 1
+    if n_jobs <= 0:
+        n_jobs = os.cpu_count() or 1
+    return max(1, min(n_jobs, n_tasks))
+
+
+def _run_parallel(
+    adjacencies: Sequence[Dict[Any, Tuple[Any, ...]]],
+    algorithm: str,
+    seed_list: Sequence[Optional[int]],
+    engine: str,
+    max_rounds: Optional[int],
+    congest_bit_limit: Optional[int],
+    protocol_kwargs: Dict[str, Any],
+    jobs: int,
+) -> List[RunResult]:
+    from concurrent.futures import ProcessPoolExecutor
+
+    # Chunk runs of consecutive seeds that share an adjacency, so workers
+    # amortize GraphArrays construction; aim for a few chunks per worker.
+    target = max(1, len(seed_list) // (jobs * 4) or 1)
+    chunks: List[Tuple] = []
+    start = 0
+    while start < len(seed_list):
+        end = start
+        while (
+            end < len(seed_list)
+            and end - start < target
+            and adjacencies[end] is adjacencies[start]
+        ):
+            end += 1
+        chunks.append(
+            (
+                adjacencies[start], algorithm, list(seed_list[start:end]),
+                engine, max_rounds, congest_bit_limit, protocol_kwargs,
+            )
+        )
+        start = end
+
+    with ProcessPoolExecutor(max_workers=jobs) as pool:
+        nested = list(pool.map(_run_chunk, chunks))
+    return [result for chunk in nested for result in chunk]

@@ -138,6 +138,11 @@ class Simulator:
         self._round = 0
 
         self.runtimes: Dict[Any, NodeRuntime] = {}
+        # Frozen neighbor sets give O(1) membership checks in the send
+        # loop (the tuples in ctx.neighbors would make it O(degree)).
+        self._neighbor_sets: Dict[Any, frozenset] = {
+            v: frozenset(nbrs) for v, nbrs in self.adjacency.items()
+        }
         for v in sorted(self.adjacency):
             stats = NodeStats(node_id=v)
             ctx = NodeContext(
@@ -228,15 +233,16 @@ class Simulator:
         inboxes: Dict[Any, Dict[Any, Any]] = {}
         trace_on = self.trace.enabled
         limit = self.congest_bit_limit
+        senders: set = set()
         for v in awake:
             rt = self.runtimes[v]
             action = rt.pending
             assert isinstance(action, SendAndReceive)
             stats = rt.stats
             stats.awake_rounds += 1
-            sent_any = False
+            neighbor_set = self._neighbor_sets[v]
             for u, payload in action.messages.items():
-                if u not in rt.ctx.neighbors:
+                if u not in neighbor_set:
                     raise ProtocolError(
                         f"node {v!r} sent to {u!r}, which is not a neighbor"
                     )
@@ -245,7 +251,7 @@ class Simulator:
                     raise CongestViolationError(v, u, bits, limit)
                 stats.messages_sent += 1
                 stats.bits_sent += bits
-                sent_any = True
+                senders.add(v)
                 if trace_on:
                     self.trace.record(
                         current, v, "send", to=u, payload=payload
@@ -255,20 +261,24 @@ class Simulator:
                     continue
                 if u in awake:
                     inboxes.setdefault(u, {})[v] = payload
-            if sent_any:
-                stats.tx_rounds += 1
-        # Classify non-transmitting awake rounds as rx or idle.
+        # Classify every awake round exactly once, from a single source of
+        # truth: tx if the node sent at least one message this round
+        # (whether or not it also received, and even if every copy was
+        # lost); otherwise rx if anything was delivered to it; otherwise
+        # idle.  ``awake_rounds == tx + rx + idle`` always.  The spec is
+        # pinned by tests/test_metrics.py::TestExchangeAccounting, which
+        # the vectorized engine's counters are checked against.
         for v in awake:
-            rt = self.runtimes[v]
+            stats = self.runtimes[v].stats
             inbox = inboxes.get(v)
             if inbox:
-                rt.stats.messages_received += len(inbox)
-            if rt.pending is not None and rt.pending.messages:
-                continue  # already counted as tx
-            if inbox:
-                rt.stats.rx_rounds += 1
+                stats.messages_received += len(inbox)
+            if v in senders:
+                stats.tx_rounds += 1
+            elif inbox:
+                stats.rx_rounds += 1
             else:
-                rt.stats.idle_rounds += 1
+                stats.idle_rounds += 1
         return inboxes
 
     def _build_result(self) -> RunResult:

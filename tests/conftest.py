@@ -1,33 +1,17 @@
-"""Shared fixtures and helpers for the test suite."""
+"""Shared fixtures for the test suite.
+
+The importable helpers (``run_mis``, ``GRAPH_CASES``) live in
+``tests/helpers.py`` -- import them with ``from helpers import ...``, never
+``from conftest import ...`` (conftest modules are pytest plumbing and the
+name can be shadowed by other conftest files in the repository).
+"""
 
 from __future__ import annotations
 
 import networkx as nx
 import pytest
 
-from repro.api import solve_mis
-
-#: Small graphs covering the structural corner cases: empty, singleton,
-#: disconnected, dense, sparse, bipartite, hub-and-spoke.
-GRAPH_CASES = [
-    ("single", lambda: nx.empty_graph(1)),
-    ("two-isolated", lambda: nx.empty_graph(2)),
-    ("edge", lambda: nx.path_graph(2)),
-    ("triangle", lambda: nx.complete_graph(3)),
-    ("path-9", lambda: nx.path_graph(9)),
-    ("cycle-10", lambda: nx.cycle_graph(10)),
-    ("star-12", lambda: nx.star_graph(11)),
-    ("complete-8", lambda: nx.complete_graph(8)),
-    ("bipartite-4-5", lambda: nx.complete_bipartite_graph(4, 5)),
-    ("grid-4x4", lambda: nx.convert_node_labels_to_integers(nx.grid_2d_graph(4, 4))),
-    ("gnp-30", lambda: nx.gnp_random_graph(30, 0.15, seed=4)),
-    ("gnp-60-sparse", lambda: nx.gnp_random_graph(60, 0.05, seed=8)),
-    ("two-components", lambda: nx.disjoint_union(nx.cycle_graph(5), nx.complete_graph(4))),
-    ("isolated-plus-clique", lambda: nx.disjoint_union(nx.empty_graph(3), nx.complete_graph(5))),
-]
-
-GRAPH_IDS = [name for name, _ in GRAPH_CASES]
-GRAPH_BUILDERS = [builder for _, builder in GRAPH_CASES]
+from helpers import GRAPH_BUILDERS, GRAPH_CASES, GRAPH_IDS, run_mis  # noqa: F401
 
 
 @pytest.fixture(params=GRAPH_BUILDERS, ids=GRAPH_IDS)
@@ -40,8 +24,3 @@ def small_graph(request):
 def gnp60():
     """A fixed medium random graph for single-graph tests."""
     return nx.gnp_random_graph(60, 0.08, seed=3)
-
-
-def run_mis(graph, algorithm, seed=0, **kwargs):
-    """Thin wrapper so tests read uniformly."""
-    return solve_mis(graph, algorithm=algorithm, seed=seed, **kwargs)

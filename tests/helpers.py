@@ -1,0 +1,42 @@
+"""Importable test helpers shared across the suite.
+
+These used to live in ``tests/conftest.py`` and were imported with
+``from conftest import run_mis`` -- which silently resolved to
+``benchmarks/conftest.py`` whenever pytest collected the benchmarks
+directory first, breaking the whole suite.  Keeping the helpers in a module
+whose name exists exactly once in the repository makes that shadowing
+structurally impossible.  ``tests/conftest.py`` re-exports the fixtures.
+"""
+
+from __future__ import annotations
+
+import networkx as nx
+
+from repro.api import solve_mis
+
+#: Small graphs covering the structural corner cases: empty, singleton,
+#: disconnected, dense, sparse, bipartite, hub-and-spoke.
+GRAPH_CASES = [
+    ("single", lambda: nx.empty_graph(1)),
+    ("two-isolated", lambda: nx.empty_graph(2)),
+    ("edge", lambda: nx.path_graph(2)),
+    ("triangle", lambda: nx.complete_graph(3)),
+    ("path-9", lambda: nx.path_graph(9)),
+    ("cycle-10", lambda: nx.cycle_graph(10)),
+    ("star-12", lambda: nx.star_graph(11)),
+    ("complete-8", lambda: nx.complete_graph(8)),
+    ("bipartite-4-5", lambda: nx.complete_bipartite_graph(4, 5)),
+    ("grid-4x4", lambda: nx.convert_node_labels_to_integers(nx.grid_2d_graph(4, 4))),
+    ("gnp-30", lambda: nx.gnp_random_graph(30, 0.15, seed=4)),
+    ("gnp-60-sparse", lambda: nx.gnp_random_graph(60, 0.05, seed=8)),
+    ("two-components", lambda: nx.disjoint_union(nx.cycle_graph(5), nx.complete_graph(4))),
+    ("isolated-plus-clique", lambda: nx.disjoint_union(nx.empty_graph(3), nx.complete_graph(5))),
+]
+
+GRAPH_IDS = [name for name, _ in GRAPH_CASES]
+GRAPH_BUILDERS = [builder for _, builder in GRAPH_CASES]
+
+
+def run_mis(graph, algorithm, seed=0, **kwargs):
+    """Thin wrapper so tests read uniformly."""
+    return solve_mis(graph, algorithm=algorithm, seed=seed, **kwargs)

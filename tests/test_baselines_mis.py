@@ -7,7 +7,7 @@ from repro.baselines import GhaffariMIS, LubyMIS
 from repro.graphs import assert_valid_mis
 from repro.sim import Simulator
 
-from conftest import run_mis
+from helpers import run_mis
 
 ALGORITHMS = ["luby", "greedy", "ghaffari"]
 

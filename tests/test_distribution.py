@@ -12,7 +12,7 @@ from repro.analysis.distribution import (
     tail_fraction,
 )
 
-from conftest import run_mis
+from helpers import run_mis
 
 
 @pytest.fixture(scope="module")

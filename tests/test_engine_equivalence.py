@@ -1,0 +1,127 @@
+"""Cross-backend equivalence: vectorized engine == generator engine.
+
+The vectorized engine's contract is not "produces a valid MIS" but
+"reproduces the generator engine's execution exactly" -- same per-node
+decisions, same round numbers, same statistics down to message, bit, and
+tx/rx/idle counters, for identical ``(graph, seed)``.  These tests diff
+complete :class:`NodeStats` across every corner-case graph, both sleeping
+algorithms, and several seeds, plus the protocol knobs and the engine
+selection logic in the API.
+"""
+
+from dataclasses import asdict
+
+import pytest
+
+from helpers import GRAPH_CASES, run_mis
+
+from repro.sim.batch import resolve_engine
+from repro.sim.fast_engine import supports
+from repro.sim.trace import make_trace
+
+ALGORITHMS = ("sleeping", "fast-sleeping")
+SEEDS = (0, 1, 2)
+
+
+def assert_equivalent(reference, vectorized):
+    """Diff two RunResults field by field with a readable failure."""
+    assert reference.n == vectorized.n
+    assert reference.rounds == vectorized.rounds
+    assert reference.outputs == vectorized.outputs
+    assert reference.mis == vectorized.mis
+    assert reference.undecided == vectorized.undecided
+    assert reference.adjacency == vectorized.adjacency
+    assert set(reference.node_stats) == set(vectorized.node_stats)
+    for v in reference.node_stats:
+        ref = asdict(reference.node_stats[v])
+        vec = asdict(vectorized.node_stats[v])
+        diff = {key: (ref[key], vec[key]) for key in ref if ref[key] != vec[key]}
+        assert not diff, f"node {v!r} stats diverge (ref, vec): {diff}"
+
+
+@pytest.mark.parametrize("algorithm", ALGORITHMS)
+@pytest.mark.parametrize("seed", SEEDS)
+@pytest.mark.parametrize(
+    "builder", [b for _, b in GRAPH_CASES], ids=[name for name, _ in GRAPH_CASES]
+)
+def test_engines_agree_exactly(builder, algorithm, seed):
+    graph = builder()
+    reference = run_mis(graph, algorithm, seed=seed, engine="generators")
+    vectorized = run_mis(graph, algorithm, seed=seed, engine="vectorized")
+    assert_equivalent(reference, vectorized)
+
+
+class TestProtocolKnobs:
+    """The knobs the ablation study sweeps must stay equivalent too."""
+
+    @pytest.mark.parametrize("coin_bias", [0.25, 0.75])
+    def test_coin_bias(self, gnp60, coin_bias):
+        for algorithm in ALGORITHMS:
+            assert_equivalent(
+                run_mis(gnp60, algorithm, seed=3, coin_bias=coin_bias),
+                run_mis(
+                    gnp60, algorithm, seed=3, coin_bias=coin_bias,
+                    engine="vectorized",
+                ),
+            )
+
+    @pytest.mark.parametrize("constant", [2, 4, 16])
+    def test_greedy_constant(self, gnp60, constant):
+        assert_equivalent(
+            run_mis(gnp60, "fast-sleeping", seed=5, greedy_constant=constant),
+            run_mis(
+                gnp60, "fast-sleeping", seed=5, greedy_constant=constant,
+                engine="vectorized",
+            ),
+        )
+
+    @pytest.mark.parametrize("depth", [0, 1, 3])
+    def test_depth_override(self, gnp60, depth):
+        for algorithm in ALGORITHMS:
+            assert_equivalent(
+                run_mis(gnp60, algorithm, seed=7, depth=depth),
+                run_mis(
+                    gnp60, algorithm, seed=7, depth=depth, engine="vectorized"
+                ),
+            )
+
+
+class TestEngineSelection:
+    def test_supports_sleeping_algorithms_only(self):
+        assert supports("sleeping")
+        assert supports("fast-sleeping")
+        assert not supports("luby")
+        assert not supports("greedy")
+
+    def test_supports_rejects_tracing_and_congest(self):
+        assert not supports("sleeping", trace=make_trace(enabled=True))
+        assert not supports("sleeping", congest_bit_limit=32)
+        assert not supports("sleeping", loss_rate=0.5)
+        assert not supports("sleeping", unknown_knob=1)
+
+    def test_auto_resolves_per_configuration(self):
+        assert resolve_engine("auto", "fast-sleeping") == "vectorized"
+        assert resolve_engine("auto", "luby") == "generators"
+        assert (
+            resolve_engine("auto", "sleeping", congest_bit_limit=16)
+            == "generators"
+        )
+        assert resolve_engine("generators", "sleeping") == "generators"
+
+    def test_vectorized_request_fails_loudly_when_unsupported(self):
+        with pytest.raises(ValueError):
+            resolve_engine("vectorized", "luby")
+        with pytest.raises(ValueError):
+            resolve_engine("bogus", "sleeping")
+
+    def test_auto_engine_through_api_matches_reference(self, gnp60):
+        assert_equivalent(
+            run_mis(gnp60, "fast-sleeping", seed=11),
+            run_mis(gnp60, "fast-sleeping", seed=11, engine="auto"),
+        )
+
+    def test_vectorized_has_no_protocols(self, gnp60):
+        result = run_mis(gnp60, "sleeping", seed=0, engine="vectorized")
+        assert result.protocols == {}
+        reference = run_mis(gnp60, "sleeping", seed=0)
+        assert reference.protocols  # the generator engine keeps them

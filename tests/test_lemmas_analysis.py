@@ -12,7 +12,7 @@ from repro.analysis import (
     pruning_summary,
 )
 
-from conftest import run_mis
+from helpers import run_mis
 
 
 @pytest.fixture(scope="module")

@@ -14,7 +14,7 @@ from repro.analysis import (
 from repro.core import FastSleepingMIS
 from repro.sim import Simulator
 
-from conftest import run_mis
+from helpers import run_mis
 
 
 class TestCorollary1Algorithm1:

@@ -1,5 +1,7 @@
-"""Unit tests for NodeStats / RunResult measure computation."""
+"""Unit tests for NodeStats / RunResult measure computation, plus the
+pinned tx/rx/idle classification spec of ``Simulator._exchange``."""
 
+from repro.sim import Protocol, SendAndReceive, Simulator, Sleep
 from repro.sim.metrics import NodeStats, RunResult
 
 
@@ -122,3 +124,122 @@ class TestSummary:
         assert summary["node_averaged_awake"] == 1.0
         assert summary["worst_case_rounds"] == 2
         assert "total_messages" in summary
+
+
+# ----------------------------------------------------------------------
+# The tx/rx/idle round-classification spec, pinned on a 2-node path.
+#
+# Exactly one label per awake round, derived from a single source of
+# truth in Simulator._exchange:
+#
+#   tx   -- the node sent at least one message this round, whether or not
+#           it also received (and even if every copy was dropped);
+#   rx   -- it sent nothing and at least one message was delivered to it;
+#   idle -- it sent nothing and received nothing.
+#
+# The vectorized engine replicates these counters, so this is the contract
+# its accounting is verified against.
+# ----------------------------------------------------------------------
+
+
+class _OneRound(Protocol):
+    """Awake for one round; optionally sends to every neighbor."""
+
+    def __init__(self, send):
+        self.send = send
+        self.inbox = None
+
+    def run(self, ctx):
+        messages = {u: "ping" for u in ctx.neighbors} if self.send else {}
+        self.inbox = yield SendAndReceive(messages)
+
+    def output(self):
+        return sorted(self.inbox) if self.inbox is not None else None
+
+
+class _SleepFirst(Protocol):
+    """Asleep in round 0, silent listen in round 1."""
+
+    def run(self, ctx):
+        yield Sleep(1)
+        yield SendAndReceive({})
+
+
+def _path2(left, right):
+    result = Simulator(
+        {0: [1], 1: [0]},
+        lambda v: left if v == 0 else right,
+    ).run()
+    return result.node_stats[0], result.node_stats[1]
+
+
+class TestExchangeAccounting:
+    def test_sender_with_silent_peer_is_tx_even_without_inbox(self):
+        # The pinned corner: node 0 sends but receives nothing back.
+        sender, listener = _path2(_OneRound(send=True), _OneRound(send=False))
+        assert (sender.tx_rounds, sender.rx_rounds, sender.idle_rounds) == (
+            1, 0, 0,
+        )
+        assert sender.messages_received == 0
+
+    def test_silent_receiver_is_rx(self):
+        _, listener = _path2(_OneRound(send=True), _OneRound(send=False))
+        assert (
+            listener.tx_rounds, listener.rx_rounds, listener.idle_rounds
+        ) == (0, 1, 0)
+        assert listener.messages_received == 1
+
+    def test_sender_into_sleeping_peer_is_tx_and_message_counted(self):
+        sender, sleeper = _path2(_OneRound(send=True), _SleepFirst())
+        assert (sender.tx_rounds, sender.rx_rounds, sender.idle_rounds) == (
+            1, 0, 0,
+        )
+        # The message to the sleeping node is sent (and paid for) but never
+        # delivered.
+        assert sender.messages_sent == 1
+        assert sleeper.messages_received == 0
+        # The sleeper's own awake round hears nothing: idle.
+        assert (
+            sleeper.tx_rounds, sleeper.rx_rounds, sleeper.idle_rounds
+        ) == (0, 0, 1)
+
+    def test_mutual_senders_are_tx_not_rx(self):
+        a, b = _path2(_OneRound(send=True), _OneRound(send=True))
+        for stats in (a, b):
+            assert (
+                stats.tx_rounds, stats.rx_rounds, stats.idle_rounds
+            ) == (1, 0, 0)
+            assert stats.messages_received == 1
+
+    def test_mutual_silence_is_idle(self):
+        a, b = _path2(_OneRound(send=False), _OneRound(send=False))
+        for stats in (a, b):
+            assert (
+                stats.tx_rounds, stats.rx_rounds, stats.idle_rounds
+            ) == (0, 0, 1)
+
+    def test_labels_partition_awake_rounds(self):
+        for left in (True, False):
+            for right in (True, False):
+                a, b = _path2(_OneRound(send=left), _OneRound(send=right))
+                for stats in (a, b):
+                    assert (
+                        stats.tx_rounds + stats.rx_rounds + stats.idle_rounds
+                        == stats.awake_rounds
+                    )
+
+    def test_lost_messages_still_count_as_tx(self):
+        result = Simulator(
+            {0: [1], 1: [0]},
+            lambda v: _OneRound(send=(v == 0)),
+            loss_rate=1.0,
+        ).run()
+        sender = result.node_stats[0]
+        listener = result.node_stats[1]
+        assert sender.tx_rounds == 1
+        assert sender.messages_sent == 1
+        # Nothing was delivered: the listener's round is idle, not rx.
+        assert listener.messages_received == 0
+        assert (
+            listener.tx_rounds, listener.rx_rounds, listener.idle_rounds
+        ) == (0, 0, 1)

@@ -13,7 +13,7 @@ from repro.analysis import (
 from repro.core import FastSleepingMIS, SleepingMIS, schedule
 from repro.sim import Simulator
 
-from conftest import run_mis
+from helpers import run_mis
 
 
 @pytest.fixture(scope="module")

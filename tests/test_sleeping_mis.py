@@ -8,7 +8,7 @@ from repro.core import SleepingMIS, schedule
 from repro.graphs import assert_valid_mis, is_maximal_independent_set
 from repro.sim import Simulator
 
-from conftest import run_mis
+from helpers import run_mis
 
 
 class TestCorrectness:
