@@ -6,13 +6,20 @@ graph family.  We sweep three families across a 16x size range and assert
 flatness (growth factor near 1, classified as constant by the estimators).
 """
 
-from conftest import once, record
+from conftest import record, timed_once, write_artifact
 
 from repro.analysis import classify_growth, growth_factor, mean_by_size, sweep
 
 SIZES = (64, 128, 256, 512, 1024)
 FAMILIES = ("gnp-sparse", "tree", "regular-4")
 TRIALS = 3
+CONFIG = {
+    "sizes": list(SIZES),
+    "families": list(FAMILIES),
+    "trials": TRIALS,
+    "seed0": 23,
+    "engine": "vectorized",
+}
 
 
 def _measure(algorithm):
@@ -30,34 +37,42 @@ def _measure(algorithm):
 
 
 def test_algorithm1_node_avg_awake_constant(benchmark):
-    series = once(benchmark, lambda: _measure("sleeping"))
+    series, elapsed = timed_once(benchmark, lambda: _measure("sleeping"))
     print()
     for family, (ns, means) in series.items():
         print(f"  {family:12s} " + " ".join(f"{m:6.2f}" for m in means))
         assert growth_factor(ns, means) <= 1.6
         assert classify_growth(ns, means) == "constant"
         assert max(means) < 12.0  # small absolute constant
-    record(
-        benchmark,
-        **{
-            f"{family}_means": [round(m, 2) for m in series[family][1]]
-            for family in FAMILIES
-        },
+    means_by_family = {
+        f"{family}_means": [round(m, 2) for m in series[family][1]]
+        for family in FAMILIES
+    }
+    record(benchmark, **means_by_family)
+    write_artifact(
+        "node_avg_awake_alg1",
+        config={**CONFIG, "algorithm": "sleeping"},
+        wall_clock_s=elapsed,
+        **means_by_family,
     )
 
 
 def test_algorithm2_node_avg_awake_constant(benchmark):
-    series = once(benchmark, lambda: _measure("fast-sleeping"))
+    series, elapsed = timed_once(benchmark, lambda: _measure("fast-sleeping"))
     print()
     for family, (ns, means) in series.items():
         print(f"  {family:12s} " + " ".join(f"{m:6.2f}" for m in means))
         assert growth_factor(ns, means) <= 1.6
         assert classify_growth(ns, means) == "constant"
         assert max(means) < 14.0
-    record(
-        benchmark,
-        **{
-            f"{family}_means": [round(m, 2) for m in series[family][1]]
-            for family in FAMILIES
-        },
+    means_by_family = {
+        f"{family}_means": [round(m, 2) for m in series[family][1]]
+        for family in FAMILIES
+    }
+    record(benchmark, **means_by_family)
+    write_artifact(
+        "node_avg_awake_alg2",
+        config={**CONFIG, "algorithm": "fast-sleeping"},
+        wall_clock_s=elapsed,
+        **means_by_family,
     )

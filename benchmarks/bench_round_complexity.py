@@ -9,7 +9,7 @@ Luby << Algorithm 2 << Algorithm 1 that Table 1 reports.
 
 import math
 
-from conftest import once, record
+from conftest import once, record, timed_once, write_artifact
 
 from repro.analysis import fit_power, mean_by_size, sweep
 from repro.core import schedule
@@ -78,8 +78,9 @@ def test_crossover_ordering(benchmark):
     def measure():
         out = {}
         for algorithm in ("luby", "fast-sleeping", "sleeping"):
-            # auto: vectorized for the sleeping algorithms, generator
-            # engine for Luby -- same batch runner either way.
+            # auto: every one of these three runs on a vectorized engine
+            # (Luby included since the phased engine landed) -- same batch
+            # runner either way.
             rows = sweep(
                 algorithm, "gnp-sparse", SIZES, trials=1, seed0=7,
                 engine="auto",
@@ -87,8 +88,16 @@ def test_crossover_ordering(benchmark):
             out[algorithm] = mean_by_size(rows, "worst_case_rounds")[1]
         return out
 
-    data = once(benchmark, measure)
+    data, elapsed = timed_once(benchmark, measure)
     print()
     record(benchmark, **{k: v for k, v in data.items()})
     for i in range(len(SIZES)):
         assert data["luby"][i] < data["fast-sleeping"][i] < data["sleeping"][i]
+    write_artifact(
+        "round_complexity_crossover",
+        config={
+            "sizes": list(SIZES), "trials": 1, "seed0": 7, "engine": "auto",
+        },
+        wall_clock_s=elapsed,
+        **data,
+    )

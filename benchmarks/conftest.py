@@ -6,6 +6,12 @@ once via ``once(benchmark, fn)`` -- the interesting output is the *measured
 numbers* (stored in ``benchmark.extra_info`` and printed), not the timing
 statistics, though those come for free.
 
+The CI entry points additionally write machine-readable
+``benchmarks/artifacts/BENCH_<name>.json`` files (config, wall-clock,
+measured series) via :func:`write_artifact`, so the perf trajectory is
+tracked across PRs; ``benchmarks/perf_smoke.py --check`` compares a fixed
+config against the committed baselines and fails CI on a >2x slowdown.
+
 Run with::
 
     pytest benchmarks/ --benchmark-only -s
@@ -13,7 +19,14 @@ Run with::
 
 from __future__ import annotations
 
-from typing import Any, Callable
+import json
+import os
+import time
+from pathlib import Path
+from typing import Any, Callable, Dict, Optional, Tuple
+
+#: Where the committed machine-readable benchmark artifacts live.
+ARTIFACT_DIR = Path(__file__).resolve().parent / "artifacts"
 
 
 def once(benchmark, fn: Callable[[], Any]) -> Any:
@@ -21,8 +34,48 @@ def once(benchmark, fn: Callable[[], Any]) -> Any:
     return benchmark.pedantic(fn, rounds=1, iterations=1)
 
 
+def timed_once(benchmark, fn: Callable[[], Any]) -> Tuple[Any, float]:
+    """Like :func:`once`, also returning the measured wall-clock seconds."""
+    start = time.perf_counter()
+    result = once(benchmark, fn)
+    return result, time.perf_counter() - start
+
+
 def record(benchmark, **info: Any) -> None:
     """Attach measured values to the benchmark JSON and print them."""
     for key, value in info.items():
         benchmark.extra_info[key] = value
         print(f"  {key} = {value}")
+
+
+def write_artifact(
+    name: str,
+    *,
+    config: Dict[str, Any],
+    wall_clock_s: Optional[float] = None,
+    **data: Any,
+) -> Optional[Path]:
+    """Write ``benchmarks/artifacts/BENCH_<name>.json`` (committed to git).
+
+    One artifact per benchmark entry point: the exact config that was
+    measured, the wall-clock it took, and whatever measured series the
+    benchmark wants tracked across PRs.
+
+    The committed files are only rewritten when ``BENCH_UPDATE_ARTIFACTS``
+    is set (CI sets it; refresh locally with
+    ``BENCH_UPDATE_ARTIFACTS=1 pytest benchmarks/... --benchmark-disable``).
+    Otherwise wall-clock noise from every local benchmark run would dirty
+    the working tree.
+    """
+    if not os.environ.get("BENCH_UPDATE_ARTIFACTS"):
+        print(f"  artifact skipped (BENCH_UPDATE_ARTIFACTS unset): {name}")
+        return None
+    ARTIFACT_DIR.mkdir(exist_ok=True)
+    payload: Dict[str, Any] = {"bench": name, "config": config}
+    if wall_clock_s is not None:
+        payload["wall_clock_s"] = round(wall_clock_s, 3)
+    payload.update(data)
+    path = ARTIFACT_DIR / f"BENCH_{name}.json"
+    path.write_text(json.dumps(payload, indent=2, sort_keys=True) + "\n")
+    print(f"  artifact -> {path}")
+    return path

@@ -1,0 +1,163 @@
+#!/usr/bin/env python
+"""Perf-regression smoke: a fixed config vs the committed baseline.
+
+Runs a pinned set of measurements (~10s wall-clock total) and compares
+each against the committed ``benchmarks/artifacts/BENCH_perf_smoke.json``:
+
+* ``table1_auto`` -- full Table 1 (4 algorithms, n = 300, 10 trials) on
+  ``engine="auto"`` (vectorized sleeping algorithms + baselines);
+* ``sleeping_1e4_batched`` -- a 10^4-node Algorithm 1 sweep under the
+  batched (v2) RNG stream;
+* ``luby_1e4_batched`` -- the same scale on the vectorized Luby engine.
+
+Raw wall-clock is not comparable across machines (the baseline is written
+on whatever machine last ran ``--write``; CI runners are slower and
+noisier), so the gate compares **calibrated units**: each measurement is
+divided by the time a fixed CPU workload (Python-loop + numpy passes,
+mirroring the engines' profile) takes in the same process.  Each
+measurement is best-of-3.
+
+Usage::
+
+    python benchmarks/perf_smoke.py --write   # refresh the baseline
+    python benchmarks/perf_smoke.py --check   # CI: fail on >2x slowdown
+
+The 2x tolerance on calibrated units absorbs residual variance; a real
+regression (e.g. un-vectorizing a baseline is >5x) still trips it.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import random
+import sys
+import time
+from pathlib import Path
+
+import numpy as np
+
+ARTIFACT = Path(__file__).resolve().parent / "artifacts" / "BENCH_perf_smoke.json"
+
+#: Fail --check when a calibrated measurement exceeds baseline * TOLERANCE.
+TOLERANCE = 2.0
+
+#: Repeat each measurement and keep the fastest, damping scheduler noise.
+REPEATS = 3
+
+
+def _best_of(fn, repeats: int = REPEATS) -> float:
+    times = []
+    for _ in range(repeats):
+        start = time.perf_counter()
+        fn()
+        times.append(time.perf_counter() - start)
+    return min(times)
+
+
+def _calibrate() -> float:
+    """Seconds for a fixed CPU workload shaped like the engines' profile
+    (Python-level RNG loop + numpy index/bincount passes)."""
+
+    def workload():
+        rng = random.Random(0)
+        acc = 0.0
+        for _ in range(150_000):
+            acc += rng.random()
+        a = np.arange(1_000_000, dtype=np.int64) % 4096
+        for _ in range(8):
+            np.bincount(a).cumsum()
+        return acc
+
+    return _best_of(workload)
+
+
+def _measurements() -> dict:
+    from repro.analysis.complexity import sweep
+    from repro.analysis.tables import build_table1
+
+    # Warm imports and caches before timing anything.
+    build_table1(sizes=(64,), trials=1, algorithms=("luby",))
+
+    return {
+        "table1_auto": _best_of(
+            lambda: build_table1(
+                sizes=(300,), trials=10, seed0=1, engine="auto",
+                algorithms=("luby", "greedy", "sleeping", "fast-sleeping"),
+            )
+        ),
+        "sleeping_1e4_batched": _best_of(
+            lambda: sweep(
+                "sleeping", "gnp-sparse", (10_000,), trials=2, seed0=11,
+                engine="vectorized", rng="batched",
+            )
+        ),
+        "luby_1e4_batched": _best_of(
+            lambda: sweep(
+                "luby", "gnp-sparse", (10_000,), trials=2, seed0=11,
+                engine="vectorized", rng="batched",
+            )
+        ),
+    }
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__)
+    mode = parser.add_mutually_exclusive_group(required=True)
+    mode.add_argument(
+        "--write", action="store_true", help="measure and write the baseline"
+    )
+    mode.add_argument(
+        "--check", action="store_true",
+        help="measure and fail (exit 1) on >2x slowdown vs the baseline",
+    )
+    args = parser.parse_args(argv)
+
+    calibration = _calibrate()
+    print(f"{'calibration':24s} {calibration:8.3f}s")
+    raw = {k: round(v, 3) for k, v in _measurements().items()}
+    units = {k: round(v / calibration, 3) for k, v in raw.items()}
+    for key in raw:
+        print(f"{key:24s} {raw[key]:8.3f}s  = {units[key]:7.3f} units")
+
+    if args.write:
+        ARTIFACT.parent.mkdir(exist_ok=True)
+        ARTIFACT.write_text(
+            json.dumps(
+                {
+                    "bench": "perf_smoke",
+                    "tolerance": TOLERANCE,
+                    "calibration_s": round(calibration, 3),
+                    "wall_clock_s": raw,
+                    "measurements": units,
+                },
+                indent=2,
+                sort_keys=True,
+            )
+            + "\n"
+        )
+        print(f"baseline written -> {ARTIFACT}")
+        return 0
+
+    if not ARTIFACT.exists():
+        print(f"error: no committed baseline at {ARTIFACT}", file=sys.stderr)
+        return 2
+    baseline = json.loads(ARTIFACT.read_text())["measurements"]
+    failed = False
+    for key, value in units.items():
+        base = baseline.get(key)
+        if base is None:
+            print(f"{key}: no baseline entry (run --write)", file=sys.stderr)
+            failed = True
+            continue
+        ratio = value / base
+        verdict = "OK" if ratio <= TOLERANCE else "REGRESSION"
+        print(f"{key:24s} {value:8.3f} units vs baseline {base:8.3f} "
+              f"({ratio:.2f}x)  {verdict}")
+        if ratio > TOLERANCE:
+            failed = True
+    return 1 if failed else 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -20,11 +20,11 @@ from typing import Any, Dict, Iterable, List, Optional, Sequence
 from ..api import make_protocol_factory
 from ..graphs.generators import make_family_graph
 from ..graphs.validation import is_maximal_independent_set
-from ..sim.batch import resolve_engine, run_trials
+from ..sim.batch import iter_trials, make_vectorized_engine, resolve_engine
 from ..sim.energy import DEFAULT_MODEL, EnergyModel
-from ..sim.fast_engine import VectorizedEngine
 from ..sim.metrics import RunResult
 from ..sim.network import Simulator
+from ..sim.rng import DEFAULT_STREAM
 
 
 @dataclass
@@ -85,31 +85,43 @@ def run_trial(
     energy_model: EnergyModel = DEFAULT_MODEL,
     congest_bit_limit: Optional[int] = None,
     engine: str = "generators",
+    rng: str = DEFAULT_STREAM,
     **protocol_kwargs: Any,
 ) -> tuple:
     """Run one algorithm once; returns ``(RunResult, Trial)``.
 
     The default engine stays ``"generators"`` because single-trial callers
     (recursion trees, lemma analyses) usually need ``result.protocols``,
-    which the vectorized engine does not populate.
+    which the vectorized engines do not populate.
     """
     resolved = resolve_engine(
         engine, algorithm,
         congest_bit_limit=congest_bit_limit, **protocol_kwargs,
     )
     if resolved == "vectorized":
-        result = VectorizedEngine(
-            graph, algorithm, seed=seed, **protocol_kwargs
+        result = make_vectorized_engine(
+            graph, algorithm, seed=seed, rng=rng, **protocol_kwargs
         ).run()
     else:
         factory = make_protocol_factory(algorithm, **protocol_kwargs)
         result = Simulator(
-            graph, factory, seed=seed, congest_bit_limit=congest_bit_limit
+            graph, factory, seed=seed, congest_bit_limit=congest_bit_limit,
+            rng=rng,
         ).run()
     trial = trial_from_result(
         result, algorithm, family=family, seed=seed, energy_model=energy_model
     )
     return result, trial
+
+
+def trial_seeds(seed0: int, n: int, trials: int) -> List[int]:
+    """The per-(size, trial) master seeds used by every sweep.
+
+    One shared definition so :func:`sweep`,
+    :func:`repro.analysis.tables.build_table1`, and ad-hoc repro scripts
+    measure the *same* seeded graphs for the same ``seed0``.
+    """
+    return [seed0 + 1009 * t + n for t in range(trials)]
 
 
 def sweep(
@@ -120,6 +132,7 @@ def sweep(
     seed0: int = 0,
     *,
     engine: str = "auto",
+    rng: str = DEFAULT_STREAM,
     n_jobs: Optional[int] = None,
     energy_model: EnergyModel = DEFAULT_MODEL,
     congest_bit_limit: Optional[int] = None,
@@ -129,19 +142,26 @@ def sweep(
 
     Each (size, trial index) pair gets its own graph seed and run seed so
     repeated sweeps are reproducible yet independent across trials.  The
-    trials go through the batch runner: ``engine="auto"`` uses the
-    vectorized engine for the sleeping algorithms, and ``n_jobs`` fans the
-    per-size seed batches over worker processes.
+    trials *stream* through the batch runner
+    (:func:`repro.sim.batch.iter_trials`): each :class:`RunResult` is
+    flattened into its :class:`Trial` row and dropped before the next
+    trial runs, so a 10^4..10^5-node sweep holds one graph and one result
+    in memory at a time.  ``engine="auto"`` picks the vectorized engines
+    for the sleeping algorithms and the Luby/greedy baselines;
+    ``rng="batched"`` selects the v2 whole-array random streams (see
+    :mod:`repro.sim.rng`); ``n_jobs`` fans the per-size seed batches over
+    worker processes.
     """
     rows: List[Trial] = []
     for n in sizes:
-        seeds = [seed0 + 1009 * t + n for t in range(trials)]
-        results = run_trials(
+        seeds = trial_seeds(seed0, n, trials)
+        results = iter_trials(
             lambda seed: make_family_graph(family, n, seed=seed),
             algorithm,
             seeds,
             n_jobs=n_jobs,
             engine=engine,
+            rng=rng,
             congest_bit_limit=congest_bit_limit,
             **protocol_kwargs,
         )

@@ -11,11 +11,17 @@ Two execution engines sit behind ``solve_mis``:
 * ``engine="generators"`` (default) -- the reference per-node generator
   simulator; fully general (tracing, CONGEST checks, fault injection,
   per-call instrumentation via ``result.protocols``);
-* ``engine="vectorized"`` -- the numpy array-backed engine for the two
-  sleeping algorithms; bit-for-bit identical results, much faster;
+* ``engine="vectorized"`` -- the numpy array-backed engines for the two
+  sleeping algorithms and the Luby/greedy baselines; bit-for-bit
+  identical results, much faster;
 * ``engine="auto"`` -- vectorized when the configuration allows it,
   generator fallback otherwise (e.g. tracing or congest checks requested,
-  or a non-sleeping algorithm).
+  or an algorithm with no vectorized implementation).
+
+Orthogonally, ``rng=`` selects the per-node random stream format:
+``"pernode"`` (v1, the default) or ``"batched"`` (v2, whole-array draws;
+same seed gives a *different* execution than v1 -- see
+:mod:`repro.sim.rng`).  Both engines implement both formats identically.
 
 For many seeds at once, see :func:`repro.sim.batch.run_trials`.
 """
@@ -24,10 +30,10 @@ from __future__ import annotations
 
 from typing import Any, Callable, Dict, List, Optional
 
-from .sim import fast_engine
 from .sim.metrics import RunResult
 from .sim.network import Simulator
 from .sim.protocol import Protocol
+from .sim.rng import DEFAULT_STREAM
 from .sim.trace import Trace
 
 
@@ -87,6 +93,7 @@ def solve_mis(
     trace: Optional[Trace] = None,
     max_rounds: Optional[int] = None,
     engine: str = "generators",
+    rng: str = DEFAULT_STREAM,
     **protocol_kwargs: Any,
 ) -> RunResult:
     """Compute an MIS of ``graph`` with the named distributed algorithm.
@@ -103,13 +110,19 @@ def solve_mis(
         Master seed for all per-node random streams.
     engine:
         ``"generators"`` (default, the reference engine),
-        ``"vectorized"`` (numpy engine, sleeping algorithms only,
-        identical results), or ``"auto"`` (vectorized when eligible).
-        The vectorized engine returns no ``result.protocols``; analyses
-        needing per-call records must use the generator engine.
+        ``"vectorized"`` (numpy engines: sleeping algorithms plus the
+        Luby/greedy baselines, identical results), or ``"auto"``
+        (vectorized when eligible).  The vectorized engines return no
+        ``result.protocols``; analyses needing per-call records must use
+        the generator engine.
+    rng:
+        Random-stream format: ``"pernode"`` (v1, the default) or
+        ``"batched"`` (v2).  The formats are versioned and deliberately
+        incompatible; pin the format alongside the seed to reproduce a
+        run (see :mod:`repro.sim.rng`).
     protocol_kwargs:
         Forwarded to the protocol constructor (e.g. ``coin_bias=0.4``,
-        ``greedy_constant=12``).
+        ``greedy_constant=12``, ``max_phases=50``).
 
     Returns
     -------
@@ -117,7 +130,7 @@ def solve_mis(
         ``result.mis`` is the computed set; the four complexity measures are
         available as properties.
     """
-    from .sim.batch import resolve_engine
+    from .sim.batch import make_vectorized_engine, resolve_engine
 
     resolved = resolve_engine(
         engine,
@@ -127,11 +140,12 @@ def solve_mis(
         **protocol_kwargs,
     )
     if resolved == "vectorized":
-        return fast_engine.VectorizedEngine(
+        return make_vectorized_engine(
             graph,
             algorithm,
             seed=seed,
             max_rounds=max_rounds,
+            rng=rng,
             **protocol_kwargs,
         ).run()
     factory = make_protocol_factory(algorithm, **protocol_kwargs)
@@ -142,5 +156,6 @@ def solve_mis(
         congest_bit_limit=congest_bit_limit,
         trace=trace,
         max_rounds=max_rounds,
+        rng=rng,
     )
     return simulator.run()

@@ -64,7 +64,20 @@ def build_parser() -> argparse.ArgumentParser:
             "--engine",
             default=default,
             choices=["auto", "generators", "vectorized"],
-            help="execution engine (vectorized: sleeping algorithms only)",
+            help=(
+                "execution engine (vectorized: sleeping algorithms and the "
+                "luby/greedy baselines)"
+            ),
+        )
+        p.add_argument(
+            "--rng",
+            default="pernode",
+            choices=["pernode", "batched"],
+            help=(
+                "random-stream format: pernode (v1, default) or batched "
+                "(v2, whole-array draws; same seed gives different runs "
+                "than v1)"
+            ),
         )
 
     run_p = sub.add_parser("run", help="run once and print the measures")
@@ -95,6 +108,7 @@ def build_parser() -> argparse.ArgumentParser:
     table_p.add_argument("--family", default="gnp-sparse", choices=family_names())
     table_p.add_argument("--trials", type=int, default=3)
     table_p.add_argument("--seed", type=int, default=0)
+    engine_opt(table_p, "auto")
     table_p.add_argument(
         "--jobs", type=int, default=None,
         help="worker processes for the batch runner (default: sequential)",
@@ -133,7 +147,7 @@ def _cmd_run(args: argparse.Namespace) -> int:
     graph = make_family_graph(args.family, args.n, seed=args.seed)
     result, trial = run_trial(
         graph, args.algorithm, seed=args.seed, family=args.family,
-        engine=args.engine,
+        engine=args.engine, rng=args.rng,
     )
     print(f"algorithm          : {args.algorithm}")
     print(f"graph              : {args.family} n={result.n}")
@@ -152,7 +166,7 @@ def _cmd_sweep(args: argparse.Namespace) -> int:
     rows = sweep(
         args.algorithm, args.family, args.sizes,
         trials=args.trials, seed0=args.seed,
-        engine=args.engine, n_jobs=args.jobs,
+        engine=args.engine, rng=args.rng, n_jobs=args.jobs,
     )
     summary = summarize(rows, args.measure)
     table = Table(
@@ -171,7 +185,8 @@ def _cmd_sweep(args: argparse.Namespace) -> int:
 def _cmd_table1(args: argparse.Namespace) -> int:
     table = build_table1(
         sizes=args.sizes, family=args.family,
-        trials=args.trials, seed0=args.seed, n_jobs=args.jobs,
+        trials=args.trials, seed0=args.seed,
+        engine=args.engine, rng=args.rng, n_jobs=args.jobs,
     )
     print(table.to_markdown() if args.markdown else table.to_text())
     return 0

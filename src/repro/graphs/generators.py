@@ -56,8 +56,25 @@ def grid_graph(rows: int, cols: int) -> nx.Graph:
     return _relabel(nx.grid_2d_graph(rows, cols))
 
 
+#: Above this size, sparse G(n, p) sampling switches to the O(n + m)
+#: geometric-skip algorithm.  The distribution is identical but the sampled
+#: graphs differ per seed, so the threshold is pinned well above every
+#: committed benchmark size (<= 1024): recorded small-n results replay
+#: byte-identically while 10^4..10^5-node sweeps stop paying the naive
+#: O(n^2) pair loop (which dominates whole sweeps from n ~ 3000 up).
+GNP_FAST_THRESHOLD = 2048
+
+
 def gnp(n: int, p: float, seed: int = 0) -> nx.Graph:
-    """Erdos--Renyi ``G(n, p)``."""
+    """Erdos--Renyi ``G(n, p)``.
+
+    Sparse graphs above :data:`GNP_FAST_THRESHOLD` nodes use
+    ``networkx.fast_gnp_random_graph`` (same distribution, O(n + m) time);
+    everything else keeps the classic pair-loop sampler for seed-stable
+    continuity with previously recorded runs.
+    """
+    if n > GNP_FAST_THRESHOLD and p < 0.25:
+        return nx.fast_gnp_random_graph(n, p, seed=seed)
     return nx.gnp_random_graph(n, p, seed=seed)
 
 

@@ -17,16 +17,24 @@ Two execution engines produce the same :class:`RunResult`:
   :class:`Protocol` -- one generator per node -- and is the semantics
   reference; tracing, CONGEST bit budgets, and fault injection
   (``loss_rate``) live here exclusively;
-* the **vectorized engine** (:class:`VectorizedEngine` /
-  :func:`simulate_vectorized`) replays the two sleeping MIS algorithms
-  over numpy arrays, bit-for-bit equal to the generator engine for the
-  same ``(graph, seed)`` and far faster; configurations it cannot run
-  exactly (tracing, congest checks, other algorithms, per-call
-  instrumentation) fall back to the generator path via
-  ``engine="auto"``.
+* the **vectorized engines** (:class:`VectorizedEngine` /
+  :func:`simulate_vectorized` for the sleeping algorithms,
+  :class:`PhasedVectorizedEngine` for the Luby/greedy baselines) replay
+  the algorithms over numpy arrays, bit-for-bit equal to the generator
+  engine for the same ``(graph, seed, rng)`` and far faster;
+  configurations they cannot run exactly (tracing, congest checks, other
+  algorithms, per-call instrumentation) fall back to the generator path
+  via ``engine="auto"``.
 
-:func:`run_trials` (in :mod:`repro.sim.batch`) fans many ``(graph, seed)``
-trials across both engines and, optionally, worker processes.
+Per-node randomness comes in two versioned stream formats
+(:mod:`repro.sim.rng`): ``rng="pernode"`` (v1, one seeded
+``random.Random`` per node, the default) and ``rng="batched"`` (v2,
+counter-based whole-array draws, the format that scales sweeps to
+n = 10^4..10^5).
+
+:func:`run_trials` / :func:`iter_trials` (in :mod:`repro.sim.batch`) fan
+many ``(graph, seed)`` trials across both engines and, optionally, worker
+processes.
 """
 
 from .actions import LISTEN, Action, SendAndReceive, Sleep
@@ -39,22 +47,27 @@ from .errors import (
     SimulationError,
 )
 from .fast_engine import (
+    EngineScratch,
     GraphArrays,
     VectorizedEngine,
     simulate_vectorized,
 )
-from .batch import run_trials
+from .fast_phased import PhasedVectorizedEngine
+from .batch import iter_trials, run_trials
 from .messages import Message, payload_bits
 from .metrics import NodeStats, RunResult
 from .node import NodeRuntime, NodeState
 from .network import Simulator, node_rng, normalize_graph, simulate
 from .protocol import MISProtocol, Protocol
+from .rng import RNG_STREAMS, STREAM_VERSIONS, CounterRNG, node_rng_factory
 from .trace import NULL_TRACE, Trace, TraceEvent, make_trace
 
 __all__ = [
     "Action",
     "CongestViolationError",
+    "CounterRNG",
     "DEFAULT_MODEL",
+    "EngineScratch",
     "EnergyModel",
     "GraphArrays",
     "IDEAL_MODEL",
@@ -67,9 +80,12 @@ __all__ = [
     "NodeRuntime",
     "NodeState",
     "NodeStats",
+    "PhasedVectorizedEngine",
     "Protocol",
     "ProtocolError",
+    "RNG_STREAMS",
     "RunResult",
+    "STREAM_VERSIONS",
     "SendAndReceive",
     "SimulationError",
     "Simulator",
@@ -77,8 +93,10 @@ __all__ = [
     "Trace",
     "TraceEvent",
     "VectorizedEngine",
+    "iter_trials",
     "make_trace",
     "node_rng",
+    "node_rng_factory",
     "normalize_graph",
     "payload_bits",
     "run_trials",

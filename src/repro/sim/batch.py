@@ -2,34 +2,59 @@
 
 The paper's results are statistical -- every figure and table averages over
 many trials -- so the measurement loop, not any single run, is the hot
-path.  :func:`run_trials` runs one simulation per seed and returns the
-:class:`RunResult` objects in seed order.  It layers three optimizations
-over naive sequential calls:
+path.  :func:`iter_trials` streams one :class:`RunResult` per seed, in seed
+order; :func:`run_trials` is the list-returning convenience wrapper.  The
+runner layers four optimizations over naive sequential calls:
 
-* **engine dispatch** -- trials run on the vectorized engine
-  (:mod:`repro.sim.fast_engine`) whenever it supports the configuration,
-  falling back to the generator engine otherwise (``engine="auto"``);
-* **graph-structure reuse** -- when many seeds share one graph object, its
-  normalized adjacency and edge arrays are built once
-  (:class:`repro.sim.fast_engine.GraphArrays`), not per seed;
-* **process parallelism** -- with ``n_jobs`` workers, seed chunks fan out
-  over a :class:`concurrent.futures.ProcessPoolExecutor`.  Graphs are
-  normalized in the parent, so ``graph_factory`` may be a lambda; only
-  plain adjacency dicts and results cross process boundaries.  If a pool
-  cannot be started (restricted sandboxes), the runner degrades to
-  sequential execution instead of failing.
+* **engine dispatch** -- trials run on a vectorized engine
+  (:mod:`repro.sim.fast_engine` for the sleeping algorithms,
+  :mod:`repro.sim.fast_phased` for the Luby/greedy baselines) whenever it
+  supports the configuration, falling back to the generator engine
+  otherwise (``engine="auto"``);
+* **graph-structure reuse** -- consecutive seeds sharing one graph object
+  normalize it once and share one
+  :class:`repro.sim.fast_engine.GraphArrays`;
+* **scratch reuse** -- sequential vectorized trials borrow their state
+  arrays from one :class:`repro.sim.fast_engine.EngineScratch`, so a
+  10^4-trial sweep does not reallocate a dozen node-sized buffers per
+  trial;
+* **streaming** -- graphs are built and results yielded one seed at a
+  time, so a 10^4..10^5-node sweep holds one graph and one result in
+  memory, not ``len(seeds)`` of each.  With ``n_jobs`` workers, seed
+  chunks fan out over a :class:`concurrent.futures.ProcessPoolExecutor`
+  with a bounded in-flight window; only plain adjacency dicts and results
+  cross process boundaries.  If a pool cannot be started (restricted
+  sandboxes), the runner degrades to sequential execution for the
+  remaining seeds instead of failing.
 """
 
 from __future__ import annotations
 
 import os
 import warnings
-from typing import Any, Callable, Dict, Iterable, List, Optional, Sequence, Tuple
+from collections import deque
+from typing import (
+    Any,
+    Callable,
+    Dict,
+    Iterable,
+    Iterator,
+    List,
+    Optional,
+    Tuple,
+)
 
 from . import fast_engine
-from .fast_engine import GraphArrays, VectorizedEngine
+from .fast_engine import (
+    PHASED_ALGORITHMS,
+    EngineScratch,
+    GraphArrays,
+    VectorizedEngine,
+)
+from .fast_phased import PhasedVectorizedEngine
 from .metrics import RunResult
 from .network import Simulator, normalize_graph
+from .rng import DEFAULT_STREAM
 
 #: Engine names accepted throughout the package.
 ENGINES = ("auto", "generators", "vectorized")
@@ -60,6 +85,37 @@ def resolve_engine(
     return "vectorized" if eligible else "generators"
 
 
+def make_vectorized_engine(
+    graph: Any,
+    algorithm: str,
+    *,
+    seed: Optional[int] = 0,
+    max_rounds: Optional[int] = None,
+    rng: str = DEFAULT_STREAM,
+    scratch: Optional[EngineScratch] = None,
+    **protocol_kwargs: Any,
+):
+    """The vectorized engine instance for ``algorithm`` (sleeping or phased).
+
+    ``graph`` may be a prebuilt :class:`GraphArrays`; ``scratch`` an
+    :class:`EngineScratch` shared across sequential constructions.
+    """
+    cls = (
+        PhasedVectorizedEngine
+        if algorithm in PHASED_ALGORITHMS
+        else VectorizedEngine
+    )
+    return cls(
+        graph,
+        algorithm,
+        seed=seed,
+        max_rounds=max_rounds,
+        rng=rng,
+        scratch=scratch,
+        **protocol_kwargs,
+    )
+
+
 def _run_one(
     adjacency: Dict[Any, Tuple[Any, ...]],
     arrays: Optional[GraphArrays],
@@ -69,13 +125,17 @@ def _run_one(
     max_rounds: Optional[int],
     congest_bit_limit: Optional[int],
     protocol_kwargs: Dict[str, Any],
+    rng: str = DEFAULT_STREAM,
+    scratch: Optional[EngineScratch] = None,
 ) -> RunResult:
     if engine == "vectorized":
-        return VectorizedEngine(
+        return make_vectorized_engine(
             arrays if arrays is not None else GraphArrays(adjacency),
             algorithm,
             seed=seed,
             max_rounds=max_rounds,
+            rng=rng,
+            scratch=scratch,
             **protocol_kwargs,
         ).run()
     from ..api import make_protocol_factory  # local: avoid import cycle
@@ -86,6 +146,7 @@ def _run_one(
         seed=seed,
         max_rounds=max_rounds,
         congest_bit_limit=congest_bit_limit,
+        rng=rng,
     ).run()
 
 
@@ -93,30 +154,69 @@ def _run_chunk(payload: Tuple) -> List[RunResult]:
     """Process-pool task: one graph, a chunk of seeds."""
     (
         adjacency, algorithm, seeds, engine, max_rounds,
-        congest_bit_limit, protocol_kwargs,
+        congest_bit_limit, protocol_kwargs, rng,
     ) = payload
     arrays = GraphArrays(adjacency) if engine == "vectorized" else None
+    scratch = EngineScratch() if engine == "vectorized" else None
     return [
         _run_one(
             adjacency, arrays, algorithm, seed, engine, max_rounds,
-            congest_bit_limit, protocol_kwargs,
+            congest_bit_limit, protocol_kwargs, rng, scratch,
         )
         for seed in seeds
     ]
 
 
-def run_trials(
+def _iter_graphs(
+    graph_factory: Any, seeds: Iterable[Optional[int]]
+) -> Iterator[Tuple[Dict[Any, Tuple[Any, ...]], Optional[GraphArrays], Optional[int]]]:
+    """Yield ``(normalized adjacency, prebuilt arrays or None, seed)``
+    lazily, one graph at a time.
+
+    Consecutive seeds whose factory returns the *same object* (the
+    shared-graph pattern, including non-callable ``graph_factory``) share
+    one normalization.  A factory may return a prebuilt
+    :class:`GraphArrays` to amortize edge-array construction across
+    callers (e.g. ``build_table1`` measuring several algorithms on the
+    same graphs); its adjacency rides along for the generator engine.
+    """
+    factory: Callable[[Optional[int]], Any] = (
+        graph_factory if callable(graph_factory) else lambda seed: graph_factory
+    )
+    prev_graph: Any = None
+    prev_adjacency: Optional[Dict[Any, Tuple[Any, ...]]] = None
+    prev_arrays: Optional[GraphArrays] = None
+    for seed in seeds:
+        graph = factory(seed)
+        if prev_adjacency is None or graph is not prev_graph:
+            if isinstance(graph, GraphArrays):
+                prev_arrays = graph
+                prev_adjacency = graph.adjacency
+            else:
+                prev_arrays = None
+                prev_adjacency = normalize_graph(graph)
+            prev_graph = graph
+        yield prev_adjacency, prev_arrays, seed
+
+
+def iter_trials(
     graph_factory: Any,
     algorithm: str = "fast-sleeping",
     seeds: Iterable[Optional[int]] = range(10),
     *,
     n_jobs: Optional[int] = None,
     engine: str = "auto",
+    rng: str = DEFAULT_STREAM,
     max_rounds: Optional[int] = None,
     congest_bit_limit: Optional[int] = None,
     **protocol_kwargs: Any,
-) -> List[RunResult]:
-    """Run ``algorithm`` once per seed; results come back in seed order.
+) -> Iterator[RunResult]:
+    """Stream one :class:`RunResult` per seed, in seed order.
+
+    This is the memory-bounded core of :func:`run_trials`: graphs are
+    built lazily and each result is handed to the caller before the next
+    trial starts, so sweeps can aggregate 10^4-node runs without ever
+    holding more than one of them.
 
     Parameters
     ----------
@@ -132,70 +232,88 @@ def run_trials(
         many worker processes; ``<= 0`` means one worker per CPU.
     engine:
         ``"auto"`` (default), ``"generators"``, or ``"vectorized"``.
+    rng:
+        Random-stream format: ``"pernode"`` (v1, default) or ``"batched"``
+        (v2); see :mod:`repro.sim.rng`.
     protocol_kwargs:
         Forwarded to the protocol (``coin_bias=``, ``greedy_constant=``,
-        ``depth=``).
+        ``depth=``, ``max_phases=``).
     """
     seed_list = list(seeds)
     if not seed_list:
-        return []
+        return
     resolved = resolve_engine(
         engine, algorithm,
         congest_bit_limit=congest_bit_limit, **protocol_kwargs,
     )
-
-    # Build every graph in the parent and normalize once per distinct
-    # graph object, so factories may be closures and workers only ever see
-    # plain dicts.
-    factory: Callable[[Optional[int]], Any] = (
-        graph_factory if callable(graph_factory) else lambda seed: graph_factory
-    )
-    adjacencies: List[Dict[Any, Tuple[Any, ...]]] = []
-    norm_cache: Dict[int, Dict[Any, Tuple[Any, ...]]] = {}
-    keep_alive: List[Any] = []  # pin graph objects so id() keys stay valid
-    for seed in seed_list:
-        graph = factory(seed)
-        key = id(graph)
-        if key not in norm_cache:
-            norm_cache[key] = normalize_graph(graph)
-            keep_alive.append(graph)
-        adjacencies.append(norm_cache[key])
-
     jobs = _effective_jobs(n_jobs, len(seed_list))
     if jobs > 1:
         from concurrent.futures.process import BrokenProcessPool
 
+        done = 0
         try:
-            return _run_parallel(
-                adjacencies, algorithm, seed_list, resolved, max_rounds,
-                congest_bit_limit, protocol_kwargs, jobs,
+            chunks = _iter_chunks(
+                _iter_graphs(graph_factory, seed_list), algorithm,
+                resolved, max_rounds, congest_bit_limit, protocol_kwargs,
+                rng, target=max(1, len(seed_list) // (jobs * 4) or 1),
             )
+            for result in _iter_parallel(chunks, jobs):
+                done += 1
+                yield result
+            return
         except (OSError, ImportError, BrokenProcessPool) as exc:
             # Pool could not start, or its workers were killed before
             # producing results (sandboxes commonly allow the former and
-            # forbid the latter) -- degrade to sequential either way.
+            # forbid the latter) -- degrade to sequential execution for
+            # whatever seeds have not been yielded yet.
             warnings.warn(
-                f"process pool unavailable ({exc}); running sequentially",
+                f"process pool unavailable ({exc}); running the remaining "
+                f"{len(seed_list) - done} trial(s) sequentially",
                 RuntimeWarning,
                 stacklevel=2,
             )
+            seed_list = seed_list[done:]
 
-    arrays_cache: Dict[int, GraphArrays] = {}
-    results: List[RunResult] = []
-    for adjacency, seed in zip(adjacencies, seed_list):
-        arrays = None
-        if resolved == "vectorized":
-            key = id(adjacency)
-            if key not in arrays_cache:
-                arrays_cache[key] = GraphArrays(adjacency)
-            arrays = arrays_cache[key]
-        results.append(
-            _run_one(
-                adjacency, arrays, algorithm, seed, resolved, max_rounds,
-                congest_bit_limit, protocol_kwargs,
-            )
+    arrays: Optional[GraphArrays] = None
+    arrays_for: Any = None
+    scratch = EngineScratch() if resolved == "vectorized" else None
+    for adjacency, prebuilt, seed in _iter_graphs(graph_factory, seed_list):
+        if prebuilt is not None:
+            arrays, arrays_for = prebuilt, adjacency
+        elif resolved == "vectorized" and adjacency is not arrays_for:
+            arrays = GraphArrays(adjacency)
+            arrays_for = adjacency
+        yield _run_one(
+            adjacency, arrays if resolved == "vectorized" else None,
+            algorithm, seed, resolved, max_rounds,
+            congest_bit_limit, protocol_kwargs, rng, scratch,
         )
-    return results
+
+
+def run_trials(
+    graph_factory: Any,
+    algorithm: str = "fast-sleeping",
+    seeds: Iterable[Optional[int]] = range(10),
+    *,
+    n_jobs: Optional[int] = None,
+    engine: str = "auto",
+    rng: str = DEFAULT_STREAM,
+    max_rounds: Optional[int] = None,
+    congest_bit_limit: Optional[int] = None,
+    **protocol_kwargs: Any,
+) -> List[RunResult]:
+    """Run ``algorithm`` once per seed; results come back in seed order.
+
+    The list-returning wrapper around :func:`iter_trials` (same
+    parameters); prefer the iterator for large sweeps.
+    """
+    return list(
+        iter_trials(
+            graph_factory, algorithm, seeds,
+            n_jobs=n_jobs, engine=engine, rng=rng, max_rounds=max_rounds,
+            congest_bit_limit=congest_bit_limit, **protocol_kwargs,
+        )
+    )
 
 
 def _effective_jobs(n_jobs: Optional[int], n_tasks: int) -> int:
@@ -206,39 +324,55 @@ def _effective_jobs(n_jobs: Optional[int], n_tasks: int) -> int:
     return max(1, min(n_jobs, n_tasks))
 
 
-def _run_parallel(
-    adjacencies: Sequence[Dict[Any, Tuple[Any, ...]]],
+def _iter_chunks(
+    graph_seed_iter: Iterator[
+        Tuple[Dict[Any, Tuple[Any, ...]], Optional[GraphArrays], Optional[int]]
+    ],
     algorithm: str,
-    seed_list: Sequence[Optional[int]],
     engine: str,
     max_rounds: Optional[int],
     congest_bit_limit: Optional[int],
     protocol_kwargs: Dict[str, Any],
-    jobs: int,
-) -> List[RunResult]:
+    rng: str,
+    target: int,
+) -> Iterator[Tuple]:
+    """Chunk runs of consecutive seeds that share an adjacency, so workers
+    amortize :class:`GraphArrays` construction; aim for a few chunks per
+    worker (``target`` seeds each)."""
+    chunk_adjacency: Any = None
+    chunk_seeds: List[Optional[int]] = []
+    # Prebuilt GraphArrays are dropped here on purpose: only plain
+    # adjacency dicts cross process boundaries; workers rebuild.
+    for adjacency, _, seed in graph_seed_iter:
+        if chunk_seeds and (
+            adjacency is not chunk_adjacency or len(chunk_seeds) >= target
+        ):
+            yield (
+                chunk_adjacency, algorithm, chunk_seeds, engine,
+                max_rounds, congest_bit_limit, protocol_kwargs, rng,
+            )
+            chunk_seeds = []
+        chunk_adjacency = adjacency
+        chunk_seeds.append(seed)
+    if chunk_seeds:
+        yield (
+            chunk_adjacency, algorithm, chunk_seeds, engine,
+            max_rounds, congest_bit_limit, protocol_kwargs, rng,
+        )
+
+
+def _iter_parallel(chunks: Iterator[Tuple], jobs: int) -> Iterator[RunResult]:
+    """Fan chunks out over a process pool with a bounded in-flight window,
+    yielding results in submission (= seed) order."""
     from concurrent.futures import ProcessPoolExecutor
 
-    # Chunk runs of consecutive seeds that share an adjacency, so workers
-    # amortize GraphArrays construction; aim for a few chunks per worker.
-    target = max(1, len(seed_list) // (jobs * 4) or 1)
-    chunks: List[Tuple] = []
-    start = 0
-    while start < len(seed_list):
-        end = start
-        while (
-            end < len(seed_list)
-            and end - start < target
-            and adjacencies[end] is adjacencies[start]
-        ):
-            end += 1
-        chunks.append(
-            (
-                adjacencies[start], algorithm, list(seed_list[start:end]),
-                engine, max_rounds, congest_bit_limit, protocol_kwargs,
-            )
-        )
-        start = end
-
     with ProcessPoolExecutor(max_workers=jobs) as pool:
-        nested = list(pool.map(_run_chunk, chunks))
-    return [result for chunk in nested for result in chunk]
+        pending: deque = deque()
+        for chunk in chunks:
+            pending.append(pool.submit(_run_chunk, chunk))
+            while len(pending) >= jobs * 2:
+                for result in pending.popleft().result():
+                    yield result
+        while pending:
+            for result in pending.popleft().result():
+                yield result

@@ -36,7 +36,8 @@ that fallback automatic.
 
 from __future__ import annotations
 
-from typing import Any, Dict, List, Optional
+from itertools import repeat
+from typing import Any, Dict, List, Optional, Tuple, Union
 
 import numpy as np
 
@@ -44,21 +45,150 @@ from ..core import schedule
 from .errors import MaxRoundsExceededError
 from .messages import payload_bits
 from .metrics import NodeStats, RunResult
-from .network import node_rng, normalize_graph
+from .network import normalize_graph
+from .rng import (
+    DEFAULT_STREAM,
+    bit_length_u64,
+    draw_u64_array,
+    node_rng,  # noqa: F401  (re-exported; historical import site)
+    node_rng_factory,
+    stream_key,
+    u64_mod_bound,
+    u64_to_unit_float,
+    validate_stream,
+)
 
-#: Algorithms this engine implements.
-SUPPORTED_ALGORITHMS = ("sleeping", "fast-sleeping")
+#: The recursion-schedule algorithms run by :class:`VectorizedEngine`.
+SLEEPING_ALGORITHMS = ("sleeping", "fast-sleeping")
 
-#: Protocol keyword arguments the engine understands.  ``record_calls`` is
-#: accepted for signature compatibility but ignored: the engine keeps no
-#: per-call instrumentation (use the generator engine for recursion trees).
+#: The round-synchronous phase baselines run by
+#: :class:`repro.sim.fast_phased.PhasedVectorizedEngine`.
+PHASED_ALGORITHMS = ("luby", "greedy")
+
+#: Everything some vectorized engine implements.
+SUPPORTED_ALGORITHMS = SLEEPING_ALGORITHMS + PHASED_ALGORITHMS
+
+#: Protocol keyword arguments the sleeping engine understands.
+#: ``record_calls`` is accepted for signature compatibility but ignored: the
+#: engine keeps no per-call instrumentation (use the generator engine for
+#: recursion trees).
 SUPPORTED_PROTOCOL_KWARGS = frozenset(
     {"depth", "coin_bias", "greedy_constant", "record_calls"}
 )
 
+#: Protocol keyword arguments of the phased baselines.
+PHASED_PROTOCOL_KWARGS = frozenset({"max_phases"})
+
 #: Bit cost of the tri-state announcements (``None``/``True``/``False`` all
 #: encode to 2 bits under :func:`repro.sim.messages.payload_bits`).
 _FLAG_BITS = 2
+
+
+def assemble_result(
+    *,
+    n: int,
+    rounds: int,
+    seed: Optional[int],
+    adjacency: Dict[Any, Tuple[Any, ...]],
+    node_ids: List[Any],
+    awake: List[int],
+    sleep: Any,
+    tx: List[int],
+    rx: List[int],
+    idle: List[int],
+    msent: List[int],
+    bits: List[int],
+    mrecv: List[int],
+    decision_round: List[int],
+    awake_at_decision: List[int],
+    finish: Any,
+    in_mis: List[int],
+) -> RunResult:
+    """Build the :class:`RunResult` from per-node stat columns.
+
+    Shared by both vectorized engines.  Columns are plain-int lists
+    (callers use ``.tolist()`` -- one C pass) except ``sleep`` and
+    ``finish``, which may be any per-node iterable, e.g.
+    ``itertools.repeat`` for a constant.  Building the (plain, non-slots)
+    dataclasses through ``__dict__`` skips 13-kwarg ``__init__`` calls --
+    together with ``.tolist()`` this is the difference between the result
+    build being noise and being ~30% of a small-graph run.  A ``-1``
+    decision round means undecided (``None`` in :class:`NodeStats`);
+    ``in_mis`` uses the engines' tri-state ``-1``/``0``/``1`` encoding.
+    """
+    node_stats: Dict[Any, NodeStats] = {}
+    outputs: Dict[Any, Optional[bool]] = {}
+    cols = zip(
+        node_ids, awake, sleep, tx, rx, idle, msent, bits, mrecv,
+        decision_round, awake_at_decision, finish, in_mis,
+    )
+    for v, aw, slp, txr, rxr, idl, ms, bt, mr, dr, ad, fin, mis in cols:
+        stats = NodeStats.__new__(NodeStats)
+        stats.__dict__.update(
+            node_id=v,
+            awake_rounds=aw,
+            sleep_rounds=slp,
+            tx_rounds=txr,
+            rx_rounds=rxr,
+            idle_rounds=idl,
+            messages_sent=ms,
+            bits_sent=bt,
+            messages_received=mr,
+            decision_round=dr if dr >= 0 else None,
+            awake_at_decision=ad if dr >= 0 else None,
+            finish_round=fin,
+            awake_at_finish=aw,
+        )
+        node_stats[v] = stats
+        outputs[v] = None if mis == -1 else bool(mis)
+    return RunResult(
+        n=n,
+        rounds=rounds,
+        seed=seed,
+        node_stats=node_stats,
+        outputs=outputs,
+        protocols={},
+        adjacency=adjacency,
+    )
+
+
+def draw_dense_ranks(
+    rngs: Optional[List[Any]],
+    key: Optional[int],
+    ctr: Optional[np.ndarray],
+    U: np.ndarray,
+    bound: int,
+) -> Tuple[np.ndarray, np.ndarray]:
+    """One rank draw from ``[0, bound)`` per node of ``U``, on either stream.
+
+    Returns ``(dense, raw_bits)`` aligned with ``U``: ``dense`` are dense
+    ranks (value order preserved, so comparisons stay in int64 even when
+    raw draws exceed 2**63), ``raw_bits`` is ``max(bit_length, 1)`` of
+    each raw value.  The full CONGEST cost of a ``(value, id)`` rank
+    payload is ``raw_bits + payload_bits(id) + 10`` (int tag+sign = 2,
+    tuple framing = 4 per element).
+
+    v1 (``rngs`` given): one ``randrange`` per node, in ``U`` order --
+    the generator engine's stream positions.  v2 (``key``/``ctr`` given):
+    whole-array draws at each node's counter, which is then advanced.
+    """
+    if rngs is not None:
+        values = [rngs[i].randrange(bound) for i in U.tolist()]
+        order = {v: j for j, v in enumerate(sorted(set(values)))}
+        dense = np.fromiter(
+            (order[v] for v in values), dtype=np.int64, count=len(values)
+        )
+        raw_bits = np.fromiter(
+            (max(v.bit_length(), 1) for v in values),
+            dtype=np.int64,
+            count=len(values),
+        )
+        return dense, raw_bits
+    u64 = draw_u64_array(key, U, ctr[U])
+    ctr[U] += 1
+    vals = u64_mod_bound(u64, bound)
+    _, inverse = np.unique(vals, return_inverse=True)
+    return inverse.astype(np.int64), np.maximum(bit_length_u64(vals), 1)
 
 
 def supports(
@@ -69,14 +199,19 @@ def supports(
     loss_rate: float = 0.0,
     **protocol_kwargs: Any,
 ) -> bool:
-    """Whether the vectorized engine can run this configuration exactly."""
+    """Whether a vectorized engine can run this configuration exactly."""
     if algorithm not in SUPPORTED_ALGORITHMS:
         return False
     if trace is not None and getattr(trace, "enabled", False):
         return False
     if congest_bit_limit is not None or loss_rate:
         return False
-    return set(protocol_kwargs) <= SUPPORTED_PROTOCOL_KWARGS
+    allowed = (
+        PHASED_PROTOCOL_KWARGS
+        if algorithm in PHASED_ALGORITHMS
+        else SUPPORTED_PROTOCOL_KWARGS
+    )
+    return set(protocol_kwargs) <= allowed
 
 
 class GraphArrays:
@@ -85,9 +220,20 @@ class GraphArrays:
     Building these (normalization, directed-edge arrays, reverse-edge
     permutation) is the engine's fixed cost per graph; the batch runner
     reuses one instance across every seed run on the same graph.
+
+    Memory audit (the CSR-shaped buffers that bound sweep scale): with
+    ``m`` directed edges, the persistent footprint is ``src``/``dst``/
+    ``grev`` at 4 bytes each (int32 -- node indices fit comfortably, and
+    int32 halves the edge memory that dominates at n = 10^4..10^5) plus
+    ``deg`` at 8 bytes per node (kept int64 because it feeds straight into
+    the int64 message/bit accumulators).  A gnp(10^5, 10/n) graph is
+    m ~ 2x10^6 directed edges ~ 24 MB of edge arrays; per-run engine state
+    adds ~13 int64/int8 node arrays and one bool per edge.
     """
 
-    __slots__ = ("adjacency", "node_ids", "n", "src", "dst", "grev", "deg")
+    __slots__ = (
+        "adjacency", "node_ids", "n", "src", "dst", "grev", "deg", "_id_bits"
+    )
 
     def __init__(self, graph: Any):
         self.adjacency = normalize_graph(graph)
@@ -98,18 +244,83 @@ class GraphArrays:
         # appears once per direction.
         self.dst = np.fromiter(
             (index[u] for v in self.node_ids for u in self.adjacency[v]),
-            dtype=np.int64,
+            dtype=np.int32,
         )
         self.deg = np.fromiter(
             (len(self.adjacency[v]) for v in self.node_ids),
             dtype=np.int64,
             count=self.n,
         )
-        self.src = np.repeat(np.arange(self.n, dtype=np.int64), self.deg)
+        self.src = np.repeat(np.arange(self.n, dtype=np.int32), self.deg)
         # Sorting the edges by (dst, src) enumerates exactly the reversed
         # pairs in (src, dst) order, so the permutation IS the reverse-edge
         # index: grev[e] = index of e's reverse.
-        self.grev = np.lexsort((self.src, self.dst))
+        self.grev = np.lexsort((self.src, self.dst)).astype(np.int32)
+        self._id_bits: Optional[np.ndarray] = None
+
+    @property
+    def m(self) -> int:
+        """Number of directed edges."""
+        return len(self.src)
+
+    @property
+    def id_bits(self) -> np.ndarray:
+        """Per-node ``payload_bits(node_id)``, computed once per graph.
+
+        The phased baselines and the batched-RNG base case account message
+        bits for ``(rank, id)`` payloads; hashing the id part out to an
+        array once keeps that accounting vectorized.
+        """
+        if self._id_bits is None:
+            self._id_bits = np.fromiter(
+                (payload_bits(v) for v in self.node_ids),
+                dtype=np.int64,
+                count=self.n,
+            )
+        return self._id_bits
+
+    def nbytes(self) -> int:
+        """Bytes held by the persistent edge/degree buffers."""
+        return (
+            self.src.nbytes + self.dst.nbytes + self.grev.nbytes
+            + self.deg.nbytes
+        )
+
+
+class EngineScratch:
+    """A pool of reusable numpy buffers for running many trials.
+
+    Engines allocate a dozen node-sized state arrays plus an edge-sized
+    mask per run; over a 10^4-trial sweep that allocation/zeroing churn is
+    measurable.  A scratch passed to consecutive engine constructions hands
+    the same buffers back (re-filled) whenever name, shape, and dtype
+    match.  Not thread-safe, and an engine borrowing from a scratch must
+    finish its run before the next engine reuses the pool -- exactly the
+    batch runner's sequential per-graph loop.
+    """
+
+    __slots__ = ("_buffers",)
+
+    def __init__(self) -> None:
+        self._buffers: Dict[str, np.ndarray] = {}
+
+    def take(
+        self,
+        name: str,
+        shape: Union[int, Tuple[int, ...]],
+        dtype: Any,
+        fill: Any = None,
+    ) -> np.ndarray:
+        """A buffer of this name/shape/dtype, re-filled if ``fill`` given."""
+        if isinstance(shape, int):
+            shape = (shape,)
+        buf = self._buffers.get(name)
+        if buf is None or buf.shape != shape or buf.dtype != dtype:
+            buf = np.empty(shape, dtype=dtype)
+            self._buffers[name] = buf
+        if fill is not None:
+            buf.fill(fill)
+        return buf
 
 
 class VectorizedEngine:
@@ -132,18 +343,22 @@ class VectorizedEngine:
         greedy_constant: int = schedule.DEFAULT_GREEDY_CONSTANT,
         record_calls: bool = True,  # accepted, ignored (no CallRecords)
         max_rounds: Optional[int] = None,
+        rng: str = DEFAULT_STREAM,
+        scratch: Optional[EngineScratch] = None,
     ):
-        if algorithm not in SUPPORTED_ALGORITHMS:
+        if algorithm not in SLEEPING_ALGORITHMS:
             raise ValueError(
-                f"vectorized engine supports {SUPPORTED_ALGORITHMS}, "
+                f"vectorized sleeping engine supports {SLEEPING_ALGORITHMS}, "
                 f"got {algorithm!r}"
             )
         if not 0.0 < coin_bias < 1.0:
             raise ValueError(f"coin bias must be in (0, 1), got {coin_bias}")
+        validate_stream(rng)
         self.algorithm = algorithm
         self.seed = seed
         self.coin_bias = coin_bias
         self.max_rounds = max_rounds
+        self.rng_stream = rng
 
         arrays = graph if isinstance(graph, GraphArrays) else GraphArrays(graph)
         self.arrays = arrays
@@ -176,36 +391,75 @@ class VectorizedEngine:
                 k, self.base_rounds
             )
 
-        # Per-node random streams, identical to the generator engine's, and
-        # consumed in the same order: ``depth`` coin flips up front, then
-        # one ``randrange`` per greedy-base-case entry (Algorithm 2 only).
-        self._rngs = [node_rng(seed, v) for v in self.node_ids]
+        # Per-node randomness, consumed in the generator engine's order:
+        # ``depth`` coin flips up front, then one rank draw per
+        # greedy-base-case entry (Algorithm 2 only).  Under the v1 stream
+        # that means one random.Random per node; under the v2 batched
+        # stream the coins come out of one vectorized pass and the rank
+        # draws advance a per-node counter array instead.
         depth = self.depth
-        if n and depth:
-            self.coins = np.array(
-                [
-                    [rng.random() < coin_bias for _ in range(depth)]
-                    for rng in self._rngs
-                ],
-                dtype=np.int8,
-            )
+        scratch = scratch if scratch is not None else EngineScratch()
+        self._scratch = scratch
+        if rng == "pernode":
+            make_rng = node_rng_factory(seed)
+            self._rngs: Optional[List[Any]] = [
+                make_rng(v) for v in self.node_ids
+            ]
+            self._key = None
+            self._ctr = None
+            if n and depth:
+                self.coins = np.array(
+                    [
+                        [r.random() < coin_bias for _ in range(depth)]
+                        for r in self._rngs
+                    ],
+                    dtype=np.int8,
+                )
+            else:
+                self.coins = np.zeros((n, 1), dtype=np.int8)
         else:
-            self.coins = np.zeros((n, 1), dtype=np.int8)
+            self._rngs = None
+            self._key = stream_key(seed)
+            self._ctr = scratch.take("rng_ctr", n, np.int64, fill=depth)
+            if n and depth:
+                u = draw_u64_array(
+                    self._key,
+                    np.arange(n, dtype=np.int64)[:, None],
+                    np.arange(depth, dtype=np.int64)[None, :],
+                )
+                self.coins = (
+                    u64_to_unit_float(u) < coin_bias
+                ).astype(np.int8)
+            else:
+                self.coins = np.zeros((n, 1), dtype=np.int8)
         self._rank_bound = n**6 + 1
 
-        # Per-node state and statistics (the NodeStats fields, as arrays).
-        self.in_mis = np.full(n, -1, dtype=np.int8)  # -1 unknown / 0 / 1
-        self.awake = np.zeros(n, dtype=np.int64)
-        self.sleep = np.zeros(n, dtype=np.int64)
-        self.tx = np.zeros(n, dtype=np.int64)
-        self.rx = np.zeros(n, dtype=np.int64)
-        self.idle = np.zeros(n, dtype=np.int64)
-        self.msent = np.zeros(n, dtype=np.int64)
-        self.bits = np.zeros(n, dtype=np.int64)
-        self.mrecv = np.zeros(n, dtype=np.int64)
-        self.decision_round = np.full(n, -1, dtype=np.int64)
-        self.awake_at_decision = np.full(n, -1, dtype=np.int64)
-        self.base_truncated = np.zeros(n, dtype=bool)
+        # Per-node state and statistics (the NodeStats fields, as arrays),
+        # borrowed from the scratch pool so batch runs recycle them.
+        self.in_mis = scratch.take("in_mis", n, np.int8, fill=-1)
+        self.awake = scratch.take("awake", n, np.int64, fill=0)
+        self.sleep = scratch.take("sleep", n, np.int64, fill=0)
+        self.tx = scratch.take("tx", n, np.int64, fill=0)
+        self.rx = scratch.take("rx", n, np.int64, fill=0)
+        self.idle = scratch.take("idle", n, np.int64, fill=0)
+        self.msent = scratch.take("msent", n, np.int64, fill=0)
+        self.bits = scratch.take("bits", n, np.int64, fill=0)
+        self.mrecv = scratch.take("mrecv", n, np.int64, fill=0)
+        self.decision_round = scratch.take(
+            "decision_round", n, np.int64, fill=-1
+        )
+        self.awake_at_decision = scratch.take(
+            "awake_at_decision", n, np.int64, fill=-1
+        )
+        self.base_truncated = scratch.take("base_truncated", n, bool, fill=False)
+        # Set-use-clear masks shared by every call of the recursion (saves
+        # two O(n) zero-fills per call; see _subedges and Parts 4/5).
+        self._sub_mask = scratch.take("sub_mask", n, bool, fill=False)
+        self._nbr_mask = scratch.take("nbr_mask", n, bool, fill=False)
+        # Per-directed-edge live bits for the greedy base cases; each base
+        # call touches only its own in-call edge subset, so one zeroed
+        # buffer per run serves every call (set at entry, cleared at exit).
+        self._live_edges = scratch.take("live_edges", arrays.m, bool, fill=False)
 
     # ------------------------------------------------------------------
 
@@ -263,21 +517,27 @@ class VectorizedEngine:
         if len(L):
             self._recurse(L, self._subedges(L, E, se, de), k - 1, r + 1)
 
-        # Part 4 -- synchronization and elimination.
+        # Part 4 -- synchronization and elimination.  The neighbor-flag
+        # masks borrow one shared buffer (set, read, clear by the same
+        # indices) instead of zeroing a fresh O(n) array per call.
         r1 = r + 1 + d_sub
         self._broadcast(U, de, r1)
-        has_mis_nbr = np.zeros(self.n, dtype=bool)
-        has_mis_nbr[de[self.in_mis[se] == 1]] = True
+        has_mis_nbr = self._nbr_mask
+        mis_heads = de[self.in_mis[se] == 1]
+        has_mis_nbr[mis_heads] = True
         elim = U[(self.in_mis[U] == -1) & has_mis_nbr[U]]
+        has_mis_nbr[mis_heads] = False
         if len(elim):
             self._decide(elim, False, r1 + 1)
 
         # Part 5 -- second isolated node detection.
         r2 = r1 + 1
         self._broadcast(U, de, r2)
-        has_undecided_or_mis_nbr = np.zeros(self.n, dtype=bool)
-        has_undecided_or_mis_nbr[de[self.in_mis[se] != 0]] = True
+        has_undecided_or_mis_nbr = self._nbr_mask
+        loud_heads = de[self.in_mis[se] != 0]
+        has_undecided_or_mis_nbr[loud_heads] = True
         join = U[(self.in_mis[U] == -1) & ~has_undecided_or_mis_nbr[U]]
+        has_undecided_or_mis_nbr[loud_heads] = False
         if len(join):
             self._decide(join, True, r2 + 1)
 
@@ -319,9 +579,11 @@ class VectorizedEngine:
         self, S: np.ndarray, E: np.ndarray, se: np.ndarray, de: np.ndarray
     ) -> np.ndarray:
         """Edges of ``E`` (endpoints ``se``/``de``) inside sub-set ``S``."""
-        inS = np.zeros(self.n, dtype=bool)
+        inS = self._sub_mask
         inS[S] = True
-        return E[inS[se] & inS[de]]
+        sub = E[inS[se] & inS[de]]
+        inS[S] = False
+        return sub
 
     def _broadcast(self, U: np.ndarray, de: np.ndarray, r: int) -> np.ndarray:
         """One awake round in which every node of ``U`` sends a 2-bit flag
@@ -374,7 +636,10 @@ class VectorizedEngine:
                 self.bits[u] += _FLAG_BITS * deg
             else:
                 self.idle[u] += 1
-            self._rngs[u].randrange(self._rank_bound)
+            if self._rngs is not None:
+                self._rngs[u].randrange(self._rank_bound)
+            else:
+                self._ctr[u] += 1
             assert self.in_mis[u] == -1
             self.in_mis[u] = 1
             self.decision_round[u] = r + 1
@@ -386,24 +651,24 @@ class VectorizedEngine:
         es, ed, erev = self.src[E], self.dst[E], self.grev[E]
 
         # Neighbor discovery inside G[U]: live sets start as the in-call
-        # neighborhoods, kept as per-directed-edge bits over E.
+        # neighborhoods, kept as per-directed-edge bits over E (borrowing
+        # the run-level buffer; cleared again at the loop's exit).
         recv = self._broadcast(U, ed, r)
         live_cnt = np.zeros(n, dtype=np.int64)
         live_cnt[U] = recv[U]
-        live = np.zeros(len(self.src), dtype=bool)
+        live = self._live_edges
         live[E] = True
 
-        # Ranks: one randrange per participant, same stream position as the
-        # generator engine.  Comparisons only need the order among
-        # participants, so dense ranks keep numpy in int64 even though the
-        # raw values can exceed 2**63 on large n.
-        raw = {int(i): self._rngs[i].randrange(self._rank_bound) for i in U}
-        order = {val: j for j, val in enumerate(sorted(set(raw.values())))}
+        # Ranks: one draw per participant, same stream position as the
+        # generator engine (see draw_dense_ranks for the stream and
+        # payload-bit contract).
         rank = np.full(n, -1, dtype=np.int64)
         rank_bits = np.zeros(n, dtype=np.int64)
-        for i, val in raw.items():
-            rank[i] = order[val]
-            rank_bits[i] = payload_bits((val, self.node_ids[i]))
+        dense, raw_bits = draw_dense_ranks(
+            self._rngs, self._key, self._ctr, U, self._rank_bound
+        )
+        rank[U] = dense
+        rank_bits[U] = raw_bits + self.arrays.id_bits[U] + 10
 
         inloop = np.zeros(n, dtype=bool)
         inloop[U] = True
@@ -424,6 +689,7 @@ class VectorizedEngine:
                     self.sleep[leaving] += W - used
                 inloop &= ~leaving
             if not inloop.any():
+                live[E] = False  # hand the edge buffer back clean
                 return
 
             # Round A -- rank exchange over the live sets.
@@ -496,53 +762,26 @@ class VectorizedEngine:
     # ------------------------------------------------------------------
 
     def _build_result(self, rounds: int) -> RunResult:
-        node_stats: Dict[Any, NodeStats] = {}
-        outputs: Dict[Any, Optional[bool]] = {}
-        # .tolist() converts to plain Python ints in one C pass; building
-        # the (plain, non-slots) dataclasses through __dict__ skips 13-kwarg
-        # __init__ calls -- together this is the difference between the
-        # result build being noise and being ~30% of a small-graph run.
-        cols = zip(
-            self.node_ids,
-            self.awake.tolist(),
-            self.sleep.tolist(),
-            self.tx.tolist(),
-            self.rx.tolist(),
-            self.idle.tolist(),
-            self.msent.tolist(),
-            self.bits.tolist(),
-            self.mrecv.tolist(),
-            self.decision_round.tolist(),
-            self.awake_at_decision.tolist(),
-            self.in_mis.tolist(),
-        )
-        for v, awake, slp, tx, rx, idle, ms, bits, mr, dr, ad, mis in cols:
-            stats = NodeStats.__new__(NodeStats)
-            stats.__dict__.update(
-                node_id=v,
-                awake_rounds=awake,
-                sleep_rounds=slp,
-                tx_rounds=tx,
-                rx_rounds=rx,
-                idle_rounds=idle,
-                messages_sent=ms,
-                bits_sent=bits,
-                messages_received=mr,
-                decision_round=dr if dr >= 0 else None,
-                awake_at_decision=ad if dr >= 0 else None,
-                finish_round=rounds,
-                awake_at_finish=awake,
-            )
-            node_stats[v] = stats
-            outputs[v] = None if mis == -1 else bool(mis)
-        return RunResult(
+        # Every node of the sleeping algorithms finishes at the schedule's
+        # final round, hence the constant ``finish`` column.
+        return assemble_result(
             n=self.n,
             rounds=rounds,
             seed=self.seed,
-            node_stats=node_stats,
-            outputs=outputs,
-            protocols={},
             adjacency=self.adjacency,
+            node_ids=self.node_ids,
+            awake=self.awake.tolist(),
+            sleep=self.sleep.tolist(),
+            tx=self.tx.tolist(),
+            rx=self.rx.tolist(),
+            idle=self.idle.tolist(),
+            msent=self.msent.tolist(),
+            bits=self.bits.tolist(),
+            mrecv=self.mrecv.tolist(),
+            decision_round=self.decision_round.tolist(),
+            awake_at_decision=self.awake_at_decision.tolist(),
+            finish=repeat(rounds),
+            in_mis=self.in_mis.tolist(),
         )
 
 

@@ -1,0 +1,302 @@
+"""Vectorized lockstep engine for the phase-based MIS baselines.
+
+Luby's algorithm and the distributed randomized greedy
+(:mod:`repro.baselines.luby` / :mod:`repro.baselines.dist_greedy`, both
+built on :class:`repro.baselines._phased.PhasedMISProtocol`) are
+round-synchronous: nodes never sleep, every live node is in the same
+three-round phase at the same time, and termination is the only way out.
+That lockstep structure is what this engine exploits -- one numpy pass over
+the edge set per round, instead of one Python generator step per node:
+
+* phase ``p`` occupies rounds ``3p`` (rank exchange), ``3p + 1`` (``JOIN``
+  announcements), ``3p + 2`` (``OUT`` announcements);
+* per-node live sets are per-directed-edge bits, pruned exactly when the
+  generator engine's ``live -= set(inbox)`` fires;
+* priorities are compared through dense ranks (``(value, id)`` tuple order
+  == ``rank * n + index`` order, because node index order is node id
+  order), so numpy stays in int64 even though raw draws reach ``n^6``.
+
+Equivalence contract
+--------------------
+Identical to the sleeping engine's: for the same ``(graph, seed, rng)``
+this engine reproduces the generator engine's execution exactly -- the
+same per-node random draws in the same order, hence the same priorities,
+decisions, phase counts, round numbers, and per-node :class:`NodeStats`
+down to message, bit, and tx/rx/idle counters.
+``tests/test_engine_equivalence.py`` enforces this over every corner-case
+graph, both baselines, several seeds, and both RNG stream formats.
+
+Progress guarantee: in every phase the live node holding the globally
+highest ``(priority, id)`` key beats all of its live neighbors and joins,
+so at most ``n`` phases run even without ``max_phases``.
+"""
+
+from __future__ import annotations
+
+from itertools import repeat
+from typing import Any, List, Optional
+
+import numpy as np
+
+from .errors import MaxRoundsExceededError
+from .fast_engine import (
+    _FLAG_BITS,
+    EngineScratch,
+    GraphArrays,
+    PHASED_ALGORITHMS,
+    assemble_result,
+    draw_dense_ranks,
+)
+from .metrics import RunResult
+from .rng import (
+    DEFAULT_STREAM,
+    node_rng_factory,
+    stream_key,
+    validate_stream,
+)
+
+
+class PhasedVectorizedEngine:
+    """Vectorized replay of a phased baseline over one graph.
+
+    Parameters mirror :func:`repro.api.solve_mis` for the two baselines:
+    ``algorithm`` is ``"luby"`` (fresh priority every phase, drawn from
+    ``[0, n^4]``) or ``"greedy"`` (one permanent rank from ``[0, n^6]``).
+    ``graph`` may be a prebuilt :class:`GraphArrays`, and ``scratch`` an
+    :class:`EngineScratch` shared across trials.
+    """
+
+    def __init__(
+        self,
+        graph: Any,
+        algorithm: str = "luby",
+        *,
+        seed: Optional[int] = 0,
+        max_phases: Optional[int] = None,
+        max_rounds: Optional[int] = None,
+        rng: str = DEFAULT_STREAM,
+        scratch: Optional[EngineScratch] = None,
+    ):
+        if algorithm not in PHASED_ALGORITHMS:
+            raise ValueError(
+                f"vectorized phased engine supports {PHASED_ALGORITHMS}, "
+                f"got {algorithm!r}"
+            )
+        if max_phases is not None and max_phases < 1:
+            raise ValueError(f"max_phases must be positive, got {max_phases}")
+        validate_stream(rng)
+        self.algorithm = algorithm
+        self.seed = seed
+        self.max_phases = max_phases
+        self.max_rounds = max_rounds
+        self.rng_stream = rng
+
+        arrays = graph if isinstance(graph, GraphArrays) else GraphArrays(graph)
+        self.arrays = arrays
+        self.adjacency = arrays.adjacency
+        self.node_ids = arrays.node_ids
+        self.n = arrays.n
+        n = self.n
+
+        # Luby redraws from [0, n^4] every phase; greedy draws one
+        # permanent rank from [0, n^6] (matching the protocol classes).
+        self._bound = n**4 + 1 if algorithm == "luby" else n**6 + 1
+
+        scratch = scratch if scratch is not None else EngineScratch()
+        self._scratch = scratch
+        if rng == "pernode":
+            make_rng = node_rng_factory(seed)
+            self._rngs: Optional[List[Any]] = [
+                make_rng(v) for v in self.node_ids
+            ]
+            self._key = None
+            self._ctr = None
+        else:
+            self._rngs = None
+            self._key = stream_key(seed)
+            self._ctr = scratch.take("rng_ctr", n, np.int64, fill=0)
+
+        # Per-node state and statistics (the NodeStats fields, as arrays).
+        self.in_mis = scratch.take("in_mis", n, np.int8, fill=-1)
+        self.awake = scratch.take("awake", n, np.int64, fill=0)
+        self.tx = scratch.take("tx", n, np.int64, fill=0)
+        self.rx = scratch.take("rx", n, np.int64, fill=0)
+        self.idle = scratch.take("idle", n, np.int64, fill=0)
+        self.msent = scratch.take("msent", n, np.int64, fill=0)
+        self.bits = scratch.take("bits", n, np.int64, fill=0)
+        self.mrecv = scratch.take("mrecv", n, np.int64, fill=0)
+        self.decision_round = scratch.take(
+            "decision_round", n, np.int64, fill=-1
+        )
+        self.awake_at_decision = scratch.take(
+            "awake_at_decision", n, np.int64, fill=-1
+        )
+        self.finish = scratch.take("finish", n, np.int64, fill=-1)
+        # Priority state: dense-rank combined keys and payload bit costs.
+        self._combined = scratch.take("combined", n, np.int64, fill=-1)
+        self._prio_bits = scratch.take("prio_bits", n, np.int64, fill=0)
+
+    # ------------------------------------------------------------------
+
+    def _check_clock(self, round_: int, live: int) -> None:
+        if self.max_rounds is not None and round_ > self.max_rounds and live:
+            raise MaxRoundsExceededError(self.max_rounds, live)
+
+    def _draw_priorities(self, U: np.ndarray) -> None:
+        """Fill combined keys + payload bits for the in-loop nodes ``U``.
+
+        One draw per node, at the same stream position the generator
+        engine's protocol would use (see
+        :func:`repro.sim.fast_engine.draw_dense_ranks`).  ``(value, id)``
+        tuple order equals ``rank * n + index`` order because dense ranks
+        preserve value order and index order is id order.
+        """
+        n = self.n
+        dense, raw_bits = draw_dense_ranks(
+            self._rngs, self._key, self._ctr, U, self._bound
+        )
+        self._combined[U] = dense * n + U
+        self._prio_bits[U] = raw_bits + self.arrays.id_bits[U] + 10
+
+    def _decide(self, idx: np.ndarray, value: bool, clock: int) -> None:
+        assert (self.in_mis[idx] == -1).all(), "re-deciding a node"
+        self.in_mis[idx] = 1 if value else 0
+        self.decision_round[idx] = clock
+        self.awake_at_decision[idx] = self.awake[idx]
+
+    # ------------------------------------------------------------------
+
+    def run(self) -> RunResult:
+        """Replay the full execution and return the generator-equal result."""
+        n = self.n
+        if n == 0:
+            return RunResult(
+                n=0, rounds=0, seed=self.seed, node_stats={}, outputs={},
+                protocols={}, adjacency=self.adjacency,
+            )
+        src, dst, grev = self.arrays.src, self.arrays.dst, self.arrays.grev
+
+        inloop = np.ones(n, dtype=bool)
+        # live[e] for directed e = (u, v): v is in u's live set (u still
+        # sends to v).  Symmetric among live nodes, exactly as the
+        # protocol's set-based live sets are.
+        live = self._scratch.take("live_edges", self.arrays.m, bool, fill=True)
+        live_cnt = self.arrays.deg.copy()
+
+        p = 0
+        while True:
+            r0 = 3 * p
+
+            # Loop head: isolated-among-survivors nodes join and terminate;
+            # then the phase budget is checked (everyone still in the loop
+            # shares the same phase count, so a ``max_phases`` exit empties
+            # the loop in one step, matching the per-node protocol).
+            iso = inloop & (live_cnt == 0)
+            if iso.any():
+                idx = np.flatnonzero(iso)
+                self._decide(idx, True, r0)
+                self.finish[idx] = r0
+                inloop &= ~iso
+            if self.max_phases is not None and p >= self.max_phases:
+                idx = np.flatnonzero(inloop)
+                self.finish[idx] = r0  # gives up undecided
+                inloop[idx] = False
+            if not inloop.any():
+                break
+            assert p <= n, "phased baseline failed to make progress"
+
+            U = np.flatnonzero(inloop)
+            if self.algorithm == "luby" or p == 0:
+                self._draw_priorities(U)
+            combined = self._combined
+
+            # Round A (3p) -- rank exchange over the live sets.  Every
+            # in-loop node has a nonempty live set, so all are tx.
+            self._check_clock(r0, len(U))
+            self.awake[U] += 1
+            self.tx[U] += 1
+            self.msent[U] += live_cnt[U]
+            self.bits[U] += self._prio_bits[U] * live_cnt[U]
+            delivered = live & inloop[src] & inloop[dst]
+            self.mrecv += np.bincount(dst[delivered], minlength=n)
+            # Keys kept by receivers: senders that are in the receiver's
+            # own live set (the protocol's ``if u in live`` filter).
+            keyed = delivered & live[grev]
+            key_cnt = np.bincount(dst[keyed], minlength=n)
+            best = np.full(n, -1, dtype=np.int64)
+            np.maximum.at(best, dst[keyed], combined[src[keyed]])
+            joined = inloop & (key_cnt == live_cnt) & (combined > best)
+            jidx = np.flatnonzero(joined)
+            if len(jidx):
+                self._decide(jidx, True, r0 + 1)
+
+            # Round B (3p + 1) -- JOIN announcements; winners terminate
+            # after sending (they are still awake and receiving this round).
+            self._check_clock(r0 + 1, len(U))
+            self.awake[U] += 1
+            self.tx[jidx] += 1
+            self.msent[jidx] += live_cnt[jidx]
+            self.bits[jidx] += _FLAG_BITS * live_cnt[jidx]
+            delivered = live & joined[src] & inloop[dst]
+            got_join = np.bincount(dst[delivered], minlength=n)
+            self.mrecv += got_join
+            silent = inloop & ~joined
+            self.rx[silent & (got_join > 0)] += 1
+            self.idle[silent & (got_join == 0)] += 1
+            hit = np.zeros(n, dtype=bool)
+            hit[dst[delivered & live[grev]]] = True
+            elim = silent & hit
+            eidx = np.flatnonzero(elim)
+            if len(eidx):
+                self._decide(eidx, False, r0 + 2)
+            self.finish[jidx] = r0 + 2
+            inloop &= ~joined
+
+            # Round C (3p + 2) -- OUT announcements from the newly
+            # eliminated; survivors prune their live sets, announcers
+            # terminate.
+            still = np.flatnonzero(inloop)
+            self._check_clock(r0 + 2, len(still))
+            self.awake[still] += 1
+            self.tx[eidx] += 1
+            self.msent[eidx] += live_cnt[eidx]
+            self.bits[eidx] += _FLAG_BITS * live_cnt[eidx]
+            delivered = live & elim[src] & inloop[dst]
+            got_out = np.bincount(dst[delivered], minlength=n)
+            self.mrecv += got_out
+            survivor = inloop & ~elim
+            self.rx[survivor & (got_out > 0)] += 1
+            self.idle[survivor & (got_out == 0)] += 1
+            live[grev[delivered & survivor[dst]]] = False
+            self.finish[eidx] = r0 + 3
+            inloop &= ~elim
+            live_cnt = np.bincount(src[live], minlength=n)
+            p += 1
+
+        live[:] = False  # hand the edge buffer back clean
+        return self._build_result()
+
+    # ------------------------------------------------------------------
+
+    def _build_result(self) -> RunResult:
+        # Phased nodes never sleep (constant ``sleep`` column) but finish
+        # at per-node rounds as they terminate phase by phase.
+        return assemble_result(
+            n=self.n,
+            rounds=int(self.finish.max()) if self.n else 0,
+            seed=self.seed,
+            adjacency=self.adjacency,
+            node_ids=self.node_ids,
+            awake=self.awake.tolist(),
+            sleep=repeat(0),
+            tx=self.tx.tolist(),
+            rx=self.rx.tolist(),
+            idle=self.idle.tolist(),
+            msent=self.msent.tolist(),
+            bits=self.bits.tolist(),
+            mrecv=self.mrecv.tolist(),
+            decision_round=self.decision_round.tolist(),
+            awake_at_decision=self.awake_at_decision.tolist(),
+            finish=self.finish.tolist(),
+            in_mis=self.in_mis.tolist(),
+        )

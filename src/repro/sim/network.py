@@ -36,7 +36,20 @@ from .messages import payload_bits
 from .metrics import NodeStats, RunResult
 from .node import NodeRuntime, NodeState
 from .protocol import Protocol
+from .rng import DEFAULT_STREAM, make_node_rng, node_rng  # noqa: F401 (node_rng re-exported)
 from .trace import NULL_TRACE, Trace
+
+
+class NormalizedAdjacency(dict):
+    """Marker type for :func:`normalize_graph` output.
+
+    A plain ``{node: sorted tuple of neighbors}`` dict, tagged so that
+    re-normalizing is a no-op: the batch runner normalizes once and every
+    downstream consumer (``Simulator``, ``GraphArrays``) recognizes the
+    result instead of re-walking the edge set.
+    """
+
+    __slots__ = ()
 
 
 def normalize_graph(graph: Any) -> Dict[int, Tuple[int, ...]]:
@@ -44,7 +57,11 @@ def normalize_graph(graph: Any) -> Dict[int, Tuple[int, ...]]:
 
     Accepts a ``networkx.Graph`` or any mapping from node to an iterable of
     neighbors.  Self-loops are dropped; the neighbor relation is symmetrized.
+    Output that is already normalized (a :class:`NormalizedAdjacency`)
+    passes through unchanged.
     """
+    if isinstance(graph, NormalizedAdjacency):
+        return graph
     if hasattr(graph, "adj") and hasattr(graph, "nodes"):
         raw: Mapping[Any, Iterable[Any]] = {
             v: list(graph.adj[v]) for v in graph.nodes()
@@ -65,16 +82,9 @@ def normalize_graph(graph: Any) -> Dict[int, Tuple[int, ...]]:
                 raise ValueError(f"neighbor {u!r} of {v!r} is not a node")
             adjacency[v].add(u)
             adjacency[u].add(v)
-    return {v: tuple(sorted(nbrs)) for v, nbrs in adjacency.items()}
-
-
-def node_rng(seed: Optional[int], node_id: Any) -> random.Random:
-    """A private, reproducible random stream for one node.
-
-    Streams are derived from ``(seed, node_id)`` via string seeding, which
-    Python hashes with SHA-512 -- stable across processes and platforms.
-    """
-    return random.Random(f"repro|{seed}|{node_id}")
+    return NormalizedAdjacency(
+        (v, tuple(sorted(nbrs))) for v, nbrs in adjacency.items()
+    )
 
 
 class Simulator:
@@ -109,6 +119,12 @@ class Simulator:
         assumes reliable delivery (loss_rate = 0, the default); non-zero
         rates let tests demonstrate how the algorithms fail and how the
         validators catch it.
+    rng:
+        Stream format for the per-node random streams: ``"pernode"`` (v1,
+        the default) or ``"batched"`` (v2, the counter-based stream shared
+        with the vectorized engines).  See :mod:`repro.sim.rng`; the two
+        formats deliberately produce different executions for the same
+        seed.
     """
 
     def __init__(
@@ -122,6 +138,7 @@ class Simulator:
         max_rounds: Optional[int] = None,
         max_iterations: int = 10_000_000,
         loss_rate: float = 0.0,
+        rng: str = DEFAULT_STREAM,
     ):
         if not 0.0 <= loss_rate <= 1.0:
             raise ValueError(f"loss rate must be in [0, 1], got {loss_rate}")
@@ -137,19 +154,22 @@ class Simulator:
         self.messages_lost = 0
         self._round = 0
 
+        self.rng_stream = rng
+        make_rng = make_node_rng(rng, seed)
+
         self.runtimes: Dict[Any, NodeRuntime] = {}
         # Frozen neighbor sets give O(1) membership checks in the send
         # loop (the tuples in ctx.neighbors would make it O(degree)).
         self._neighbor_sets: Dict[Any, frozenset] = {
             v: frozenset(nbrs) for v, nbrs in self.adjacency.items()
         }
-        for v in sorted(self.adjacency):
+        for index, v in enumerate(sorted(self.adjacency)):
             stats = NodeStats(node_id=v)
             ctx = NodeContext(
                 node_id=v,
                 neighbors=self.adjacency[v],
                 n=self.n,
-                rng=node_rng(seed, v),
+                rng=make_rng(v, index),
                 stats=stats,
                 trace=self.trace,
                 clock=lambda: self._round,

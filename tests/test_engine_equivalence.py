@@ -1,12 +1,13 @@
-"""Cross-backend equivalence: vectorized engine == generator engine.
+"""Cross-backend equivalence: vectorized engines == generator engine.
 
-The vectorized engine's contract is not "produces a valid MIS" but
+The vectorized engines' contract is not "produces a valid MIS" but
 "reproduces the generator engine's execution exactly" -- same per-node
 decisions, same round numbers, same statistics down to message, bit, and
-tx/rx/idle counters, for identical ``(graph, seed)``.  These tests diff
-complete :class:`NodeStats` across every corner-case graph, both sleeping
-algorithms, and several seeds, plus the protocol knobs and the engine
-selection logic in the API.
+tx/rx/idle counters, for identical ``(graph, seed, rng)``.  These tests
+diff complete :class:`NodeStats` across every corner-case graph, all four
+vectorized algorithms (the two sleeping algorithms plus the Luby/greedy
+baselines), several seeds, and both RNG stream formats, plus the protocol
+knobs and the engine selection logic in the API.
 """
 
 from dataclasses import asdict
@@ -20,6 +21,8 @@ from repro.sim.fast_engine import supports
 from repro.sim.trace import make_trace
 
 ALGORITHMS = ("sleeping", "fast-sleeping")
+PHASED = ("luby", "greedy")
+ALL_VECTORIZED = ALGORITHMS + PHASED
 SEEDS = (0, 1, 2)
 
 
@@ -39,7 +42,7 @@ def assert_equivalent(reference, vectorized):
         assert not diff, f"node {v!r} stats diverge (ref, vec): {diff}"
 
 
-@pytest.mark.parametrize("algorithm", ALGORITHMS)
+@pytest.mark.parametrize("algorithm", ALL_VECTORIZED)
 @pytest.mark.parametrize("seed", SEEDS)
 @pytest.mark.parametrize(
     "builder", [b for _, b in GRAPH_CASES], ids=[name for name, _ in GRAPH_CASES]
@@ -49,6 +52,43 @@ def test_engines_agree_exactly(builder, algorithm, seed):
     reference = run_mis(graph, algorithm, seed=seed, engine="generators")
     vectorized = run_mis(graph, algorithm, seed=seed, engine="vectorized")
     assert_equivalent(reference, vectorized)
+
+
+@pytest.mark.parametrize("algorithm", ALL_VECTORIZED)
+@pytest.mark.parametrize("seed", SEEDS)
+@pytest.mark.parametrize(
+    "builder", [b for _, b in GRAPH_CASES], ids=[name for name, _ in GRAPH_CASES]
+)
+def test_engines_agree_exactly_batched_stream(builder, algorithm, seed):
+    """The v2 (batched) stream keeps the same cross-engine contract."""
+    graph = builder()
+    reference = run_mis(
+        graph, algorithm, seed=seed, engine="generators", rng="batched"
+    )
+    vectorized = run_mis(
+        graph, algorithm, seed=seed, engine="vectorized", rng="batched"
+    )
+    assert_equivalent(reference, vectorized)
+
+
+class TestPhasedKnobs:
+    """max_phases (the baselines' give-up knob) must stay equivalent."""
+
+    @pytest.mark.parametrize("algorithm", PHASED)
+    @pytest.mark.parametrize("max_phases", [1, 2, 50])
+    def test_max_phases(self, gnp60, algorithm, max_phases):
+        assert_equivalent(
+            run_mis(gnp60, algorithm, seed=5, max_phases=max_phases),
+            run_mis(
+                gnp60, algorithm, seed=5, max_phases=max_phases,
+                engine="vectorized",
+            ),
+        )
+
+    @pytest.mark.parametrize("algorithm", PHASED)
+    def test_max_phases_validation(self, gnp60, algorithm):
+        with pytest.raises(ValueError):
+            run_mis(gnp60, algorithm, max_phases=0, engine="vectorized")
 
 
 class TestProtocolKnobs:
@@ -87,30 +127,49 @@ class TestProtocolKnobs:
 
 
 class TestEngineSelection:
-    def test_supports_sleeping_algorithms_only(self):
+    def test_supports_vectorized_algorithms(self):
         assert supports("sleeping")
         assert supports("fast-sleeping")
-        assert not supports("luby")
-        assert not supports("greedy")
+        assert supports("luby")
+        assert supports("greedy")
+        assert not supports("ghaffari")
+        assert not supports("abi")
 
     def test_supports_rejects_tracing_and_congest(self):
         assert not supports("sleeping", trace=make_trace(enabled=True))
         assert not supports("sleeping", congest_bit_limit=32)
         assert not supports("sleeping", loss_rate=0.5)
         assert not supports("sleeping", unknown_knob=1)
+        assert not supports("luby", congest_bit_limit=32)
+
+    def test_supports_checks_per_algorithm_kwargs(self):
+        assert supports("luby", max_phases=10)
+        assert supports("greedy", max_phases=10)
+        assert not supports("luby", coin_bias=0.4)  # sleeping-only knob
+        assert supports("fast-sleeping", greedy_constant=8)
+        assert not supports("fast-sleeping", max_phases=10)  # phased-only
 
     def test_auto_resolves_per_configuration(self):
         assert resolve_engine("auto", "fast-sleeping") == "vectorized"
-        assert resolve_engine("auto", "luby") == "generators"
+        assert resolve_engine("auto", "luby") == "vectorized"
+        assert resolve_engine("auto", "greedy") == "vectorized"
+        assert resolve_engine("auto", "ghaffari") == "generators"
         assert (
             resolve_engine("auto", "sleeping", congest_bit_limit=16)
             == "generators"
         )
+        assert (
+            resolve_engine("auto", "luby", congest_bit_limit=16)
+            == "generators"
+        )
         assert resolve_engine("generators", "sleeping") == "generators"
+        assert resolve_engine("generators", "luby") == "generators"
 
     def test_vectorized_request_fails_loudly_when_unsupported(self):
         with pytest.raises(ValueError):
-            resolve_engine("vectorized", "luby")
+            resolve_engine("vectorized", "ghaffari")
+        with pytest.raises(ValueError):
+            resolve_engine("vectorized", "luby", congest_bit_limit=16)
         with pytest.raises(ValueError):
             resolve_engine("bogus", "sleeping")
 
