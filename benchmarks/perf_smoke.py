@@ -8,7 +8,15 @@ each against the committed ``benchmarks/artifacts/BENCH_perf_smoke.json``:
   ``engine="auto"`` (vectorized sleeping algorithms + baselines);
 * ``sleeping_1e4_batched`` -- a 10^4-node Algorithm 1 sweep under the
   batched (v2) RNG stream;
-* ``luby_1e4_batched`` -- the same scale on the vectorized Luby engine.
+* ``luby_1e4_batched`` -- the same scale on the vectorized Luby engine;
+* ``sleeping_1e5_arrays`` -- a single 10^5-node Algorithm 1 trial on the
+  fully array-native pipeline (``graph_source="arrays"`` +
+  ``result="arrays"``), guarding the direct-to-CSR sampling and
+  struct-of-arrays result wins.
+
+(The sweep-based measurements run on the sweep defaults --
+``graph_source="auto"``/``result="auto"`` -- so a change that silently
+knocks sweeps off the array-native path shows up here too.)
 
 Raw wall-clock is not comparable across machines (the baseline is written
 on whatever machine last ran ``--write``; CI runners are slower and
@@ -96,6 +104,13 @@ def _measurements() -> dict:
             lambda: sweep(
                 "luby", "gnp-sparse", (10_000,), trials=2, seed0=11,
                 engine="vectorized", rng="batched",
+            )
+        ),
+        "sleeping_1e5_arrays": _best_of(
+            lambda: sweep(
+                "sleeping", "gnp-sparse", (100_000,), trials=1, seed0=11,
+                engine="vectorized", rng="batched",
+                graph_source="arrays", result="arrays",
             )
         ),
     }

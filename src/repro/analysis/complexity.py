@@ -18,8 +18,9 @@ from dataclasses import dataclass
 from typing import Any, Dict, Iterable, List, Optional, Sequence
 
 from ..api import make_protocol_factory
-from ..graphs.generators import make_family_graph
+from ..graphs.arrays import make_family, resolve_graph_source
 from ..graphs.validation import is_maximal_independent_set
+from ..sim.array_result import ArrayRunResult, resolve_result_kind
 from ..sim.batch import iter_trials, make_vectorized_engine, resolve_engine
 from ..sim.energy import DEFAULT_MODEL, EnergyModel
 from ..sim.metrics import RunResult
@@ -54,11 +55,19 @@ def trial_from_result(
     seed: Optional[int] = None,
     energy_model: EnergyModel = DEFAULT_MODEL,
 ) -> Trial:
-    """Flatten a finished :class:`RunResult` into a :class:`Trial` row.
+    """Flatten a finished result into a :class:`Trial` row.
 
-    Validation runs against the adjacency recorded in the result, so rows
-    can be built from batch-runner output without re-threading graphs.
+    Accepts either a legacy :class:`RunResult` or an
+    :class:`~repro.sim.array_result.ArrayRunResult`; measures are
+    integer-exact either way.  Validation runs against the graph recorded
+    in the result (vectorized O(m) passes for array-backed results, the
+    dict oracle otherwise), so rows can be built from batch-runner output
+    without re-threading graphs.
     """
+    if isinstance(result, ArrayRunResult):
+        valid = result.is_valid_mis()
+    else:
+        valid = is_maximal_independent_set(result.adjacency, result.mis)
     return Trial(
         algorithm=algorithm,
         family=family,
@@ -71,7 +80,7 @@ def trial_from_result(
         total_messages=result.total_messages,
         total_bits=result.total_bits,
         total_energy=energy_model.total_energy(result),
-        valid=is_maximal_independent_set(result.adjacency, result.mis),
+        valid=valid,
         undecided=len(result.undecided),
     )
 
@@ -86,32 +95,40 @@ def run_trial(
     congest_bit_limit: Optional[int] = None,
     engine: str = "generators",
     rng: str = DEFAULT_STREAM,
+    result: str = "legacy",
     **protocol_kwargs: Any,
 ) -> tuple:
-    """Run one algorithm once; returns ``(RunResult, Trial)``.
+    """Run one algorithm once; returns ``(result, Trial)``.
 
     The default engine stays ``"generators"`` because single-trial callers
     (recursion trees, lemma analyses) usually need ``result.protocols``,
-    which the vectorized engines do not populate.
+    which the vectorized engines do not populate.  ``result="arrays"``
+    (or ``"auto"``) returns the struct-of-arrays
+    :class:`~repro.sim.array_result.ArrayRunResult` instead of the
+    per-node-dict :class:`RunResult`; the Trial row is identical.
     """
     resolved = resolve_engine(
         engine, algorithm,
         congest_bit_limit=congest_bit_limit, **protocol_kwargs,
     )
+    result_kind = resolve_result_kind(result, resolved)
     if resolved == "vectorized":
-        result = make_vectorized_engine(
-            graph, algorithm, seed=seed, rng=rng, **protocol_kwargs
+        run = make_vectorized_engine(
+            graph, algorithm, seed=seed, rng=rng, result=result_kind,
+            **protocol_kwargs,
         ).run()
     else:
         factory = make_protocol_factory(algorithm, **protocol_kwargs)
-        result = Simulator(
+        run = Simulator(
             graph, factory, seed=seed, congest_bit_limit=congest_bit_limit,
             rng=rng,
         ).run()
+        if result_kind == "arrays":
+            run = ArrayRunResult.from_run_result(run)
     trial = trial_from_result(
-        result, algorithm, family=family, seed=seed, energy_model=energy_model
+        run, algorithm, family=family, seed=seed, energy_model=energy_model
     )
-    return result, trial
+    return run, trial
 
 
 def trial_seeds(seed0: int, n: int, trials: int) -> List[int]:
@@ -133,6 +150,8 @@ def sweep(
     *,
     engine: str = "auto",
     rng: str = DEFAULT_STREAM,
+    graph_source: str = "auto",
+    result: str = "auto",
     n_jobs: Optional[int] = None,
     energy_model: EnergyModel = DEFAULT_MODEL,
     congest_bit_limit: Optional[int] = None,
@@ -143,34 +162,47 @@ def sweep(
     Each (size, trial index) pair gets its own graph seed and run seed so
     repeated sweeps are reproducible yet independent across trials.  The
     trials *stream* through the batch runner
-    (:func:`repro.sim.batch.iter_trials`): each :class:`RunResult` is
-    flattened into its :class:`Trial` row and dropped before the next
-    trial runs, so a 10^4..10^5-node sweep holds one graph and one result
-    in memory at a time.  ``engine="auto"`` picks the vectorized engines
-    for the sleeping algorithms and the Luby/greedy baselines;
-    ``rng="batched"`` selects the v2 whole-array random streams (see
-    :mod:`repro.sim.rng`); ``n_jobs`` fans the per-size seed batches over
-    worker processes.
+    (:func:`repro.sim.batch.iter_trials`): each result is flattened into
+    its :class:`Trial` row and dropped before the next trial runs, so a
+    10^4..10^5-node sweep holds one graph and one result in memory at a
+    time.
+
+    The sweep defaults to the fully array-native measurement pipeline
+    wherever that changes nothing but speed: ``engine="auto"`` picks the
+    vectorized engines, ``graph_source="auto"`` samples families with an
+    array-native sampler straight into CSR arrays (identical seeded edge
+    sets -- see :mod:`repro.graphs.arrays`), and ``result="auto"`` keeps
+    vectorized-trial statistics as numpy columns instead of 10^5 per-node
+    dicts.  Force ``graph_source="networkx"`` / ``result="legacy"`` to
+    reproduce the classic path; ``rng="batched"`` selects the v2
+    whole-array random streams (:mod:`repro.sim.rng`); ``n_jobs`` fans the
+    per-size seed batches over worker processes.
     """
+    source = resolve_graph_source(graph_source, family)  # validate once
     rows: List[Trial] = []
     for n in sizes:
         seeds = trial_seeds(seed0, n, trials)
+        factory = (
+            lambda seed, n=n: make_family(family, n, seed=seed,
+                                          graph_source=source)
+        )
         results = iter_trials(
-            lambda seed: make_family_graph(family, n, seed=seed),
+            factory,
             algorithm,
             seeds,
             n_jobs=n_jobs,
             engine=engine,
             rng=rng,
+            result=result,
             congest_bit_limit=congest_bit_limit,
             **protocol_kwargs,
         )
         rows.extend(
             trial_from_result(
-                result, algorithm,
+                one, algorithm,
                 family=family, seed=seed, energy_model=energy_model,
             )
-            for result, seed in zip(results, seeds)
+            for one, seed in zip(results, seeds)
         )
     return rows
 

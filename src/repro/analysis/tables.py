@@ -11,7 +11,7 @@ from __future__ import annotations
 from dataclasses import dataclass, field
 from typing import Dict, List, Optional, Sequence
 
-from ..graphs.generators import make_family_graph
+from ..graphs.arrays import make_family, resolve_graph_source
 from ..sim.batch import iter_trials
 from ..sim.fast_engine import GraphArrays
 from .complexity import Trial, summarize, trial_from_result, trial_seeds
@@ -122,6 +122,8 @@ def build_table1(
     seed0: int = 0,
     engine: str = "auto",
     rng: str = "pernode",
+    graph_source: str = "auto",
+    result: str = "auto",
     n_jobs: Optional[int] = None,
 ) -> Table:
     """Measured Table 1: one row per (algorithm, measure), one column per n.
@@ -131,7 +133,13 @@ def build_table1(
     ``seed0``), constructed once per size rather than once per algorithm;
     on vectorized-friendly configurations that graph reuse plus the
     vectorized baselines is what makes the full table fast.
+    ``graph_source="auto"`` samples supported families straight into the
+    array view (identical seeded edge sets, no networkx object);
+    ``result="auto"`` keeps vectorized trials in array form until they are
+    flattened into rows.  Generator-only algorithms in the table (e.g.
+    ``ghaffari``) read the adjacency dict through the arrays' lazy view.
     """
+    source = resolve_graph_source(graph_source, family)
     table = Table(
         title=(
             f"Table 1 (measured): {family} graphs, "
@@ -146,20 +154,22 @@ def build_table1(
         seeds = trial_seeds(seed0, n, trials)
         # Prebuild the full array view once per graph: every algorithm
         # (vectorized engines directly, generator engine via the attached
-        # adjacency) then skips both re-normalization and the per-graph
-        # edge-array construction.
-        graphs = {
-            seed: GraphArrays(make_family_graph(family, n, seed=seed))
-            for seed in seeds
-        }
+        # or lazily materialized adjacency) then skips both
+        # re-normalization and the per-graph edge-array construction.
+        graphs = {}
+        for seed in seeds:
+            built = make_family(family, n, seed=seed, graph_source=source)
+            graphs[seed] = (
+                built if isinstance(built, GraphArrays) else GraphArrays(built)
+            )
         for algorithm in algorithms:
             results = iter_trials(
                 lambda seed: graphs[seed], algorithm, seeds,
-                engine=engine, rng=rng, n_jobs=n_jobs,
+                engine=engine, rng=rng, result=result, n_jobs=n_jobs,
             )
             rows_by_algorithm[algorithm].extend(
-                trial_from_result(result, algorithm, family=family, seed=seed)
-                for result, seed in zip(results, seeds)
+                trial_from_result(one, algorithm, family=family, seed=seed)
+                for one, seed in zip(results, seeds)
             )
     for algorithm in algorithms:
         rows = rows_by_algorithm[algorithm]

@@ -28,8 +28,9 @@ For many seeds at once, see :func:`repro.sim.batch.run_trials`.
 
 from __future__ import annotations
 
-from typing import Any, Callable, Dict, List, Optional
+from typing import Any, Callable, Dict, List, Optional, Union
 
+from .sim.array_result import ArrayRunResult
 from .sim.metrics import RunResult
 from .sim.network import Simulator
 from .sim.protocol import Protocol
@@ -94,14 +95,20 @@ def solve_mis(
     max_rounds: Optional[int] = None,
     engine: str = "generators",
     rng: str = DEFAULT_STREAM,
+    result: str = "legacy",
     **protocol_kwargs: Any,
-) -> RunResult:
+) -> Union[RunResult, ArrayRunResult]:
     """Compute an MIS of ``graph`` with the named distributed algorithm.
 
     Parameters
     ----------
     graph:
-        ``networkx.Graph`` or adjacency mapping.
+        ``networkx.Graph``, adjacency mapping, or a prebuilt
+        :class:`repro.sim.fast_engine.GraphArrays` (e.g. from the
+        array-native samplers in :mod:`repro.graphs.arrays` -- at
+        n = 10^4..10^5 building the graph array-natively is the
+        difference between the graph costing more than the run and being
+        noise).
     algorithm:
         One of :func:`algorithm_names` -- ``"sleeping"`` (Algorithm 1),
         ``"fast-sleeping"`` (Algorithm 2, the default), ``"luby"``,
@@ -120,16 +127,23 @@ def solve_mis(
         ``"batched"`` (v2).  The formats are versioned and deliberately
         incompatible; pin the format alongside the seed to reproduce a
         run (see :mod:`repro.sim.rng`).
+    result:
+        ``"legacy"`` (default) returns :class:`RunResult` with per-node
+        :class:`NodeStats` dicts; ``"arrays"`` returns the
+        struct-of-arrays :class:`repro.sim.array_result.ArrayRunResult`
+        (same measures, integer-exact, with a lazy legacy view);
+        ``"auto"`` picks arrays exactly when a vectorized engine runs.
     protocol_kwargs:
         Forwarded to the protocol constructor (e.g. ``coin_bias=0.4``,
         ``greedy_constant=12``, ``max_phases=50``).
 
     Returns
     -------
-    RunResult
+    RunResult or ArrayRunResult
         ``result.mis`` is the computed set; the four complexity measures are
-        available as properties.
+        available as properties on either result type.
     """
+    from .sim.array_result import resolve_result_kind
     from .sim.batch import make_vectorized_engine, resolve_engine
 
     resolved = resolve_engine(
@@ -139,6 +153,7 @@ def solve_mis(
         congest_bit_limit=congest_bit_limit,
         **protocol_kwargs,
     )
+    result_kind = resolve_result_kind(result, resolved)
     if resolved == "vectorized":
         return make_vectorized_engine(
             graph,
@@ -146,6 +161,7 @@ def solve_mis(
             seed=seed,
             max_rounds=max_rounds,
             rng=rng,
+            result=result_kind,
             **protocol_kwargs,
         ).run()
     factory = make_protocol_factory(algorithm, **protocol_kwargs)
@@ -158,4 +174,7 @@ def solve_mis(
         max_rounds=max_rounds,
         rng=rng,
     )
-    return simulator.run()
+    run = simulator.run()
+    if result_kind == "arrays":
+        return ArrayRunResult.from_run_result(run)
+    return run

@@ -79,6 +79,26 @@ def build_parser() -> argparse.ArgumentParser:
                 "than v1)"
             ),
         )
+        p.add_argument(
+            "--graph-source",
+            default="auto",
+            choices=["auto", "networkx", "arrays"],
+            help=(
+                "how graphs are built: networkx generators or the "
+                "direct-to-CSR array samplers (identical seeded edge "
+                "sets; auto picks arrays whenever the family supports it)"
+            ),
+        )
+        p.add_argument(
+            "--result",
+            default="auto",
+            choices=["auto", "legacy", "arrays"],
+            help=(
+                "result representation: legacy per-node NodeStats dicts "
+                "or struct-of-arrays (auto: arrays exactly when a "
+                "vectorized engine runs the trial)"
+            ),
+        )
 
     run_p = sub.add_parser("run", help="run once and print the measures")
     common(run_p)
@@ -144,10 +164,14 @@ def build_parser() -> argparse.ArgumentParser:
 
 
 def _cmd_run(args: argparse.Namespace) -> int:
-    graph = make_family_graph(args.family, args.n, seed=args.seed)
+    from .graphs.arrays import make_family
+
+    graph = make_family(
+        args.family, args.n, seed=args.seed, graph_source=args.graph_source
+    )
     result, trial = run_trial(
         graph, args.algorithm, seed=args.seed, family=args.family,
-        engine=args.engine, rng=args.rng,
+        engine=args.engine, rng=args.rng, result=args.result,
     )
     print(f"algorithm          : {args.algorithm}")
     print(f"graph              : {args.family} n={result.n}")
@@ -167,6 +191,7 @@ def _cmd_sweep(args: argparse.Namespace) -> int:
         args.algorithm, args.family, args.sizes,
         trials=args.trials, seed0=args.seed,
         engine=args.engine, rng=args.rng, n_jobs=args.jobs,
+        graph_source=args.graph_source, result=args.result,
     )
     summary = summarize(rows, args.measure)
     table = Table(
@@ -187,6 +212,7 @@ def _cmd_table1(args: argparse.Namespace) -> int:
         sizes=args.sizes, family=args.family,
         trials=args.trials, seed0=args.seed,
         engine=args.engine, rng=args.rng, n_jobs=args.jobs,
+        graph_source=args.graph_source, result=args.result,
     )
     print(table.to_markdown() if args.markdown else table.to_text())
     return 0

@@ -1,0 +1,246 @@
+"""Array-native graph sources: sample straight into CSR edge arrays.
+
+The classic pipeline builds a ``networkx.Graph``
+(:mod:`repro.graphs.generators`), normalizes it into an adjacency dict,
+and only then converts to the :class:`repro.sim.fast_engine.GraphArrays`
+CSR view the vectorized engines consume.  At n = 10^5 those first two
+steps -- a dict-of-dicts graph object plus a Python normalization pass --
+cost more than the simulation itself (~70% of a batched sleeping trial).
+
+This module skips them: each sampler here draws the edge list directly
+into integer arrays and hands them to :meth:`GraphArrays.from_edges`,
+never materializing a networkx object or an adjacency dict.  The dict
+view stays *lazy* (built only if a generator-engine consumer asks), and
+:meth:`GraphArrays.to_networkx` is the escape hatch back to a real
+``networkx.Graph`` when one is wanted.
+
+Exactness contract
+------------------
+Samplers are **edge-for-edge identical** to their networkx-built
+counterparts in :mod:`repro.graphs.generators` for the same parameters
+and seed: :func:`gnp_arrays` consumes ``random.Random(seed)`` draws in
+exactly the order ``networkx.gnp_random_graph`` /
+``networkx.fast_gnp_random_graph`` do (including the
+:data:`~repro.graphs.generators.GNP_FAST_THRESHOLD` switchover), and the
+deterministic topologies replicate the generators' labelings (including
+``grid``'s string-sorted relabeling).  ``tests/test_graph_arrays.py``
+pins this parity, which is what makes ``graph_source="arrays"`` a pure
+performance choice: any seeded experiment produces bit-identical results
+on either source.
+
+:data:`ARRAY_FAMILIES` mirrors the :data:`repro.graphs.generators.FAMILIES`
+registry for the families with an array-native sampler;
+:func:`resolve_graph_source` maps the ``graph_source=`` choices
+(:data:`GRAPH_SOURCES`: ``"auto"``/``"networkx"``/``"arrays"``) onto a
+concrete source per family.
+"""
+
+from __future__ import annotations
+
+import math
+import random
+from typing import Callable, Dict, List
+
+import numpy as np
+
+from ..sim.fast_engine import GraphArrays
+from .generators import GNP_FAST_THRESHOLD
+
+#: Graph-source choices accepted by ``graph_source=`` throughout the
+#: package: ``"networkx"`` (the classic generators), ``"arrays"`` (the
+#: direct-to-CSR samplers here), ``"auto"`` (arrays whenever the family
+#: has an array-native sampler -- identical results either way).
+GRAPH_SOURCES = ("auto", "networkx", "arrays")
+
+
+def _from_pairs(n: int, pairs: List[tuple]) -> GraphArrays:
+    """Edge-pair list -> :class:`GraphArrays` (the samplers' common exit)."""
+    if not pairs:
+        return GraphArrays.from_edges(
+            n, np.empty(0, dtype=np.int64), np.empty(0, dtype=np.int64)
+        )
+    u, v = zip(*pairs)
+    return GraphArrays.from_edges(
+        n,
+        np.fromiter(u, dtype=np.int64, count=len(pairs)),
+        np.fromiter(v, dtype=np.int64, count=len(pairs)),
+    )
+
+
+def gnp_arrays(n: int, p: float, seed: int = 0) -> GraphArrays:
+    """Erdos--Renyi ``G(n, p)``, sampled directly into edge arrays.
+
+    Edge-for-edge identical to :func:`repro.graphs.generators.gnp` for
+    the same ``(n, p, seed)``: below the
+    :data:`~repro.graphs.generators.GNP_FAST_THRESHOLD` (or for dense
+    ``p``) it replays networkx's classic pair-loop sampler; above it, the
+    O(n + m) geometric-skip sampler of ``fast_gnp_random_graph``
+    (Batagelj--Brandes) -- both consuming ``random.Random(seed)`` draws in
+    networkx's exact order.
+    """
+    if p >= 1.0:
+        iu, iv = np.triu_indices(n, k=1)
+        return GraphArrays.from_edges(n, iu.astype(np.int64), iv.astype(np.int64))
+    if p <= 0.0:
+        return _from_pairs(n, [])
+    rng = random.Random(seed)
+    pairs: List[tuple] = []
+    if n > GNP_FAST_THRESHOLD and p < 0.25:
+        # Geometric skips over the (v, w) pair enumeration, exactly as
+        # networkx.fast_gnp_random_graph walks it.
+        lp = math.log(1.0 - p)
+        rand, log = rng.random, math.log
+        v, w = 1, -1
+        while v < n:
+            lr = log(1.0 - rand())
+            w = w + 1 + int(lr / lp)
+            while w >= v and v < n:
+                w = w - v
+                v = v + 1
+            if v < n:
+                pairs.append((v, w))
+        return _from_pairs(n, pairs)
+    rand = rng.random
+    for u in range(n):  # networkx.gnp_random_graph's combinations order
+        for v in range(u + 1, n):
+            if rand() < p:
+                pairs.append((u, v))
+    return _from_pairs(n, pairs)
+
+
+def ring_arrays(n: int) -> GraphArrays:
+    """The cycle (ring) ``C_n`` -- matches ``generators.cycle_graph``."""
+    idx = np.arange(n, dtype=np.int64)
+    # n = 1 yields the self-loop networkx's cycle_graph(1) carries and
+    # from_edges drops it, matching normalize_graph; n = 2 collapses the
+    # duplicate orientation to the single 0--1 edge.
+    return GraphArrays.from_edges(n, idx, (idx + 1) % max(n, 1))
+
+
+def path_arrays(n: int) -> GraphArrays:
+    """The path ``P_n`` -- matches ``generators.path_graph``."""
+    idx = np.arange(max(n - 1, 0), dtype=np.int64)
+    return GraphArrays.from_edges(n, idx, idx + 1)
+
+
+def star_arrays(n: int) -> GraphArrays:
+    """A star with ``n`` nodes total -- matches ``generators.star_graph``."""
+    if n < 1:
+        raise ValueError(f"star needs at least one node, got {n}")
+    leaves = np.arange(1, n, dtype=np.int64)
+    return GraphArrays.from_edges(n, np.zeros(n - 1, dtype=np.int64), leaves)
+
+
+def grid_arrays(rows: int, cols: int) -> GraphArrays:
+    """A ``rows x cols`` 2-D grid -- matches ``generators.grid_graph``,
+    including its deterministic string-sorted relabeling of the ``(i, j)``
+    coordinate nodes (``sorted(nodes, key=str)``, *not* row-major order).
+    """
+    coords = [(i, j) for i in range(rows) for j in range(cols)]
+    label = {c: k for k, c in enumerate(sorted(coords, key=str))}
+    pairs = []
+    for i in range(rows):
+        for j in range(cols):
+            if i + 1 < rows:
+                pairs.append((label[(i, j)], label[(i + 1, j)]))
+            if j + 1 < cols:
+                pairs.append((label[(i, j)], label[(i, j + 1)]))
+    return _from_pairs(rows * cols, pairs)
+
+
+def empty_arrays(n: int) -> GraphArrays:
+    """``n`` isolated nodes."""
+    return _from_pairs(n, [])
+
+
+def complete_arrays(n: int) -> GraphArrays:
+    """The clique ``K_n``."""
+    return gnp_arrays(n, 1.0)
+
+
+# ----------------------------------------------------------------------
+# The single-knob family registry, mirroring generators.FAMILIES for the
+# families with an array-native sampler.
+# ----------------------------------------------------------------------
+
+
+def _gnp_sparse(n: int, seed: int = 0) -> GraphArrays:
+    """G(n, p) with expected degree ~8 -- generators' ``gnp-sparse``."""
+    p = min(1.0, 8.0 / max(n - 1, 1))
+    return gnp_arrays(n, p, seed=seed)
+
+
+def _gnp_dense(n: int, seed: int = 0) -> GraphArrays:
+    """G(n, 1/2) -- generators' ``gnp-dense``."""
+    return gnp_arrays(n, 0.5, seed=seed)
+
+
+ARRAY_FAMILIES: Dict[str, Callable[..., GraphArrays]] = {
+    "gnp-sparse": _gnp_sparse,
+    "gnp-dense": _gnp_dense,
+    "cycle": lambda n, seed=0: ring_arrays(n),
+    "path": lambda n, seed=0: path_arrays(n),
+    "star": lambda n, seed=0: star_arrays(n),
+    "complete": lambda n, seed=0: complete_arrays(n),
+    "empty": lambda n, seed=0: empty_arrays(n),
+}
+
+
+def array_family_names() -> List[str]:
+    """Sorted names of the families with an array-native sampler."""
+    return sorted(ARRAY_FAMILIES)
+
+
+def make_family_arrays(family: str, n: int, seed: int = 0) -> GraphArrays:
+    """Build a :class:`GraphArrays` from the named family, array-natively.
+
+    Only families in :data:`ARRAY_FAMILIES` are accepted; the edge set is
+    identical to ``make_family_graph(family, n, seed)``.
+    """
+    if family not in ARRAY_FAMILIES:
+        raise KeyError(
+            f"graph family {family!r} has no array-native sampler; "
+            f"array-native: {array_family_names()} "
+            f"(use graph_source='networkx' for the rest)"
+        )
+    return ARRAY_FAMILIES[family](n, seed=seed)
+
+
+def make_family(
+    family: str, n: int, seed: int = 0, graph_source: str = "auto"
+) -> object:
+    """One seeded family graph from the resolved source.
+
+    The single dispatch point shared by ``sweep``, ``build_table1``, and
+    the CLI: returns a :class:`GraphArrays` when the resolved source is
+    ``"arrays"`` and a ``networkx.Graph`` otherwise -- same seeded edge
+    set either way.
+    """
+    from .generators import make_family_graph
+
+    if resolve_graph_source(graph_source, family) == "arrays":
+        return make_family_arrays(family, n, seed=seed)
+    return make_family_graph(family, n, seed=seed)
+
+
+def resolve_graph_source(graph_source: str, family: str) -> str:
+    """Map a ``graph_source=`` request to the source that will be used.
+
+    ``"auto"`` picks ``"arrays"`` exactly when the family has an
+    array-native sampler (a pure performance choice -- the edge sets are
+    identical); requesting ``"arrays"`` for a family without one is an
+    error rather than a silent fallback.
+    """
+    if graph_source not in GRAPH_SOURCES:
+        raise ValueError(
+            f"unknown graph source {graph_source!r}; known: {GRAPH_SOURCES}"
+        )
+    if graph_source == "auto":
+        return "arrays" if family in ARRAY_FAMILIES else "networkx"
+    if graph_source == "arrays" and family not in ARRAY_FAMILIES:
+        raise ValueError(
+            f"graph family {family!r} has no array-native sampler "
+            f"(array-native: {array_family_names()}); "
+            f"use graph_source='networkx' or 'auto'"
+        )
+    return graph_source

@@ -55,6 +55,32 @@ def is_maximal_independent_set(graph: Any, candidate: Iterable[Any]) -> bool:
     )
 
 
+def is_maximal_independent_set_arrays(arrays: Any, mis_mask: Any) -> bool:
+    """Vectorized MIS oracle over a CSR graph view.
+
+    ``arrays`` is a :class:`repro.sim.fast_engine.GraphArrays` (or
+    anything exposing ``n``, ``src``, ``dst`` directed-edge index arrays);
+    ``mis_mask`` a boolean membership column aligned with node indices.
+    Two O(m) numpy passes -- no adjacency dict is ever built -- returning
+    exactly what :func:`is_maximal_independent_set` returns for the same
+    graph and member set (undecided nodes are simply non-members, as in
+    the dict oracle).
+    """
+    import numpy as np
+
+    mask = np.asarray(mis_mask, dtype=bool)
+    if mask.shape != (arrays.n,):
+        raise ValueError(
+            f"mis_mask has shape {mask.shape}, expected ({arrays.n},)"
+        )
+    src, dst = arrays.src, arrays.dst
+    if bool(np.any(mask[src] & mask[dst])):
+        return False  # adjacent members: not independent
+    covered = np.zeros(arrays.n, dtype=bool)
+    covered[dst[mask[src]]] = True
+    return bool(np.all(mask | covered))  # non-members need a member neighbor
+
+
 def assert_valid_mis(graph: Any, candidate: Iterable[Any]) -> None:
     """Raise ``AssertionError`` with a concrete witness if not an MIS."""
     bad_edges = independence_violations(graph, candidate)

@@ -38,6 +38,7 @@ processes.
 """
 
 from .actions import LISTEN, Action, SendAndReceive, Sleep
+from .array_result import RESULT_KINDS, ArrayRunResult
 from .context import NodeContext
 from .energy import DEFAULT_MODEL, IDEAL_MODEL, EnergyModel
 from .errors import (
@@ -64,6 +65,7 @@ from .trace import NULL_TRACE, Trace, TraceEvent, make_trace
 
 __all__ = [
     "Action",
+    "ArrayRunResult",
     "CongestViolationError",
     "CounterRNG",
     "DEFAULT_MODEL",
@@ -83,6 +85,7 @@ __all__ = [
     "PhasedVectorizedEngine",
     "Protocol",
     "ProtocolError",
+    "RESULT_KINDS",
     "RNG_STREAMS",
     "RunResult",
     "STREAM_VERSIONS",

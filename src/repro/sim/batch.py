@@ -10,7 +10,10 @@ runner layers four optimizations over naive sequential calls:
   (:mod:`repro.sim.fast_engine` for the sleeping algorithms,
   :mod:`repro.sim.fast_phased` for the Luby/greedy baselines) whenever it
   supports the configuration, falling back to the generator engine
-  otherwise (``engine="auto"``);
+  otherwise (``engine="auto"``); ``result="arrays"`` (or ``"auto"``)
+  keeps each trial's statistics as numpy columns
+  (:class:`repro.sim.array_result.ArrayRunResult`) instead of per-node
+  dicts;
 * **graph-structure reuse** -- consecutive seeds sharing one graph object
   normalize it once and share one
   :class:`repro.sim.fast_engine.GraphArrays`;
@@ -22,10 +25,11 @@ runner layers four optimizations over naive sequential calls:
   time, so a 10^4..10^5-node sweep holds one graph and one result in
   memory, not ``len(seeds)`` of each.  With ``n_jobs`` workers, seed
   chunks fan out over a :class:`concurrent.futures.ProcessPoolExecutor`
-  with a bounded in-flight window; only plain adjacency dicts and results
-  cross process boundaries.  If a pool cannot be started (restricted
-  sandboxes), the runner degrades to sequential execution for the
-  remaining seeds instead of failing.
+  with a bounded in-flight window; graphs cross process boundaries as
+  plain adjacency dicts or as :class:`GraphArrays` whose edge arrays
+  pickle without the (lazily rebuilt) adjacency dict.  If a pool cannot
+  be started (restricted sandboxes), the runner degrades to sequential
+  execution for the remaining seeds instead of failing.
 """
 
 from __future__ import annotations
@@ -42,9 +46,11 @@ from typing import (
     List,
     Optional,
     Tuple,
+    Union,
 )
 
 from . import fast_engine
+from .array_result import ArrayRunResult, resolve_result_kind
 from .fast_engine import (
     PHASED_ALGORITHMS,
     EngineScratch,
@@ -55,6 +61,10 @@ from .fast_phased import PhasedVectorizedEngine
 from .metrics import RunResult
 from .network import Simulator, normalize_graph
 from .rng import DEFAULT_STREAM
+
+#: What one trial yields: the legacy dict-backed result or the
+#: struct-of-arrays result, depending on ``result=``.
+ResultLike = Union[RunResult, ArrayRunResult]
 
 #: Engine names accepted throughout the package.
 ENGINES = ("auto", "generators", "vectorized")
@@ -68,21 +78,23 @@ def resolve_engine(
     ``"auto"`` selects ``"vectorized"`` exactly when
     :func:`repro.sim.fast_engine.supports` certifies the configuration;
     requesting ``"vectorized"`` for an unsupported configuration is an
-    error rather than a silent behaviour change.
+    error rather than a silent behaviour change, and the error names the
+    generator-only reason (no vectorized implementation for the
+    algorithm, or a generator-only instrumentation feature) -- the
+    support matrix is documented in ``docs/performance.md``.
     """
     if engine not in ENGINES:
         raise ValueError(f"unknown engine {engine!r}; known: {ENGINES}")
     if engine == "generators":
         return "generators"
-    eligible = fast_engine.supports(algorithm, **constraints)
-    if engine == "vectorized" and not eligible:
-        active = {k: v for k, v in constraints.items() if v}
-        detail = f" with {active}" if active else ""
+    reason = fast_engine.unsupported_reason(algorithm, **constraints)
+    if engine == "vectorized" and reason is not None:
         raise ValueError(
-            f"vectorized engine cannot run algorithm={algorithm!r}{detail}; "
-            f"use engine='generators' or engine='auto'"
+            f"vectorized engine cannot run algorithm={algorithm!r}: "
+            f"{reason}; use engine='generators', or engine='auto' to fall "
+            f"back to the generator engine automatically"
         )
-    return "vectorized" if eligible else "generators"
+    return "generators" if reason else "vectorized"
 
 
 def make_vectorized_engine(
@@ -93,12 +105,15 @@ def make_vectorized_engine(
     max_rounds: Optional[int] = None,
     rng: str = DEFAULT_STREAM,
     scratch: Optional[EngineScratch] = None,
+    result: str = "legacy",
     **protocol_kwargs: Any,
 ):
     """The vectorized engine instance for ``algorithm`` (sleeping or phased).
 
     ``graph`` may be a prebuilt :class:`GraphArrays`; ``scratch`` an
-    :class:`EngineScratch` shared across sequential constructions.
+    :class:`EngineScratch` shared across sequential constructions;
+    ``result`` the result kind (:data:`repro.sim.array_result.RESULT_KINDS`)
+    the engine's ``run()`` will build.
     """
     cls = (
         PhasedVectorizedEngine
@@ -112,12 +127,13 @@ def make_vectorized_engine(
         max_rounds=max_rounds,
         rng=rng,
         scratch=scratch,
+        result=result,
         **protocol_kwargs,
     )
 
 
 def _run_one(
-    adjacency: Dict[Any, Tuple[Any, ...]],
+    adjacency: Optional[Dict[Any, Tuple[Any, ...]]],
     arrays: Optional[GraphArrays],
     algorithm: str,
     seed: Optional[int],
@@ -127,7 +143,11 @@ def _run_one(
     protocol_kwargs: Dict[str, Any],
     rng: str = DEFAULT_STREAM,
     scratch: Optional[EngineScratch] = None,
-) -> RunResult:
+    result: str = "legacy",
+) -> ResultLike:
+    """One trial.  ``adjacency`` may be ``None`` for array-native graphs
+    headed to a vectorized engine (the dict view stays unbuilt); the
+    generator path materializes it lazily when it actually runs."""
     if engine == "vectorized":
         return make_vectorized_engine(
             arrays if arrays is not None else GraphArrays(adjacency),
@@ -136,11 +156,14 @@ def _run_one(
             max_rounds=max_rounds,
             rng=rng,
             scratch=scratch,
+            result=result,
             **protocol_kwargs,
         ).run()
     from ..api import make_protocol_factory  # local: avoid import cycle
 
-    return Simulator(
+    if adjacency is None:
+        adjacency = arrays.adjacency
+    run = Simulator(
         adjacency,
         make_protocol_factory(algorithm, **protocol_kwargs),
         seed=seed,
@@ -148,20 +171,32 @@ def _run_one(
         congest_bit_limit=congest_bit_limit,
         rng=rng,
     ).run()
+    if resolve_result_kind(result, engine) == "arrays":
+        return ArrayRunResult.from_run_result(run)
+    return run
 
 
-def _run_chunk(payload: Tuple) -> List[RunResult]:
-    """Process-pool task: one graph, a chunk of seeds."""
+def _run_chunk(payload: Tuple) -> List[ResultLike]:
+    """Process-pool task: one graph, a chunk of seeds.
+
+    ``graph`` is either a plain adjacency dict or a :class:`GraphArrays`
+    shipped with its lazy adjacency unbuilt -- for array-native sweeps
+    the int32 edge arrays are both smaller on the wire and free to use on
+    arrival (no per-worker re-normalization)."""
     (
-        adjacency, algorithm, seeds, engine, max_rounds,
-        congest_bit_limit, protocol_kwargs, rng,
+        graph, algorithm, seeds, engine, max_rounds,
+        congest_bit_limit, protocol_kwargs, rng, result,
     ) = payload
-    arrays = GraphArrays(adjacency) if engine == "vectorized" else None
+    if isinstance(graph, GraphArrays):
+        adjacency, arrays = None, graph
+    else:
+        adjacency = graph
+        arrays = GraphArrays(graph) if engine == "vectorized" else None
     scratch = EngineScratch() if engine == "vectorized" else None
     return [
         _run_one(
             adjacency, arrays, algorithm, seed, engine, max_rounds,
-            congest_bit_limit, protocol_kwargs, rng, scratch,
+            congest_bit_limit, protocol_kwargs, rng, scratch, result,
         )
         for seed in seeds
     ]
@@ -170,32 +205,39 @@ def _run_chunk(payload: Tuple) -> List[RunResult]:
 def _iter_graphs(
     graph_factory: Any, seeds: Iterable[Optional[int]]
 ) -> Iterator[Tuple[Dict[Any, Tuple[Any, ...]], Optional[GraphArrays], Optional[int]]]:
-    """Yield ``(normalized adjacency, prebuilt arrays or None, seed)``
-    lazily, one graph at a time.
+    """Yield ``(normalized adjacency or None, prebuilt arrays or None,
+    seed)`` lazily, one graph at a time.
 
     Consecutive seeds whose factory returns the *same object* (the
     shared-graph pattern, including non-callable ``graph_factory``) share
     one normalization.  A factory may return a prebuilt
     :class:`GraphArrays` to amortize edge-array construction across
     callers (e.g. ``build_table1`` measuring several algorithms on the
-    same graphs); its adjacency rides along for the generator engine.
+    same graphs, or the array-native samplers in
+    :mod:`repro.graphs.arrays`); for those the adjacency slot is ``None``
+    and the dict view stays unbuilt unless the generator engine runs.
     """
     factory: Callable[[Optional[int]], Any] = (
         graph_factory if callable(graph_factory) else lambda seed: graph_factory
     )
     prev_graph: Any = None
+    seen_one = False
     prev_adjacency: Optional[Dict[Any, Tuple[Any, ...]]] = None
     prev_arrays: Optional[GraphArrays] = None
     for seed in seeds:
         graph = factory(seed)
-        if prev_adjacency is None or graph is not prev_graph:
+        if not seen_one or graph is not prev_graph:
             if isinstance(graph, GraphArrays):
+                # The dict view stays unbuilt: array-native graphs headed
+                # to a vectorized engine never need it, and the generator
+                # path materializes it lazily in _run_one.
                 prev_arrays = graph
-                prev_adjacency = graph.adjacency
+                prev_adjacency = None
             else:
                 prev_arrays = None
                 prev_adjacency = normalize_graph(graph)
             prev_graph = graph
+            seen_one = True
         yield prev_adjacency, prev_arrays, seed
 
 
@@ -207,11 +249,12 @@ def iter_trials(
     n_jobs: Optional[int] = None,
     engine: str = "auto",
     rng: str = DEFAULT_STREAM,
+    result: str = "legacy",
     max_rounds: Optional[int] = None,
     congest_bit_limit: Optional[int] = None,
     **protocol_kwargs: Any,
-) -> Iterator[RunResult]:
-    """Stream one :class:`RunResult` per seed, in seed order.
+) -> Iterator[ResultLike]:
+    """Stream one result per seed, in seed order.
 
     This is the memory-bounded core of :func:`run_trials`: graphs are
     built lazily and each result is handed to the caller before the next
@@ -222,7 +265,10 @@ def iter_trials(
     ----------
     graph_factory:
         Either a callable ``seed -> graph`` (fresh graph per trial) or a
-        single graph object shared by every trial.
+        single graph object shared by every trial.  A factory may return
+        a prebuilt :class:`GraphArrays` (e.g. from
+        :mod:`repro.graphs.arrays`), which skips graph normalization
+        entirely on the vectorized path.
     algorithm:
         Name from :func:`repro.api.algorithm_names`.
     seeds:
@@ -235,6 +281,11 @@ def iter_trials(
     rng:
         Random-stream format: ``"pernode"`` (v1, default) or ``"batched"``
         (v2); see :mod:`repro.sim.rng`.
+    result:
+        ``"legacy"`` (default) yields :class:`RunResult`; ``"arrays"``
+        yields :class:`repro.sim.array_result.ArrayRunResult` (converted
+        from the legacy result on the generator engine); ``"auto"`` picks
+        arrays exactly on the vectorized engine.
     protocol_kwargs:
         Forwarded to the protocol (``coin_bias=``, ``greedy_constant=``,
         ``depth=``, ``max_phases=``).
@@ -246,6 +297,7 @@ def iter_trials(
         engine, algorithm,
         congest_bit_limit=congest_bit_limit, **protocol_kwargs,
     )
+    resolve_result_kind(result, resolved)  # validate early
     jobs = _effective_jobs(n_jobs, len(seed_list))
     if jobs > 1:
         from concurrent.futures.process import BrokenProcessPool
@@ -255,11 +307,12 @@ def iter_trials(
             chunks = _iter_chunks(
                 _iter_graphs(graph_factory, seed_list), algorithm,
                 resolved, max_rounds, congest_bit_limit, protocol_kwargs,
-                rng, target=max(1, len(seed_list) // (jobs * 4) or 1),
+                rng, result,
+                target=max(1, len(seed_list) // (jobs * 4) or 1),
             )
-            for result in _iter_parallel(chunks, jobs):
+            for one in _iter_parallel(chunks, jobs):
                 done += 1
-                yield result
+                yield one
             return
         except (OSError, ImportError, BrokenProcessPool) as exc:
             # Pool could not start, or its workers were killed before
@@ -279,14 +332,16 @@ def iter_trials(
     scratch = EngineScratch() if resolved == "vectorized" else None
     for adjacency, prebuilt, seed in _iter_graphs(graph_factory, seed_list):
         if prebuilt is not None:
-            arrays, arrays_for = prebuilt, adjacency
+            arrays, arrays_for = prebuilt, prebuilt
         elif resolved == "vectorized" and adjacency is not arrays_for:
             arrays = GraphArrays(adjacency)
             arrays_for = adjacency
         yield _run_one(
-            adjacency, arrays if resolved == "vectorized" else None,
+            adjacency,
+            arrays if (resolved == "vectorized" or prebuilt is not None)
+            else None,
             algorithm, seed, resolved, max_rounds,
-            congest_bit_limit, protocol_kwargs, rng, scratch,
+            congest_bit_limit, protocol_kwargs, rng, scratch, result,
         )
 
 
@@ -298,10 +353,11 @@ def run_trials(
     n_jobs: Optional[int] = None,
     engine: str = "auto",
     rng: str = DEFAULT_STREAM,
+    result: str = "legacy",
     max_rounds: Optional[int] = None,
     congest_bit_limit: Optional[int] = None,
     **protocol_kwargs: Any,
-) -> List[RunResult]:
+) -> List[ResultLike]:
     """Run ``algorithm`` once per seed; results come back in seed order.
 
     The list-returning wrapper around :func:`iter_trials` (same
@@ -310,7 +366,8 @@ def run_trials(
     return list(
         iter_trials(
             graph_factory, algorithm, seeds,
-            n_jobs=n_jobs, engine=engine, rng=rng, max_rounds=max_rounds,
+            n_jobs=n_jobs, engine=engine, rng=rng, result=result,
+            max_rounds=max_rounds,
             congest_bit_limit=congest_bit_limit, **protocol_kwargs,
         )
     )
@@ -326,7 +383,11 @@ def _effective_jobs(n_jobs: Optional[int], n_tasks: int) -> int:
 
 def _iter_chunks(
     graph_seed_iter: Iterator[
-        Tuple[Dict[Any, Tuple[Any, ...]], Optional[GraphArrays], Optional[int]]
+        Tuple[
+            Optional[Dict[Any, Tuple[Any, ...]]],
+            Optional[GraphArrays],
+            Optional[int],
+        ]
     ],
     algorithm: str,
     engine: str,
@@ -334,34 +395,38 @@ def _iter_chunks(
     congest_bit_limit: Optional[int],
     protocol_kwargs: Dict[str, Any],
     rng: str,
+    result: str,
     target: int,
 ) -> Iterator[Tuple]:
-    """Chunk runs of consecutive seeds that share an adjacency, so workers
+    """Chunk runs of consecutive seeds that share a graph, so workers
     amortize :class:`GraphArrays` construction; aim for a few chunks per
-    worker (``target`` seeds each)."""
-    chunk_adjacency: Any = None
+    worker (``target`` seeds each).  The chunk carries whichever graph
+    representation the factory produced: a plain adjacency dict, or a
+    :class:`GraphArrays` whose lazy adjacency stays unbuilt (pickling the
+    int32 edge arrays beats materializing and pickling a 10^5-entry
+    dict)."""
+    chunk_graph: Any = None
     chunk_seeds: List[Optional[int]] = []
-    # Prebuilt GraphArrays are dropped here on purpose: only plain
-    # adjacency dicts cross process boundaries; workers rebuild.
-    for adjacency, _, seed in graph_seed_iter:
+    for adjacency, arrays, seed in graph_seed_iter:
+        graph = arrays if arrays is not None else adjacency
         if chunk_seeds and (
-            adjacency is not chunk_adjacency or len(chunk_seeds) >= target
+            graph is not chunk_graph or len(chunk_seeds) >= target
         ):
             yield (
-                chunk_adjacency, algorithm, chunk_seeds, engine,
-                max_rounds, congest_bit_limit, protocol_kwargs, rng,
+                chunk_graph, algorithm, chunk_seeds, engine,
+                max_rounds, congest_bit_limit, protocol_kwargs, rng, result,
             )
             chunk_seeds = []
-        chunk_adjacency = adjacency
+        chunk_graph = graph
         chunk_seeds.append(seed)
     if chunk_seeds:
         yield (
-            chunk_adjacency, algorithm, chunk_seeds, engine,
-            max_rounds, congest_bit_limit, protocol_kwargs, rng,
+            chunk_graph, algorithm, chunk_seeds, engine,
+            max_rounds, congest_bit_limit, protocol_kwargs, rng, result,
         )
 
 
-def _iter_parallel(chunks: Iterator[Tuple], jobs: int) -> Iterator[RunResult]:
+def _iter_parallel(chunks: Iterator[Tuple], jobs: int) -> Iterator[ResultLike]:
     """Fan chunks out over a process pool with a bounded in-flight window,
     yielding results in submission (= seed) order."""
     from concurrent.futures import ProcessPoolExecutor

@@ -23,6 +23,7 @@ from __future__ import annotations
 from dataclasses import dataclass
 from typing import Dict
 
+from .array_result import ArrayRunResult, exact_sum
 from .metrics import NodeStats, RunResult
 
 
@@ -45,17 +46,44 @@ class EnergyModel:
         )
 
     def total_energy(self, result: RunResult) -> float:
-        """Total energy across all nodes."""
+        """Total energy across all nodes.
+
+        Array-backed results tally from the integer stat columns directly
+        (four exact integer sums, no per-node Python objects); the value
+        agrees with the legacy per-node accumulation up to float
+        summation order.
+        """
+        if isinstance(result, ArrayRunResult):
+            # exact_sum: Algorithm 1's sleep columns hold ~2^51 per node
+            # at n = 10^5, overflowing a plain int64 reduction.
+            return (
+                self.tx * exact_sum(result.tx_rounds)
+                + self.rx * exact_sum(result.rx_rounds)
+                + self.idle * exact_sum(result.idle_rounds)
+                + self.sleep * exact_sum(result.sleep_rounds)
+            )
         return sum(self.node_energy(s) for s in result.node_stats.values())
 
     def average_energy(self, result: RunResult) -> float:
-        """Mean per-node energy."""
-        if not result.node_stats:
+        """Mean per-node energy (no per-node materialization needed)."""
+        if not result.n:
             return 0.0
-        return self.total_energy(result) / len(result.node_stats)
+        return self.total_energy(result) / result.n
 
     def per_node_energy(self, result: RunResult) -> Dict[int, float]:
-        """Energy of each node, keyed by node id."""
+        """Energy of each node, keyed by node id.
+
+        Array-backed results compute the whole vector in four numpy
+        passes instead of materializing the legacy per-node view.
+        """
+        if isinstance(result, ArrayRunResult):
+            energies = (
+                self.tx * result.tx_rounds
+                + self.rx * result.rx_rounds
+                + self.idle * result.idle_rounds
+                + self.sleep * result.sleep_rounds.astype(float)
+            )
+            return dict(zip(result.node_ids, energies.tolist()))
         return {
             v: self.node_energy(s) for v, s in result.node_stats.items()
         }

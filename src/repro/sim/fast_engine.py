@@ -191,27 +191,56 @@ def draw_dense_ranks(
     return inverse.astype(np.int64), np.maximum(bit_length_u64(vals), 1)
 
 
-def supports(
+def unsupported_reason(
     algorithm: str,
     *,
     trace: Any = None,
     congest_bit_limit: Optional[int] = None,
     loss_rate: float = 0.0,
     **protocol_kwargs: Any,
-) -> bool:
-    """Whether a vectorized engine can run this configuration exactly."""
+) -> Optional[str]:
+    """Why this configuration is generator-only, or ``None`` if vectorizable.
+
+    The returned string names the *reason* the vectorized engines cannot
+    run the configuration -- either the algorithm has no vectorized
+    implementation at all (``ghaffari``, ``abi``) or a generator-only
+    instrumentation feature was requested.  ``engine="auto"`` falls back
+    silently; a hard ``engine="vectorized"`` request surfaces this reason
+    in its error (see :func:`repro.sim.batch.resolve_engine`).  The full
+    support matrix is documented in ``docs/performance.md``.
+    """
     if algorithm not in SUPPORTED_ALGORITHMS:
-        return False
+        return (
+            f"algorithm {algorithm!r} has no vectorized implementation "
+            f"(vectorized: {', '.join(SUPPORTED_ALGORITHMS)}) and always "
+            f"runs on the generator engine, whatever the graph size"
+        )
     if trace is not None and getattr(trace, "enabled", False):
-        return False
-    if congest_bit_limit is not None or loss_rate:
-        return False
+        return "tracing (trace=) is generator-engine-only instrumentation"
+    if congest_bit_limit is not None:
+        return (
+            "CONGEST bit-budget enforcement (congest_bit_limit=) is "
+            "generator-engine-only"
+        )
+    if loss_rate:
+        return "fault injection (loss_rate=) is generator-engine-only"
     allowed = (
         PHASED_PROTOCOL_KWARGS
         if algorithm in PHASED_ALGORITHMS
         else SUPPORTED_PROTOCOL_KWARGS
     )
-    return set(protocol_kwargs) <= allowed
+    extra = set(protocol_kwargs) - allowed
+    if extra:
+        return (
+            f"protocol kwargs {sorted(extra)} have no vectorized path for "
+            f"{algorithm!r} (vectorized kwargs: {sorted(allowed)})"
+        )
+    return None
+
+
+def supports(algorithm: str, **constraints: Any) -> bool:
+    """Whether a vectorized engine can run this configuration exactly."""
+    return unsupported_reason(algorithm, **constraints) is None
 
 
 class GraphArrays:
@@ -220,6 +249,16 @@ class GraphArrays:
     Building these (normalization, directed-edge arrays, reverse-edge
     permutation) is the engine's fixed cost per graph; the batch runner
     reuses one instance across every seed run on the same graph.
+
+    Two construction paths exist.  ``GraphArrays(graph)`` converts an
+    existing ``networkx.Graph`` or adjacency mapping (normalizing it
+    first).  :meth:`from_edges` builds the arrays straight from edge-index
+    arrays -- the **array-native** path used by
+    :mod:`repro.graphs.arrays`, which never materializes a networkx object
+    or a Python adjacency dict at all.  For array-native instances the
+    ``adjacency`` dict is a *lazy* view: it is only built (and cached) if
+    something dict-shaped asks for it (the generator engine, legacy
+    ``RunResult.adjacency``, :meth:`to_networkx`).
 
     Memory audit (the CSR-shaped buffers that bound sweep scale): with
     ``m`` directed edges, the persistent footprint is ``src``/``dst``/
@@ -232,22 +271,23 @@ class GraphArrays:
     """
 
     __slots__ = (
-        "adjacency", "node_ids", "n", "src", "dst", "grev", "deg", "_id_bits"
+        "_adjacency", "node_ids", "n", "src", "dst", "grev", "deg", "_id_bits"
     )
 
     def __init__(self, graph: Any):
-        self.adjacency = normalize_graph(graph)
-        self.node_ids: List[Any] = sorted(self.adjacency)
+        self._adjacency = normalize_graph(graph)
+        self.node_ids: List[Any] = sorted(self._adjacency)
         self.n = len(self.node_ids)
+        adjacency = self._adjacency
         index = {v: i for i, v in enumerate(self.node_ids)}
         # Directed edge arrays, sorted by (src, dst): each undirected edge
         # appears once per direction.
         self.dst = np.fromiter(
-            (index[u] for v in self.node_ids for u in self.adjacency[v]),
+            (index[u] for v in self.node_ids for u in adjacency[v]),
             dtype=np.int32,
         )
         self.deg = np.fromiter(
-            (len(self.adjacency[v]) for v in self.node_ids),
+            (len(adjacency[v]) for v in self.node_ids),
             dtype=np.int64,
             count=self.n,
         )
@@ -257,6 +297,102 @@ class GraphArrays:
         # index: grev[e] = index of e's reverse.
         self.grev = np.lexsort((self.src, self.dst)).astype(np.int32)
         self._id_bits: Optional[np.ndarray] = None
+
+    @classmethod
+    def from_edges(cls, n: int, u: Any, v: Any) -> "GraphArrays":
+        """Array-native constructor: ``n`` nodes ``0..n-1`` and undirected
+        edges ``(u[i], v[i])`` given as integer arrays.
+
+        Self-loops are dropped and duplicate edges (in either orientation)
+        collapse, mirroring :func:`repro.sim.network.normalize_graph` --
+        but no Python dict is ever built; the adjacency view stays lazy.
+        """
+        u = np.asarray(u, dtype=np.int64)
+        v = np.asarray(v, dtype=np.int64)
+        if u.shape != v.shape:
+            raise ValueError("edge endpoint arrays must have equal length")
+        if len(u) and (
+            u.min() < 0 or v.min() < 0 or u.max() >= n or v.max() >= n
+        ):
+            raise ValueError(f"edge endpoints must lie in [0, {n})")
+        lo = np.minimum(u, v)
+        hi = np.maximum(u, v)
+        keep = lo != hi  # drop self-loops
+        lo, hi = lo[keep], hi[keep]
+        if len(lo):
+            key = np.unique(lo * np.int64(n) + hi)  # dedupe + sort
+            lo, hi = key // n, key % n
+        self = cls.__new__(cls)
+        self._adjacency = None
+        self.node_ids = list(range(n))
+        self.n = n
+        src = np.concatenate([lo, hi])
+        dst = np.concatenate([hi, lo])
+        order = np.lexsort((dst, src))
+        self.src = src[order].astype(np.int32)
+        self.dst = dst[order].astype(np.int32)
+        self.deg = np.bincount(self.src, minlength=n).astype(np.int64)
+        self.grev = np.lexsort((self.src, self.dst)).astype(np.int32)
+        self._id_bits = None
+        return self
+
+    @property
+    def adjacency(self) -> Dict[Any, Tuple[Any, ...]]:
+        """The ``{node: sorted neighbor tuple}`` view, built lazily.
+
+        Instances constructed from a graph object carry the normalized
+        dict from day one; array-native instances (:meth:`from_edges`)
+        reconstruct it from the CSR arrays on first access and cache it.
+        """
+        if self._adjacency is None:
+            from .network import NormalizedAdjacency
+
+            ids = self.node_ids
+            dst = self.dst.tolist()
+            bounds = np.concatenate(
+                ([0], np.cumsum(self.deg))
+            ).tolist()
+            # dst is sorted within each src block, so tuples come out in
+            # normalize_graph's sorted order.
+            self._adjacency = NormalizedAdjacency(
+                (v, tuple(ids[j] for j in dst[bounds[i]:bounds[i + 1]]))
+                for i, v in enumerate(ids)
+            )
+        return self._adjacency
+
+    def __getstate__(self) -> Dict[str, Any]:
+        # Never pickle the adjacency dict: receivers rebuild the identical
+        # view lazily from the CSR arrays if (and only if) they need it,
+        # so the wire carries int32 edge arrays instead of a dict that can
+        # dwarf them at n = 10^4..10^5 (the batch runner ships GraphArrays
+        # to pool workers).
+        return {
+            slot: getattr(self, slot)
+            for slot in self.__slots__
+            if slot != "_adjacency"
+        }
+
+    def __setstate__(self, state: Dict[str, Any]) -> None:
+        for slot in self.__slots__:
+            setattr(self, slot, state.get(slot))
+
+    def to_networkx(self) -> Any:
+        """Escape hatch: the same graph as a ``networkx.Graph``.
+
+        Node labels are ``node_ids``; the edge set round-trips exactly
+        (``GraphArrays(ga.to_networkx())`` rebuilds identical arrays).
+        """
+        import networkx as nx
+
+        graph = nx.Graph()
+        graph.add_nodes_from(self.node_ids)
+        ids = self.node_ids
+        half = self.src < self.dst  # one orientation per undirected edge
+        graph.add_edges_from(
+            (ids[a], ids[b])
+            for a, b in zip(self.src[half].tolist(), self.dst[half].tolist())
+        )
+        return graph
 
     @property
     def m(self) -> int:
@@ -345,7 +481,10 @@ class VectorizedEngine:
         max_rounds: Optional[int] = None,
         rng: str = DEFAULT_STREAM,
         scratch: Optional[EngineScratch] = None,
+        result: str = "legacy",
     ):
+        from .array_result import resolve_result_kind
+
         if algorithm not in SLEEPING_ALGORITHMS:
             raise ValueError(
                 f"vectorized sleeping engine supports {SLEEPING_ALGORITHMS}, "
@@ -359,10 +498,10 @@ class VectorizedEngine:
         self.coin_bias = coin_bias
         self.max_rounds = max_rounds
         self.rng_stream = rng
+        self.result_kind = resolve_result_kind(result, "vectorized")
 
         arrays = graph if isinstance(graph, GraphArrays) else GraphArrays(graph)
         self.arrays = arrays
-        self.adjacency = arrays.adjacency
         self.node_ids = arrays.node_ids
         self.n = arrays.n
         self.src = arrays.src
@@ -463,13 +602,15 @@ class VectorizedEngine:
 
     # ------------------------------------------------------------------
 
+    @property
+    def adjacency(self) -> Dict[Any, Tuple[Any, ...]]:
+        """The adjacency dict view (lazy for array-native graphs)."""
+        return self.arrays.adjacency
+
     def run(self) -> RunResult:
         """Replay the full execution and return the generator-equal result."""
         if self.n == 0:
-            return RunResult(
-                n=0, rounds=0, seed=self.seed, node_stats={}, outputs={},
-                protocols={}, adjacency=self.adjacency,
-            )
+            return self._build_result(0)
         total_rounds = self._duration(self.depth)
         if self.max_rounds is not None and total_rounds > self.max_rounds:
             raise MaxRoundsExceededError(self.max_rounds, self.n)
@@ -763,7 +904,38 @@ class VectorizedEngine:
 
     def _build_result(self, rounds: int) -> RunResult:
         # Every node of the sleeping algorithms finishes at the schedule's
-        # final round, hence the constant ``finish`` column.
+        # final round, hence the constant ``finish`` column.  The arrays
+        # result copies the stat columns out of the (scratch-recycled)
+        # engine state -- a handful of C passes instead of the 10^5
+        # NodeStats dataclasses of the legacy view.
+        if self.result_kind == "arrays":
+            from .array_result import ArrayRunResult
+
+            n = self.n
+            return ArrayRunResult(
+                n=n,
+                rounds=rounds,
+                seed=self.seed,
+                node_ids=self.node_ids,
+                in_mis=self.in_mis.copy(),
+                awake_rounds=self.awake.copy(),
+                sleep_rounds=self.sleep.copy(),
+                tx_rounds=self.tx.copy(),
+                rx_rounds=self.rx.copy(),
+                idle_rounds=self.idle.copy(),
+                messages_sent=self.msent.copy(),
+                bits_sent=self.bits.copy(),
+                messages_received=self.mrecv.copy(),
+                decision_round=self.decision_round.copy(),
+                awake_at_decision=self.awake_at_decision.copy(),
+                finish_round=np.full(n, rounds, dtype=np.int64),
+                arrays=self.arrays,
+            )
+        if self.n == 0:
+            return RunResult(
+                n=0, rounds=0, seed=self.seed, node_stats={}, outputs={},
+                protocols={}, adjacency=self.adjacency,
+            )
         return assemble_result(
             n=self.n,
             rounds=rounds,

@@ -76,7 +76,10 @@ class PhasedVectorizedEngine:
         max_rounds: Optional[int] = None,
         rng: str = DEFAULT_STREAM,
         scratch: Optional[EngineScratch] = None,
+        result: str = "legacy",
     ):
+        from .array_result import resolve_result_kind
+
         if algorithm not in PHASED_ALGORITHMS:
             raise ValueError(
                 f"vectorized phased engine supports {PHASED_ALGORITHMS}, "
@@ -90,10 +93,10 @@ class PhasedVectorizedEngine:
         self.max_phases = max_phases
         self.max_rounds = max_rounds
         self.rng_stream = rng
+        self.result_kind = resolve_result_kind(result, "vectorized")
 
         arrays = graph if isinstance(graph, GraphArrays) else GraphArrays(graph)
         self.arrays = arrays
-        self.adjacency = arrays.adjacency
         self.node_ids = arrays.node_ids
         self.n = arrays.n
         n = self.n
@@ -166,14 +169,16 @@ class PhasedVectorizedEngine:
 
     # ------------------------------------------------------------------
 
+    @property
+    def adjacency(self):
+        """The adjacency dict view (lazy for array-native graphs)."""
+        return self.arrays.adjacency
+
     def run(self) -> RunResult:
         """Replay the full execution and return the generator-equal result."""
         n = self.n
         if n == 0:
-            return RunResult(
-                n=0, rounds=0, seed=self.seed, node_stats={}, outputs={},
-                protocols={}, adjacency=self.adjacency,
-            )
+            return self._build_result()
         src, dst, grev = self.arrays.src, self.arrays.dst, self.arrays.grev
 
         inloop = np.ones(n, dtype=bool)
@@ -281,6 +286,34 @@ class PhasedVectorizedEngine:
     def _build_result(self) -> RunResult:
         # Phased nodes never sleep (constant ``sleep`` column) but finish
         # at per-node rounds as they terminate phase by phase.
+        if self.result_kind == "arrays":
+            from .array_result import ArrayRunResult
+
+            n = self.n
+            return ArrayRunResult(
+                n=n,
+                rounds=int(self.finish.max()) if n else 0,
+                seed=self.seed,
+                node_ids=self.node_ids,
+                in_mis=self.in_mis.copy(),
+                awake_rounds=self.awake.copy(),
+                sleep_rounds=np.zeros(n, dtype=np.int64),
+                tx_rounds=self.tx.copy(),
+                rx_rounds=self.rx.copy(),
+                idle_rounds=self.idle.copy(),
+                messages_sent=self.msent.copy(),
+                bits_sent=self.bits.copy(),
+                messages_received=self.mrecv.copy(),
+                decision_round=self.decision_round.copy(),
+                awake_at_decision=self.awake_at_decision.copy(),
+                finish_round=self.finish.copy(),
+                arrays=self.arrays,
+            )
+        if self.n == 0:
+            return RunResult(
+                n=0, rounds=0, seed=self.seed, node_stats={}, outputs={},
+                protocols={}, adjacency=self.adjacency,
+            )
         return assemble_result(
             n=self.n,
             rounds=int(self.finish.max()) if self.n else 0,

@@ -55,13 +55,19 @@ class NormalizedAdjacency(dict):
 def normalize_graph(graph: Any) -> Dict[int, Tuple[int, ...]]:
     """Return a ``{node: sorted tuple of neighbors}`` adjacency mapping.
 
-    Accepts a ``networkx.Graph`` or any mapping from node to an iterable of
-    neighbors.  Self-loops are dropped; the neighbor relation is symmetrized.
-    Output that is already normalized (a :class:`NormalizedAdjacency`)
-    passes through unchanged.
+    Accepts a ``networkx.Graph``, any mapping from node to an iterable of
+    neighbors, or an object exposing an already-normalized ``adjacency``
+    view (a :class:`repro.sim.fast_engine.GraphArrays`, whose lazy dict is
+    materialized here exactly when a dict consumer needs it).  Self-loops
+    are dropped; the neighbor relation is symmetrized.  Output that is
+    already normalized (a :class:`NormalizedAdjacency`) passes through
+    unchanged.
     """
     if isinstance(graph, NormalizedAdjacency):
         return graph
+    attr = getattr(graph, "adjacency", None)
+    if isinstance(attr, NormalizedAdjacency):  # GraphArrays and friends
+        return attr
     if hasattr(graph, "adj") and hasattr(graph, "nodes"):
         raw: Mapping[Any, Iterable[Any]] = {
             v: list(graph.adj[v]) for v in graph.nodes()

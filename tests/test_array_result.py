@@ -1,0 +1,311 @@
+"""The array-backed result type (repro.sim.array_result.ArrayRunResult).
+
+``result="arrays"`` must be a representation change only: every measure,
+every per-node statistic reachable through the lazy legacy view, and every
+downstream consumer (Trial rows, energy, validation, CSV) has to agree
+with the legacy ``RunResult`` bit for bit (floats: up to summation order
+for energy only).  These tests pin that equivalence across engines,
+algorithms, RNG streams, and the batch/sweep plumbing.
+"""
+
+from dataclasses import asdict
+
+import numpy as np
+import pytest
+
+from helpers import GRAPH_CASES, run_mis
+
+from repro.analysis.complexity import run_trial, trial_from_result
+from repro.api import solve_mis
+from repro.graphs.arrays import make_family_arrays
+from repro.graphs.generators import make_family_graph
+from repro.sim.array_result import (
+    RESULT_KINDS,
+    ArrayRunResult,
+    resolve_result_kind,
+    validate_result_kind,
+)
+from repro.sim.batch import run_trials
+from repro.sim.energy import DEFAULT_MODEL
+
+ALGORITHMS = ("sleeping", "fast-sleeping", "luby", "greedy")
+
+MEASURES = (
+    "node_averaged_awake_complexity",
+    "worst_case_awake_complexity",
+    "node_averaged_round_complexity",
+    "worst_case_round_complexity",
+    "total_messages",
+    "total_bits",
+    "total_awake_rounds",
+    "node_averaged_decision_round",
+    "all_finished",
+)
+
+
+def assert_results_agree(legacy, arrays) -> None:
+    """Every public observable of the two result types must match."""
+    assert isinstance(arrays, ArrayRunResult)
+    assert arrays.n == legacy.n
+    assert arrays.rounds == legacy.rounds
+    assert arrays.seed == legacy.seed
+    for measure in MEASURES:
+        assert getattr(arrays, measure) == getattr(legacy, measure), measure
+    assert arrays.mis == legacy.mis
+    assert arrays.undecided == legacy.undecided
+    assert arrays.summary() == legacy.summary()
+    assert arrays.outputs == legacy.outputs
+    assert arrays.adjacency == legacy.adjacency
+    assert arrays.protocols == legacy.protocols
+    assert set(arrays.node_stats) == set(legacy.node_stats)
+    for v in legacy.node_stats:
+        assert asdict(arrays.node_stats[v]) == asdict(legacy.node_stats[v]), v
+
+
+class TestVectorizedEnginesBuildArrays:
+    @pytest.mark.parametrize("algorithm", ALGORITHMS)
+    @pytest.mark.parametrize("rng", ["pernode", "batched"])
+    @pytest.mark.parametrize(
+        "builder", [b for _, b in GRAPH_CASES], ids=[n for n, _ in GRAPH_CASES]
+    )
+    def test_arrays_equal_legacy(self, builder, algorithm, rng):
+        graph = builder()
+        legacy = run_mis(graph, algorithm, seed=1, engine="vectorized", rng=rng)
+        arrays = run_mis(
+            graph, algorithm, seed=1, engine="vectorized", rng=rng,
+            result="arrays",
+        )
+        assert_results_agree(legacy, arrays)
+
+    def test_arrays_are_copies_not_scratch_views(self):
+        from repro.sim.batch import make_vectorized_engine
+        from repro.sim.fast_engine import EngineScratch
+
+        graph = make_family_graph("gnp-sparse", 60, seed=2)
+        scratch = EngineScratch()
+        first = make_vectorized_engine(
+            graph, "sleeping", seed=1, scratch=scratch, result="arrays"
+        ).run()
+        snapshot = first.awake_rounds.copy()
+        # A second trial on the same scratch must not clobber the first
+        # result's columns.
+        make_vectorized_engine(
+            graph, "sleeping", seed=99, scratch=scratch, result="arrays"
+        ).run()
+        np.testing.assert_array_equal(first.awake_rounds, snapshot)
+
+
+class TestGeneratorConversion:
+    @pytest.mark.parametrize("algorithm", ["ghaffari", "abi", "sleeping"])
+    def test_from_run_result_round_trip(self, algorithm):
+        graph = make_family_graph("gnp-sparse", 80, seed=4)
+        legacy = solve_mis(graph, algorithm, seed=4, engine="generators")
+        arrays = ArrayRunResult.from_run_result(legacy)
+        assert_results_agree(legacy, arrays)
+        # The conversion keeps the original as the cached legacy view,
+        # protocol instances included (lossless for per-call analyses).
+        assert arrays.to_run_result() is legacy
+        assert arrays.protocols is legacy.protocols
+
+    def test_solve_mis_result_arrays_on_generator_engine(self):
+        graph = make_family_graph("gnp-sparse", 60, seed=1)
+        result = solve_mis(
+            graph, "ghaffari", seed=1, engine="auto", result="arrays"
+        )
+        assert isinstance(result, ArrayRunResult)
+        assert result.is_valid_mis()
+
+
+class TestResultKindResolution:
+    def test_kinds(self):
+        assert RESULT_KINDS == ("auto", "legacy", "arrays")
+        for kind in RESULT_KINDS:
+            assert validate_result_kind(kind) == kind
+        with pytest.raises(ValueError, match="unknown result kind"):
+            validate_result_kind("dataframe")
+
+    def test_auto_follows_engine(self):
+        assert resolve_result_kind("auto", "vectorized") == "arrays"
+        assert resolve_result_kind("auto", "generators") == "legacy"
+        assert resolve_result_kind("legacy", "vectorized") == "legacy"
+        assert resolve_result_kind("arrays", "generators") == "arrays"
+
+    def test_solve_mis_auto_kinds(self):
+        graph = make_family_graph("gnp-sparse", 40, seed=0)
+        vec = solve_mis(graph, "sleeping", engine="auto", result="auto")
+        gen = solve_mis(graph, "ghaffari", engine="auto", result="auto")
+        assert isinstance(vec, ArrayRunResult)
+        assert not isinstance(gen, ArrayRunResult)
+
+
+class TestDownstreamConsumers:
+    def test_trial_rows_identical(self):
+        graph = make_family_arrays("gnp-sparse", 120, seed=9)
+        legacy_run, legacy_trial = run_trial(
+            graph, "fast-sleeping", seed=9, engine="vectorized",
+            result="legacy",
+        )
+        arrays_run, arrays_trial = run_trial(
+            graph, "fast-sleeping", seed=9, engine="vectorized",
+            result="arrays",
+        )
+        assert isinstance(arrays_run, ArrayRunResult)
+        for field in (
+            "n", "seed", "node_averaged_awake", "worst_case_awake",
+            "node_averaged_rounds", "worst_case_rounds",
+            "total_messages", "total_bits", "valid", "undecided",
+        ):
+            assert getattr(arrays_trial, field) == getattr(legacy_trial, field)
+        assert arrays_trial.total_energy == pytest.approx(
+            legacy_trial.total_energy
+        )
+
+    def test_vectorized_validation_agrees_with_dict_oracle(self):
+        from repro.graphs.validation import (
+            is_maximal_independent_set,
+            is_maximal_independent_set_arrays,
+        )
+
+        rng = np.random.default_rng(7)
+        for name, builder in GRAPH_CASES:
+            from repro.sim.fast_engine import GraphArrays
+
+            arrays = GraphArrays(builder())
+            for _ in range(4):
+                mask = rng.random(arrays.n) < 0.4
+                members = {arrays.node_ids[i] for i in np.flatnonzero(mask)}
+                assert is_maximal_independent_set_arrays(
+                    arrays, mask
+                ) == is_maximal_independent_set(arrays.adjacency, members), name
+
+    def test_energy_model_tallies_arrays(self):
+        graph = make_family_graph("gnp-sparse", 100, seed=3)
+        legacy = solve_mis(graph, "sleeping", seed=3, engine="vectorized")
+        arrays = solve_mis(
+            graph, "sleeping", seed=3, engine="vectorized", result="arrays"
+        )
+        assert DEFAULT_MODEL.total_energy(arrays) == pytest.approx(
+            DEFAULT_MODEL.total_energy(legacy)
+        )
+        assert DEFAULT_MODEL.average_energy(arrays) == pytest.approx(
+            DEFAULT_MODEL.average_energy(legacy)
+        )
+
+    def test_parallel_chunks_ship_graph_arrays_without_dict(self):
+        # The process-pool path must carry GraphArrays payloads with the
+        # lazy adjacency still unbuilt (pickling edge arrays, not a dict),
+        # and workers must produce the same results as the sequential
+        # path.  On a 1-CPU sandbox the pool may fall back to sequential
+        # execution with a warning -- results must be identical either way.
+        import pickle
+        import warnings
+
+        ga = make_family_arrays("gnp-sparse", 120, seed=6)
+        assert ga._adjacency is None
+        clone = pickle.loads(pickle.dumps(ga))
+        assert clone._adjacency is None  # lazy view survives the wire
+        np.testing.assert_array_equal(clone.src, ga.src)
+        # Even a materialized adjacency is dropped from the pickle and
+        # rebuilt identically on demand at the receiving end.
+        materialized = ga.adjacency
+        wire_clone = pickle.loads(pickle.dumps(ga))
+        assert wire_clone._adjacency is None
+        assert wire_clone.adjacency == materialized
+        ga._adjacency = None  # restore laziness for the pool assertions
+        with warnings.catch_warnings():
+            warnings.simplefilter("ignore", RuntimeWarning)
+            parallel = run_trials(
+                lambda seed: ga, "sleeping", seeds=range(4),
+                engine="auto", result="arrays", n_jobs=2,
+            )
+        sequential = run_trials(
+            lambda seed: ga, "sleeping", seeds=range(4),
+            engine="auto", result="arrays",
+        )
+        assert ga._adjacency is None  # still never materialized
+        for p, s in zip(parallel, sequential):
+            assert p.mis == s.mis
+            assert p.summary() == s.summary()
+
+    def test_batch_runner_yields_arrays(self):
+        graph = make_family_arrays("gnp-sparse", 90, seed=5)
+        results = run_trials(
+            graph, "sleeping", seeds=range(3), engine="auto", result="arrays"
+        )
+        assert len(results) == 3
+        assert all(isinstance(r, ArrayRunResult) for r in results)
+        legacy = run_trials(
+            graph, "sleeping", seeds=range(3), engine="auto", result="legacy"
+        )
+        for a, b in zip(results, legacy):
+            assert_results_agree(b, a)
+
+    def test_trial_from_result_accepts_either(self):
+        graph = make_family_graph("gnp-sparse", 70, seed=2)
+        legacy = solve_mis(graph, "luby", seed=2, engine="vectorized")
+        arrays = solve_mis(
+            graph, "luby", seed=2, engine="vectorized", result="arrays"
+        )
+        row_a = trial_from_result(arrays, "luby", seed=2)
+        row_b = trial_from_result(legacy, "luby", seed=2)
+        assert row_a.valid == row_b.valid is True
+        assert row_a.node_averaged_awake == row_b.node_averaged_awake
+
+
+class TestExactSummation:
+    """Column reductions must not wrap where legacy Python ints would not."""
+
+    def test_exact_sum_beyond_int64(self):
+        from repro.sim.array_result import exact_sum
+
+        huge = np.full(100, 1 << 52, dtype=np.int64)
+        assert exact_sum(huge) == 100 * (1 << 52)  # > 2^58, int64-safe
+        huge = np.full(5000, 1 << 51, dtype=np.int64)
+        assert exact_sum(huge) == 5000 * (1 << 51)  # > 2^63: python path
+        assert exact_sum(np.empty(0, dtype=np.int64)) == 0
+
+    def test_theta_n_cubed_rounds_do_not_overflow(self):
+        # Algorithm 1 on a modest graph already has ~2^38 finish rounds;
+        # synthesize the 10^5-node regime by padding the columns, and pin
+        # the array measures against big-int arithmetic.
+        graph = make_family_graph("gnp-sparse", 64, seed=1)
+        legacy = solve_mis(graph, "sleeping", seed=1, engine="vectorized")
+        arrays = solve_mis(
+            graph, "sleeping", seed=1, engine="vectorized", result="arrays"
+        )
+        assert (
+            arrays.node_averaged_round_complexity
+            == legacy.node_averaged_round_complexity
+        )
+        scaled = ArrayRunResult(
+            **{
+                **{f: getattr(arrays, f) for f in (
+                    "n", "rounds", "seed", "node_ids", "in_mis",
+                    "awake_rounds", "sleep_rounds", "tx_rounds", "rx_rounds",
+                    "idle_rounds", "messages_sent", "bits_sent",
+                    "messages_received", "decision_round",
+                    "awake_at_decision",
+                )},
+                "rounds": 1 << 52,
+                "finish_round": np.full(arrays.n, 1 << 52, dtype=np.int64),
+                "arrays": arrays.arrays,
+            }
+        )
+        assert scaled.node_averaged_round_complexity == float(1 << 52)
+        energy = DEFAULT_MODEL.total_energy(scaled)
+        assert energy > 0  # and finite/positive despite huge sleep columns
+
+
+class TestEmptyGraph:
+    @pytest.mark.parametrize("algorithm", ["sleeping", "luby"])
+    def test_zero_nodes(self, algorithm):
+        result = solve_mis(
+            {}, algorithm, seed=0, engine="vectorized", result="arrays"
+        )
+        assert isinstance(result, ArrayRunResult)
+        assert result.n == 0 and result.rounds == 0
+        assert result.mis == frozenset()
+        assert result.node_averaged_awake_complexity == 0.0
+        assert result.worst_case_awake_complexity == 0
+        assert result.is_valid_mis()
+        assert result.summary()["total_messages"] == 0

@@ -27,6 +27,20 @@ class TestParser:
         with pytest.raises(SystemExit):
             build_parser().parse_args(["run", "--algorithm", "nope"])
 
+    def test_pipeline_defaults(self):
+        for command in ("run", "sweep", "table1"):
+            args = build_parser().parse_args([command])
+            assert args.graph_source == "auto"
+            assert args.result == "auto"
+
+    def test_unknown_graph_source_rejected(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["run", "--graph-source", "csr"])
+
+    def test_unknown_result_rejected(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["sweep", "--result", "dataframe"])
+
 
 class TestCommands:
     def test_run(self, capsys):
@@ -92,3 +106,41 @@ class TestCommands:
         assert code == 0
         out = capsys.readouterr().out
         assert "fast-sleeping" in out
+
+
+class TestArrayNativeFlags:
+    def test_run_array_native_matches_networkx(self, capsys):
+        base = ["run", "--n", "40", "--seed", "3", "--engine", "vectorized"]
+        assert main(base + ["--graph-source", "networkx",
+                            "--result", "legacy"]) == 0
+        legacy_out = capsys.readouterr().out
+        assert main(base + ["--graph-source", "arrays",
+                            "--result", "arrays"]) == 0
+        arrays_out = capsys.readouterr().out
+        # Same seeded graph and algorithm: every printed measure matches.
+        assert arrays_out == legacy_out
+
+    def test_sweep_array_native(self, capsys):
+        code = main(
+            ["sweep", "--algorithm", "sleeping", "--sizes", "16,32",
+             "--trials", "2", "--graph-source", "arrays",
+             "--result", "arrays", "--rng", "batched"]
+        )
+        assert code == 0
+        assert "mean" in capsys.readouterr().out
+
+    def test_arrays_source_for_unsupported_family_errors(self, capsys):
+        code = main(
+            ["sweep", "--family", "tree", "--sizes", "12",
+             "--graph-source", "arrays"]
+        )
+        assert code == 2
+        assert "no array-native sampler" in capsys.readouterr().err
+
+    def test_table1_array_native(self, capsys):
+        code = main(
+            ["table1", "--sizes", "12", "--trials", "1", "--family",
+             "gnp-sparse", "--graph-source", "arrays", "--result", "arrays"]
+        )
+        assert code == 0
+        assert "node_averaged_awake" in capsys.readouterr().out

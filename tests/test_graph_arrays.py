@@ -1,0 +1,223 @@
+"""The array-native graph sources (repro.graphs.arrays).
+
+The whole point of ``graph_source="arrays"`` is that it is a *pure
+performance* choice: for the same family, size, and seed the direct-to-CSR
+samplers must produce exactly the edge set the networkx generators
+produce.  These tests pin that parity edge-for-edge, the structural
+invariants of :meth:`GraphArrays.from_edges`, the ``to_networkx()``
+round-trip, and the source-resolution rules.
+"""
+
+import networkx as nx
+import numpy as np
+import pytest
+
+from repro.graphs.arrays import (
+    ARRAY_FAMILIES,
+    GRAPH_SOURCES,
+    array_family_names,
+    gnp_arrays,
+    grid_arrays,
+    make_family_arrays,
+    path_arrays,
+    resolve_graph_source,
+    ring_arrays,
+    star_arrays,
+)
+from repro.graphs.generators import (
+    FAMILIES,
+    GNP_FAST_THRESHOLD,
+    cycle_graph,
+    gnp,
+    grid_graph,
+    make_family_graph,
+    path_graph,
+    star_graph,
+)
+from repro.sim.fast_engine import GraphArrays
+from repro.sim.network import normalize_graph
+
+
+def assert_same_graph(arrays: GraphArrays, graph) -> None:
+    """Edge-for-edge equality with a networkx-built reference."""
+    reference = GraphArrays(graph)
+    assert arrays.n == reference.n
+    assert arrays.node_ids == reference.node_ids
+    np.testing.assert_array_equal(arrays.src, reference.src)
+    np.testing.assert_array_equal(arrays.dst, reference.dst)
+    np.testing.assert_array_equal(arrays.deg, reference.deg)
+    np.testing.assert_array_equal(arrays.grev, reference.grev)
+
+
+class TestGnpParity:
+    @pytest.mark.parametrize(
+        "n,p,seed",
+        [
+            (1, 0.5, 0),
+            (2, 0.5, 3),
+            (30, 0.15, 4),
+            (300, 0.05, 7),
+            (50, 0.9, 2),
+            (40, 0.0, 1),
+            (12, 1.0, 9),
+        ],
+    )
+    def test_pair_loop_regime(self, n, p, seed):
+        assert_same_graph(gnp_arrays(n, p, seed), gnp(n, p, seed=seed))
+
+    def test_skip_sampler_regime(self):
+        # Above the threshold and sparse: the O(n + m) geometric-skip
+        # path, still edge-for-edge equal to networkx's.
+        n = GNP_FAST_THRESHOLD + 100
+        p = 8.0 / (n - 1)
+        for seed in (0, 11, 12345):
+            assert_same_graph(gnp_arrays(n, p, seed), gnp(n, p, seed=seed))
+
+    def test_dense_above_threshold_stays_pair_loop(self):
+        # p >= 0.25 never takes the skip sampler, matching generators.gnp.
+        n = GNP_FAST_THRESHOLD + 10
+        seed = 5
+        assert_same_graph(gnp_arrays(n, 0.3, seed), gnp(n, 0.3, seed=seed))
+
+
+class TestDeterministicTopologies:
+    @pytest.mark.parametrize("n", [1, 2, 3, 10, 37])
+    def test_ring(self, n):
+        assert_same_graph(ring_arrays(n), cycle_graph(n))
+
+    @pytest.mark.parametrize("n", [1, 2, 9, 40])
+    def test_path(self, n):
+        assert_same_graph(path_arrays(n), path_graph(n))
+
+    @pytest.mark.parametrize("n", [1, 2, 12, 33])
+    def test_star(self, n):
+        assert_same_graph(star_arrays(n), star_graph(n))
+
+    def test_star_rejects_empty(self):
+        with pytest.raises(ValueError):
+            star_arrays(0)
+
+    @pytest.mark.parametrize("rows,cols", [(1, 1), (2, 3), (4, 4), (2, 11)])
+    def test_grid_including_string_sorted_relabeling(self, rows, cols):
+        # grid_graph relabels (i, j) nodes sorted *by str*, which is not
+        # row-major once an index reaches 10 -- the 2x11 case would catch
+        # a numeric-order shortcut.
+        assert_same_graph(grid_arrays(rows, cols), grid_graph(rows, cols))
+
+
+class TestFromEdges:
+    def test_self_loops_and_duplicates_collapse(self):
+        ga = GraphArrays.from_edges(
+            4, np.array([0, 1, 1, 2, 3]), np.array([1, 0, 2, 1, 3])
+        )
+        # 3--3 dropped, 0--1 deduped across orientations, 1--2 deduped.
+        assert ga.adjacency == normalize_graph({0: [1], 1: [0, 2], 2: [1], 3: []})
+
+    def test_endpoint_bounds_checked(self):
+        with pytest.raises(ValueError):
+            GraphArrays.from_edges(3, np.array([0]), np.array([3]))
+        with pytest.raises(ValueError):
+            GraphArrays.from_edges(3, np.array([-1]), np.array([1]))
+        with pytest.raises(ValueError):
+            GraphArrays.from_edges(3, np.array([0, 1]), np.array([1]))
+
+    def test_grev_is_reverse_edge_permutation(self):
+        ga = gnp_arrays(80, 0.1, seed=6)
+        np.testing.assert_array_equal(ga.src[ga.grev], ga.dst)
+        np.testing.assert_array_equal(ga.dst[ga.grev], ga.src)
+
+    def test_lazy_adjacency_not_built_until_asked(self):
+        ga = gnp_arrays(50, 0.1, seed=1)
+        assert ga._adjacency is None
+        adjacency = ga.adjacency  # materializes and caches
+        assert ga._adjacency is adjacency
+        assert adjacency == normalize_graph(gnp(50, 0.1, seed=1))
+
+    def test_empty_graph(self):
+        ga = GraphArrays.from_edges(0, np.empty(0), np.empty(0))
+        assert ga.n == 0 and ga.m == 0 and ga.adjacency == {}
+
+
+class TestToNetworkx:
+    def test_round_trip(self):
+        ga = gnp_arrays(60, 0.1, seed=8)
+        back = ga.to_networkx()
+        assert isinstance(back, nx.Graph)
+        assert_same_graph(GraphArrays(back), gnp(60, 0.1, seed=8))
+
+    def test_preserves_isolated_nodes(self):
+        ga = make_family_arrays("empty", 5)
+        assert sorted(ga.to_networkx().nodes()) == [0, 1, 2, 3, 4]
+        assert ga.to_networkx().number_of_edges() == 0
+
+
+class TestFamilyRegistry:
+    def test_array_families_subset_of_families(self):
+        assert set(ARRAY_FAMILIES) <= set(FAMILIES)
+
+    @pytest.mark.parametrize("family", sorted(ARRAY_FAMILIES))
+    @pytest.mark.parametrize("n", [1, 2, 17, 64])
+    def test_family_parity(self, family, n):
+        for seed in (0, 3):
+            assert_same_graph(
+                make_family_arrays(family, n, seed=seed),
+                make_family_graph(family, n, seed=seed),
+            )
+
+    def test_unknown_family_rejected(self):
+        with pytest.raises(KeyError):
+            make_family_arrays("tree", 10)  # no array-native sampler
+
+    def test_names_sorted(self):
+        assert array_family_names() == sorted(ARRAY_FAMILIES)
+
+
+class TestSourceResolution:
+    def test_auto_prefers_arrays_when_available(self):
+        assert resolve_graph_source("auto", "gnp-sparse") == "arrays"
+        assert resolve_graph_source("auto", "tree") == "networkx"
+
+    def test_explicit_sources(self):
+        assert resolve_graph_source("networkx", "gnp-sparse") == "networkx"
+        assert resolve_graph_source("arrays", "cycle") == "arrays"
+
+    def test_arrays_for_unsupported_family_is_an_error(self):
+        with pytest.raises(ValueError, match="no array-native sampler"):
+            resolve_graph_source("arrays", "tree")
+
+    def test_unknown_source_rejected(self):
+        with pytest.raises(ValueError, match="unknown graph source"):
+            resolve_graph_source("csr", "cycle")
+        assert GRAPH_SOURCES == ("auto", "networkx", "arrays")
+
+
+class TestEndToEnd:
+    """The array pipeline must be invisible in measured results."""
+
+    @pytest.mark.parametrize("algorithm", ["sleeping", "fast-sleeping", "luby", "greedy"])
+    @pytest.mark.parametrize("rng", ["pernode", "batched"])
+    def test_identical_runs_on_either_source(self, algorithm, rng):
+        from repro.api import solve_mis
+
+        seed = 5
+        via_nx = solve_mis(
+            make_family_graph("gnp-sparse", 150, seed=seed),
+            algorithm, seed=seed, engine="vectorized", rng=rng,
+        )
+        via_arrays = solve_mis(
+            make_family_arrays("gnp-sparse", 150, seed=seed),
+            algorithm, seed=seed, engine="vectorized", rng=rng,
+        )
+        assert via_nx.mis == via_arrays.mis
+        assert via_nx.rounds == via_arrays.rounds
+        assert via_nx.summary() == via_arrays.summary()
+
+    def test_generator_engine_reads_arrays_through_lazy_view(self):
+        from repro.api import solve_mis
+
+        ga = make_family_arrays("cycle", 12)
+        assert ga._adjacency is None
+        result = solve_mis(ga, "luby", seed=2, engine="generators")
+        assert ga._adjacency is not None  # generator engine forced the view
+        reference = solve_mis(cycle_graph(12), "luby", seed=2, engine="generators")
+        assert result.mis == reference.mis
