@@ -1,0 +1,161 @@
+#!/usr/bin/env python
+"""Fail when a regenerated benchmark artifact's *series* drifts from git.
+
+The benchmark entry points write machine-readable
+``benchmarks/artifacts/BENCH_<name>.json`` files that are committed to
+git.  Their measured *series* (table cells, per-size means, round counts,
+...) are deterministic -- fixed seeds, versioned RNG streams, bit-for-bit
+equivalent engines -- so on a healthy tree a CI re-run reproduces every
+committed value exactly; only wall clocks and wall-clock-derived ratios
+may move between machines.  Historically a series drift (an engine change
+that silently moved measured values) only surfaced when someone re-ran
+the benches locally and noticed a dirty diff; CI now runs this check
+right after the benchmark smoke regenerates the artifacts in place.
+
+Usage (compares the working tree against ``HEAD``)::
+
+    python benchmarks/check_artifacts.py           # check, exit 1 on drift
+    python benchmarks/check_artifacts.py --list    # show compared files
+
+Timing-dependent fields are ignored: any key ending in ``_s`` (wall
+clocks), the wall-clock ratio keys ``speedup``/``speedup_batched``, and
+``perf_smoke``'s calibrated ``measurements`` (machine-relative units by
+design; its regression gate is ``perf_smoke.py --check``, not this
+script).  Everything else -- configs and measured series -- must match
+the committed JSON exactly.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import subprocess
+import sys
+from pathlib import Path
+from typing import Any, Iterator, List, Tuple
+
+REPO = Path(__file__).resolve().parents[1]
+ARTIFACT_DIR = REPO / "benchmarks" / "artifacts"
+
+#: Exact key names whose values are wall-clock-derived in any artifact.
+TIMING_KEYS = {"speedup", "speedup_batched"}
+
+#: Per-bench keys that are machine-relative by design, not a series.
+#: perf_smoke's calibrated units are gated by `perf_smoke.py --check`
+#: against its own tolerance, not by exact equality here.
+BENCH_TIMING_KEYS = {"perf_smoke": {"measurements"}}
+
+
+def _is_timing_key(key: str, extra: frozenset) -> bool:
+    return key in TIMING_KEYS or key in extra or key.endswith("_s")
+
+
+def _strip_timing(value: Any, extra: frozenset = frozenset()) -> Any:
+    """Drop timing-dependent fields, recursively, keeping everything else."""
+    if isinstance(value, dict):
+        return {
+            k: _strip_timing(v, extra)
+            for k, v in value.items()
+            if not _is_timing_key(k, extra)
+        }
+    if isinstance(value, list):
+        return [_strip_timing(v, extra) for v in value]
+    return value
+
+
+def _committed(path: Path) -> Any:
+    """The committed (HEAD) version of ``path``, or None if new in tree."""
+    rel = path.relative_to(REPO).as_posix()
+    proc = subprocess.run(
+        ["git", "show", f"HEAD:{rel}"],
+        cwd=REPO,
+        capture_output=True,
+        text=True,
+    )
+    if proc.returncode != 0:
+        return None
+    return json.loads(proc.stdout)
+
+
+def _diff_paths(
+    committed: Any, regenerated: Any, prefix: str = ""
+) -> Iterator[Tuple[str, Any, Any]]:
+    """Yield ``(json path, committed, regenerated)`` for every mismatch."""
+    if isinstance(committed, dict) and isinstance(regenerated, dict):
+        for key in sorted(set(committed) | set(regenerated)):
+            where = f"{prefix}.{key}" if prefix else key
+            if key not in committed:
+                yield where, "<absent>", regenerated[key]
+            elif key not in regenerated:
+                yield where, committed[key], "<absent>"
+            else:
+                yield from _diff_paths(
+                    committed[key], regenerated[key], where
+                )
+    elif isinstance(committed, list) and isinstance(regenerated, list):
+        if len(committed) != len(regenerated):
+            yield prefix, f"len {len(committed)}", f"len {len(regenerated)}"
+        else:
+            for i, (a, b) in enumerate(zip(committed, regenerated)):
+                yield from _diff_paths(a, b, f"{prefix}[{i}]")
+    elif committed != regenerated:
+        yield prefix, committed, regenerated
+
+
+def check_artifacts(list_only: bool = False) -> int:
+    artifacts: List[Path] = sorted(ARTIFACT_DIR.glob("BENCH_*.json"))
+    if not artifacts:
+        print("error: no artifacts under benchmarks/artifacts", file=sys.stderr)
+        return 2
+    failed = False
+    for path in artifacts:
+        name = path.name
+        if list_only:
+            print(name)
+            continue
+        committed = _committed(path)
+        if committed is None:
+            # Brand-new artifact: nothing committed to drift from.  The
+            # file itself still has to be committed with the PR.
+            print(f"{name:40s} NEW (no committed baseline; commit it)")
+            continue
+        regenerated = json.loads(path.read_text())
+        extra = frozenset(
+            BENCH_TIMING_KEYS.get(regenerated.get("bench"), ())
+        )
+        drift = list(
+            _diff_paths(
+                _strip_timing(committed, extra),
+                _strip_timing(regenerated, extra),
+            )
+        )
+        if drift:
+            failed = True
+            print(f"{name:40s} SERIES DRIFT")
+            for where, a, b in drift:
+                print(f"    {where}: committed {a!r} != regenerated {b!r}")
+        else:
+            print(f"{name:40s} OK")
+    if failed:
+        print(
+            "\nseries drift detected: a benchmark now measures different "
+            "values than the committed artifact.  If the change is "
+            "intentional, regenerate with BENCH_UPDATE_ARTIFACTS=1 and "
+            "commit the refreshed JSON; otherwise an engine change has "
+            "silently altered measured results.",
+            file=sys.stderr,
+        )
+    return 1 if failed else 0
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument(
+        "--list", action="store_true", help="list the compared artifacts"
+    )
+    args = parser.parse_args(argv)
+    return check_artifacts(list_only=args.list)
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -4,11 +4,15 @@
 Runs a pinned set of measurements (~10s wall-clock total) and compares
 each against the committed ``benchmarks/artifacts/BENCH_perf_smoke.json``:
 
-* ``table1_auto`` -- full Table 1 (4 algorithms, n = 300, 10 trials) on
-  ``engine="auto"`` (vectorized sleeping algorithms + baselines);
+* ``table1_auto`` -- the historical 4-algorithm Table 1 (n = 300,
+  10 trials) on ``engine="auto"`` (vectorized sleeping algorithms +
+  rank baselines);
 * ``sleeping_1e4_batched`` -- a 10^4-node Algorithm 1 sweep under the
   batched (v2) RNG stream;
 * ``luby_1e4_batched`` -- the same scale on the vectorized Luby engine;
+* ``ghaffari_1e4_batched`` -- the same scale on the vectorized marking
+  engine (ghaffari/abi, new in PR 4), guarding the last two rows of the
+  engine matrix against a silent fallback to the generator path;
 * ``sleeping_1e5_arrays`` -- a single 10^5-node Algorithm 1 trial on the
   fully array-native pipeline (``graph_source="arrays"`` +
   ``result="arrays"``), guarding the direct-to-CSR sampling and
@@ -103,6 +107,12 @@ def _measurements() -> dict:
         "luby_1e4_batched": _best_of(
             lambda: sweep(
                 "luby", "gnp-sparse", (10_000,), trials=2, seed0=11,
+                engine="vectorized", rng="batched",
+            )
+        ),
+        "ghaffari_1e4_batched": _best_of(
+            lambda: sweep(
+                "ghaffari", "gnp-sparse", (10_000,), trials=2, seed0=11,
                 engine="vectorized", rng="batched",
             )
         ),

@@ -2,8 +2,8 @@
 
 Reproduces two discussion points of the paper:
 
-* Table 1 -- all four complexity measures for Luby / greedy / Ghaffari
-  versus Algorithms 1 and 2 (measured, on the same graphs);
+* Table 1 -- all four complexity measures for Luby / ABI / greedy /
+  Ghaffari versus Algorithms 1 and 2 (measured, on the same graphs);
 * Section 1.5 -- Luby's (Delta+1)-coloring *does* achieve O(1)
   node-averaged round complexity in the traditional model, while no MIS
   baseline is known to; we measure the node-averaged finish round of both

@@ -20,11 +20,16 @@ def main() -> None:
     result = solve_mis(graph, algorithm="fast-sleeping", seed=7)
 
     assert_valid_mis(graph, result.mis)  # independent AND maximal
-    print(f"graph                     : G(200, 0.04), {graph.number_of_edges()} edges")
+    edges = graph.number_of_edges()
+    avg_awake = result.node_averaged_awake_complexity
+    print(f"graph                     : G(200, 0.04), {edges} edges")
     print(f"MIS size                  : {len(result.mis)}")
-    print(f"node-averaged awake       : {result.node_averaged_awake_complexity:.2f} rounds  (paper: O(1))")
-    print(f"worst-case awake          : {result.worst_case_awake_complexity} rounds  (paper: O(log n))")
-    print(f"worst-case rounds         : {result.worst_case_round_complexity}  (paper: O(log^3.41 n))")
+    print(f"node-averaged awake       : {avg_awake:.2f} rounds"
+          f"  (paper: O(1))")
+    print(f"worst-case awake          : {result.worst_case_awake_complexity}"
+          f" rounds  (paper: O(log n))")
+    print(f"worst-case rounds         : {result.worst_case_round_complexity}"
+          f"  (paper: O(log^3.41 n))")
     print(f"messages sent             : {result.total_messages}")
 
     # Compare with Luby's algorithm, which never sleeps: every node is awake
@@ -32,7 +37,8 @@ def main() -> None:
     luby = solve_mis(graph, algorithm="luby", seed=7)
     assert_valid_mis(graph, luby.mis)
     print()
-    print(f"Luby node-averaged awake  : {luby.node_averaged_awake_complexity:.2f} rounds")
+    luby_awake = luby.node_averaged_awake_complexity
+    print(f"Luby node-averaged awake  : {luby_awake:.2f} rounds")
     print(f"Luby worst-case rounds    : {luby.worst_case_round_complexity}")
 
 

@@ -74,7 +74,8 @@ def render_tree(
     lines: List[str] = []
 
     def visit(node: TreeNode, prefix: str, is_last: bool, depth: int) -> None:
-        connector = "" if not prefix and node.path == "" else ("`-- " if is_last else "|-- ")
+        root = not prefix and node.path == ""
+        connector = "" if root else ("`-- " if is_last else "|-- ")
         branch = node.path[-1] if node.path else "root"
         lines.append(
             f"{prefix}{connector}{branch} k={node.k} "

@@ -113,6 +113,7 @@ def build_table1(
     family: str = "gnp-sparse",
     algorithms: Sequence[str] = (
         "luby",
+        "abi",
         "greedy",
         "ghaffari",
         "sleeping",
@@ -136,8 +137,9 @@ def build_table1(
     ``graph_source="auto"`` samples supported families straight into the
     array view (identical seeded edge sets, no networkx object);
     ``result="auto"`` keeps vectorized trials in array form until they are
-    flattened into rows.  Generator-only algorithms in the table (e.g.
-    ``ghaffari``) read the adjacency dict through the arrays' lazy view.
+    flattened into rows.  Every algorithm in the default table has a
+    vectorized engine; generator-forced runs (``engine="generators"``)
+    read the adjacency dict through the arrays' lazy view.
     """
     source = resolve_graph_source(graph_source, family)
     table = Table(

@@ -11,12 +11,13 @@ Two execution engines sit behind ``solve_mis``:
 * ``engine="generators"`` (default) -- the reference per-node generator
   simulator; fully general (tracing, CONGEST checks, fault injection,
   per-call instrumentation via ``result.protocols``);
-* ``engine="vectorized"`` -- the numpy array-backed engines for the two
-  sleeping algorithms and the Luby/greedy baselines; bit-for-bit
+* ``engine="vectorized"`` -- the numpy array-backed engines; every
+  registered algorithm has one (the capability registry is
+  :data:`repro.sim.fast_engine.ENGINE_CAPABILITIES`), with bit-for-bit
   identical results, much faster;
 * ``engine="auto"`` -- vectorized when the configuration allows it,
-  generator fallback otherwise (e.g. tracing or congest checks requested,
-  or an algorithm with no vectorized implementation).
+  generator fallback otherwise (e.g. tracing or congest checks
+  requested).
 
 Orthogonally, ``rng=`` selects the per-node random stream format:
 ``"pernode"`` (v1, the default) or ``"batched"`` (v2, whole-array draws;
@@ -112,16 +113,16 @@ def solve_mis(
     algorithm:
         One of :func:`algorithm_names` -- ``"sleeping"`` (Algorithm 1),
         ``"fast-sleeping"`` (Algorithm 2, the default), ``"luby"``,
-        ``"greedy"`` (distributed randomized greedy), or ``"ghaffari"``.
+        ``"greedy"`` (distributed randomized greedy), ``"ghaffari"``, or
+        ``"abi"`` (Alon--Babai--Itai).
     seed:
         Master seed for all per-node random streams.
     engine:
         ``"generators"`` (default, the reference engine),
-        ``"vectorized"`` (numpy engines: sleeping algorithms plus the
-        Luby/greedy baselines, identical results), or ``"auto"``
-        (vectorized when eligible).  The vectorized engines return no
-        ``result.protocols``; analyses needing per-call records must use
-        the generator engine.
+        ``"vectorized"`` (numpy engines for every registered algorithm,
+        identical results), or ``"auto"`` (vectorized when eligible).
+        The vectorized engines return no ``result.protocols``; analyses
+        needing per-call records must use the generator engine.
     rng:
         Random-stream format: ``"pernode"`` (v1, the default) or
         ``"batched"`` (v2).  The formats are versioned and deliberately

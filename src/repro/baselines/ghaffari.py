@@ -16,8 +16,15 @@ Each node maintains a *desire level* ``p_v`` (initially 1/2).  Per phase:
   ``p_v /= 2`` else ``p_v`` doubles (capped at 1/2).
 
 Desire levels are always powers of two, so they travel as integer exponents
-within the CONGEST budget.  JOIN/OUT propagation reuses the same three-round
-phase shape as the other baselines.
+within the CONGEST budget -- and the ``d_v >= 2`` comparison is computed in
+*exact integer arithmetic* (``sum(2^(E - e)) >= 2^(E + 1)`` with ``E`` the
+largest reported exponent) rather than a float sum: a float sum would start
+rounding once neighboring exponents spread past the 53-bit mantissa, making
+the update depend on summation order, whereas exact shifts keep this
+protocol and the vectorized engine
+(:class:`repro.sim.fast_phased.PhasedVectorizedEngine`) bit-for-bit equal
+in every regime.  JOIN/OUT propagation reuses the same three-round phase
+shape as the other baselines.
 """
 
 from __future__ import annotations
@@ -87,11 +94,18 @@ class GhaffariMIS(MISProtocol):
                 return
             live -= set(inbox)
 
-            # Desire-level update from this phase's reports (survivors only).
-            effective_degree = sum(
-                2.0**-e for u, (_, e) in reports.items() if u in live
-            )
-            if effective_degree >= 2.0:
+            # Desire-level update from this phase's reports (survivors
+            # only).  sum(2^-e) >= 2 is evaluated exactly via integer
+            # shifts scaled by the largest exponent (see module docstring).
+            exponents = [e for u, (_, e) in reports.items() if u in live]
+            if exponents:
+                cap = max(exponents)
+                high_degree = (
+                    sum(1 << (cap - e) for e in exponents) >= 1 << (cap + 1)
+                )
+            else:
+                high_degree = False
+            if high_degree:
                 exponent += 1
             else:
                 exponent = max(1, exponent - 1)

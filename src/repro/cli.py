@@ -65,8 +65,9 @@ def build_parser() -> argparse.ArgumentParser:
             default=default,
             choices=["auto", "generators", "vectorized"],
             help=(
-                "execution engine (vectorized: sleeping algorithms and the "
-                "luby/greedy baselines)"
+                "execution engine (every algorithm has a vectorized "
+                "engine; tracing/congest/fault workloads stay on "
+                "generators)"
             ),
         )
         p.add_argument(

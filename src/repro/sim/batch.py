@@ -8,7 +8,7 @@ runner layers four optimizations over naive sequential calls:
 
 * **engine dispatch** -- trials run on a vectorized engine
   (:mod:`repro.sim.fast_engine` for the sleeping algorithms,
-  :mod:`repro.sim.fast_phased` for the Luby/greedy baselines) whenever it
+  :mod:`repro.sim.fast_phased` for the four phased baselines) whenever it
   supports the configuration, falling back to the generator engine
   otherwise (``engine="auto"``); ``result="arrays"`` (or ``"auto"``)
   keeps each trial's statistics as numpy columns
@@ -76,12 +76,14 @@ def resolve_engine(
     """Map an engine request to the concrete engine that will run.
 
     ``"auto"`` selects ``"vectorized"`` exactly when
-    :func:`repro.sim.fast_engine.supports` certifies the configuration;
-    requesting ``"vectorized"`` for an unsupported configuration is an
-    error rather than a silent behaviour change, and the error names the
-    generator-only reason (no vectorized implementation for the
-    algorithm, or a generator-only instrumentation feature) -- the
-    support matrix is documented in ``docs/performance.md``.
+    :func:`repro.sim.fast_engine.supports` certifies the configuration
+    against the capability registry
+    (:data:`repro.sim.fast_engine.ENGINE_CAPABILITIES`); requesting
+    ``"vectorized"`` for an unsupported configuration is an error rather
+    than a silent behaviour change, and the error names the
+    generator-only reason (an algorithm outside the registry, or a
+    generator-only instrumentation feature) -- the support matrix is
+    documented in ``docs/performance.md``.
     """
     if engine not in ENGINES:
         raise ValueError(f"unknown engine {engine!r}; known: {ENGINES}")

@@ -36,6 +36,7 @@ that fallback automatic.
 
 from __future__ import annotations
 
+from dataclasses import dataclass
 from itertools import repeat
 from typing import Any, Dict, List, Optional, Tuple, Union
 
@@ -58,16 +59,6 @@ from .rng import (
     validate_stream,
 )
 
-#: The recursion-schedule algorithms run by :class:`VectorizedEngine`.
-SLEEPING_ALGORITHMS = ("sleeping", "fast-sleeping")
-
-#: The round-synchronous phase baselines run by
-#: :class:`repro.sim.fast_phased.PhasedVectorizedEngine`.
-PHASED_ALGORITHMS = ("luby", "greedy")
-
-#: Everything some vectorized engine implements.
-SUPPORTED_ALGORITHMS = SLEEPING_ALGORITHMS + PHASED_ALGORITHMS
-
 #: Protocol keyword arguments the sleeping engine understands.
 #: ``record_calls`` is accepted for signature compatibility but ignored: the
 #: engine keeps no per-call instrumentation (use the generator engine for
@@ -78,6 +69,80 @@ SUPPORTED_PROTOCOL_KWARGS = frozenset(
 
 #: Protocol keyword arguments of the phased baselines.
 PHASED_PROTOCOL_KWARGS = frozenset({"max_phases"})
+
+
+@dataclass(frozen=True)
+class EngineCapability:
+    """One row of the vectorized-engine capability registry.
+
+    ``engine`` is the dotted class implementing the algorithm (relative to
+    :mod:`repro.sim`), ``protocol_kwargs`` the protocol knobs that engine
+    replays exactly, and ``note`` the short description shown in the
+    ``docs/performance.md`` support matrix (which ``tests/test_docs.py``
+    asserts stays in sync with this registry).
+    """
+
+    engine: str
+    protocol_kwargs: frozenset
+    note: str
+
+
+#: Capability registry: THE single source of truth for which algorithms
+#: have a vectorized engine.  Engine dispatch (:func:`unsupported_reason`,
+#: :func:`repro.sim.batch.resolve_engine`), the error messages, and the
+#: ``docs/performance.md`` support matrix are all derived from this table,
+#: so adding an engine here is what makes ``engine="auto"`` pick it up --
+#: and a stale "generator-only" story elsewhere is a test failure, not a
+#: silent lie.
+ENGINE_CAPABILITIES: Dict[str, EngineCapability] = {
+    "sleeping": EngineCapability(
+        "fast_engine.VectorizedEngine",
+        SUPPORTED_PROTOCOL_KWARGS,
+        "recursion-schedule replay; the Θ(n³) wall clock is computed, "
+        "never stepped",
+    ),
+    "fast-sleeping": EngineCapability(
+        "fast_engine.VectorizedEngine",
+        SUPPORTED_PROTOCOL_KWARGS,
+        "greedy base cases over per-edge live bits",
+    ),
+    "luby": EngineCapability(
+        "fast_phased.PhasedVectorizedEngine",
+        PHASED_PROTOCOL_KWARGS,
+        "phase-lockstep replay, fresh ranks each phase",
+    ),
+    "greedy": EngineCapability(
+        "fast_phased.PhasedVectorizedEngine",
+        PHASED_PROTOCOL_KWARGS,
+        "phase-lockstep replay, one permanent rank",
+    ),
+    "ghaffari": EngineCapability(
+        "fast_phased.PhasedVectorizedEngine",
+        PHASED_PROTOCOL_KWARGS,
+        "marking coins vs 2^-exponent, exact integer desire-level updates",
+    ),
+    "abi": EngineCapability(
+        "fast_phased.PhasedVectorizedEngine",
+        PHASED_PROTOCOL_KWARGS,
+        "degree-weighted marking, conflicts resolved toward (degree, id)",
+    ),
+}
+
+#: The recursion-schedule algorithms run by :class:`VectorizedEngine`.
+SLEEPING_ALGORITHMS = tuple(
+    a for a, cap in ENGINE_CAPABILITIES.items()
+    if cap.engine == "fast_engine.VectorizedEngine"
+)
+
+#: The round-synchronous phase baselines run by
+#: :class:`repro.sim.fast_phased.PhasedVectorizedEngine`.
+PHASED_ALGORITHMS = tuple(
+    a for a, cap in ENGINE_CAPABILITIES.items()
+    if cap.engine == "fast_phased.PhasedVectorizedEngine"
+)
+
+#: Everything some vectorized engine implements.
+SUPPORTED_ALGORITHMS = tuple(ENGINE_CAPABILITIES)
 
 #: Bit cost of the tri-state announcements (``None``/``True``/``False`` all
 #: encode to 2 bits under :func:`repro.sim.messages.payload_bits`).
@@ -202,17 +267,20 @@ def unsupported_reason(
     """Why this configuration is generator-only, or ``None`` if vectorizable.
 
     The returned string names the *reason* the vectorized engines cannot
-    run the configuration -- either the algorithm has no vectorized
-    implementation at all (``ghaffari``, ``abi``) or a generator-only
-    instrumentation feature was requested.  ``engine="auto"`` falls back
-    silently; a hard ``engine="vectorized"`` request surfaces this reason
-    in its error (see :func:`repro.sim.batch.resolve_engine`).  The full
-    support matrix is documented in ``docs/performance.md``.
+    run the configuration -- either the algorithm has no entry in
+    :data:`ENGINE_CAPABILITIES` (the capability registry every MIS
+    algorithm currently has a row in) or a generator-only instrumentation
+    feature was requested.  ``engine="auto"`` falls back silently; a hard
+    ``engine="vectorized"`` request surfaces this reason in its error
+    (see :func:`repro.sim.batch.resolve_engine`).  The support matrix in
+    ``docs/performance.md`` renders the same registry and is kept in sync
+    by ``tests/test_docs.py``.
     """
-    if algorithm not in SUPPORTED_ALGORITHMS:
+    capability = ENGINE_CAPABILITIES.get(algorithm)
+    if capability is None:
         return (
             f"algorithm {algorithm!r} has no vectorized implementation "
-            f"(vectorized: {', '.join(SUPPORTED_ALGORITHMS)}) and always "
+            f"(vectorized: {', '.join(ENGINE_CAPABILITIES)}) and always "
             f"runs on the generator engine, whatever the graph size"
         )
     if trace is not None and getattr(trace, "enabled", False):
@@ -224,16 +292,12 @@ def unsupported_reason(
         )
     if loss_rate:
         return "fault injection (loss_rate=) is generator-engine-only"
-    allowed = (
-        PHASED_PROTOCOL_KWARGS
-        if algorithm in PHASED_ALGORITHMS
-        else SUPPORTED_PROTOCOL_KWARGS
-    )
-    extra = set(protocol_kwargs) - allowed
+    extra = set(protocol_kwargs) - capability.protocol_kwargs
     if extra:
         return (
             f"protocol kwargs {sorted(extra)} have no vectorized path for "
-            f"{algorithm!r} (vectorized kwargs: {sorted(allowed)})"
+            f"{algorithm!r} (vectorized kwargs: "
+            f"{sorted(capability.protocol_kwargs)})"
         )
     return None
 

@@ -1,20 +1,33 @@
 """Vectorized lockstep engine for the phase-based MIS baselines.
 
-Luby's algorithm and the distributed randomized greedy
-(:mod:`repro.baselines.luby` / :mod:`repro.baselines.dist_greedy`, both
-built on :class:`repro.baselines._phased.PhasedMISProtocol`) are
-round-synchronous: nodes never sleep, every live node is in the same
-three-round phase at the same time, and termination is the only way out.
-That lockstep structure is what this engine exploits -- one numpy pass over
-the edge set per round, instead of one Python generator step per node:
+All four traditional-model baselines -- Luby, distributed randomized
+greedy (:mod:`repro.baselines.luby` / :mod:`repro.baselines.dist_greedy`,
+built on :class:`repro.baselines._phased.PhasedMISProtocol`), Ghaffari's
+desire-level algorithm (:mod:`repro.baselines.ghaffari`), and
+Alon--Babai--Itai (:mod:`repro.baselines.abi`) -- are round-synchronous:
+nodes never sleep, every live node is in the same three-round phase at the
+same time, and termination is the only way out.  That lockstep structure
+is what this engine exploits -- one numpy pass over the edge set per
+round, instead of one Python generator step per node:
 
-* phase ``p`` occupies rounds ``3p`` (rank exchange), ``3p + 1`` (``JOIN``
-  announcements), ``3p + 2`` (``OUT`` announcements);
+* phase ``p`` occupies rounds ``3p`` (rank/mark exchange), ``3p + 1``
+  (``JOIN`` announcements), ``3p + 2`` (``OUT`` announcements);
 * per-node live sets are per-directed-edge bits, pruned exactly when the
   generator engine's ``live -= set(inbox)`` fires;
 * priorities are compared through dense ranks (``(value, id)`` tuple order
   == ``rank * n + index`` order, because node index order is node id
   order), so numpy stays in int64 even though raw draws reach ``n^6``.
+
+The four baselines differ only in how a phase's winners are chosen:
+
+* ``luby`` redraws a rank from ``[0, n^4]`` every phase; ``greedy`` draws
+  one permanent rank from ``[0, n^6]``.  The highest ``(rank, id)`` in a
+  closed neighborhood wins.
+* ``ghaffari`` marks with probability ``2^-exponent`` (the desire level);
+  a marked node with **no** marked live neighbor wins, and exponents
+  update from the exact effective degree of the surviving neighborhood.
+* ``abi`` marks with probability ``1 / (2 deg)``; a marked node wins
+  unless a marked live neighbor beats it on ``(degree, id)``.
 
 Equivalence contract
 --------------------
@@ -24,11 +37,19 @@ same per-node random draws in the same order, hence the same priorities,
 decisions, phase counts, round numbers, and per-node :class:`NodeStats`
 down to message, bit, and tx/rx/idle counters.
 ``tests/test_engine_equivalence.py`` enforces this over every corner-case
-graph, both baselines, several seeds, and both RNG stream formats.
+graph, all four baselines, several seeds, and both RNG stream formats.
+Ghaffari's desire-level comparison is computed in *exact integer
+arithmetic* on both engines (see :meth:`_update_desire`), so equivalence
+does not hinge on floating-point summation order.
 
-Progress guarantee: in every phase the live node holding the globally
-highest ``(priority, id)`` key beats all of its live neighbors and joins,
-so at most ``n`` phases run even without ``max_phases``.
+Progress guarantee: for ``luby``/``greedy``, in every phase the live node
+holding the globally highest ``(priority, id)`` key beats all of its live
+neighbors and joins, so at most ``n`` phases run even without
+``max_phases``.  The marking baselines (``ghaffari``/``abi``) only make
+progress with probability (a phase where nobody marks, or two adjacent
+nodes contest a mark, removes nothing), exactly like their generator
+counterparts -- bound them with ``max_phases``/``max_rounds`` when an
+adversarial input could stall.
 """
 
 from __future__ import annotations
@@ -50,20 +71,30 @@ from .fast_engine import (
 from .metrics import RunResult
 from .rng import (
     DEFAULT_STREAM,
+    bit_length_u64,
+    draw_u64_array,
     node_rng_factory,
     stream_key,
+    u64_to_unit_float,
     validate_stream,
 )
+
+#: The phased baselines whose phase draws a marking *coin* (compared
+#: against an algorithm-specific probability) instead of a rank.
+MARKING_ALGORITHMS = ("ghaffari", "abi")
+
+#: Payload framing bits of a ``(flag, small-int)`` round-A message:
+#: bool tag (2) + int tag/sign (2) + tuple framing (4 per element).
+_MARK_FRAME_BITS = 12
 
 
 class PhasedVectorizedEngine:
     """Vectorized replay of a phased baseline over one graph.
 
-    Parameters mirror :func:`repro.api.solve_mis` for the two baselines:
-    ``algorithm`` is ``"luby"`` (fresh priority every phase, drawn from
-    ``[0, n^4]``) or ``"greedy"`` (one permanent rank from ``[0, n^6]``).
-    ``graph`` may be a prebuilt :class:`GraphArrays`, and ``scratch`` an
-    :class:`EngineScratch` shared across trials.
+    Parameters mirror :func:`repro.api.solve_mis` for the four baselines:
+    ``algorithm`` is ``"luby"``, ``"greedy"``, ``"ghaffari"``, or
+    ``"abi"``.  ``graph`` may be a prebuilt :class:`GraphArrays`, and
+    ``scratch`` an :class:`EngineScratch` shared across trials.
     """
 
     def __init__(
@@ -103,6 +134,7 @@ class PhasedVectorizedEngine:
 
         # Luby redraws from [0, n^4] every phase; greedy draws one
         # permanent rank from [0, n^6] (matching the protocol classes).
+        # The marking baselines draw unit floats, not ranks.
         self._bound = n**4 + 1 if algorithm == "luby" else n**6 + 1
 
         scratch = scratch if scratch is not None else EngineScratch()
@@ -135,9 +167,21 @@ class PhasedVectorizedEngine:
             "awake_at_decision", n, np.int64, fill=-1
         )
         self.finish = scratch.take("finish", n, np.int64, fill=-1)
-        # Priority state: dense-rank combined keys and payload bit costs.
-        self._combined = scratch.take("combined", n, np.int64, fill=-1)
+        # Priority state: combined keys (dense rank * n + index for the
+        # rank baselines, degree * n + index for abi, constant 0 for
+        # ghaffari -- any marked neighbor vetoes a ghaffari win, which is
+        # exactly "never strictly above another contender's key") and
+        # per-message payload bit costs.
+        self._combined = scratch.take(
+            "combined", n, np.int64,
+            fill=0 if algorithm == "ghaffari" else -1,
+        )
         self._prio_bits = scratch.take("prio_bits", n, np.int64, fill=0)
+        if algorithm in MARKING_ALGORITHMS:
+            self._marked = scratch.take("marked", n, bool, fill=False)
+        if algorithm == "ghaffari":
+            # Desire level p_v = 2 ** -exponent, initially 1/2.
+            self._exponent = scratch.take("exponent", n, np.int64, fill=1)
 
     # ------------------------------------------------------------------
 
@@ -161,6 +205,98 @@ class PhasedVectorizedEngine:
         self._combined[U] = dense * n + U
         self._prio_bits[U] = raw_bits + self.arrays.id_bits[U] + 10
 
+    def _draw_unit_floats(self, U: np.ndarray) -> np.ndarray:
+        """One ``random()`` draw per node of ``U``, on either stream.
+
+        v1: one ``Random.random()`` per node, in ``U`` order -- the
+        generator engine's stream positions.  v2: a whole-array draw at
+        each node's counter (then advanced), mapped to [0, 1) exactly as
+        :meth:`repro.sim.rng.CounterRNG.random` does.
+        """
+        if self._rngs is not None:
+            return np.fromiter(
+                (self._rngs[i].random() for i in U.tolist()),
+                dtype=np.float64,
+                count=len(U),
+            )
+        u = draw_u64_array(self._key, U, self._ctr[U])
+        self._ctr[U] += 1
+        return u64_to_unit_float(u)
+
+    def _draw_marks(self, U: np.ndarray, live_cnt: np.ndarray) -> None:
+        """Mark the in-loop nodes ``U`` and fill their payload bit costs.
+
+        ``ghaffari`` marks with probability ``2^-exponent`` and sends
+        ``(marked, exponent)``; ``abi`` marks with probability
+        ``1 / (2 deg)`` (``deg`` = current live degree, always >= 1 here)
+        and sends ``(marked, deg)`` -- its combined key ``deg * n + index``
+        reproduces the protocol's ``(degree, id)`` tuple order.  Both
+        thresholds are single IEEE operations, so the numpy comparison
+        reproduces the scalar protocol's coin exactly.
+        """
+        n = self.n
+        if self.algorithm == "ghaffari":
+            payload_val = self._exponent[U]
+            # ldexp(1, -e) is the exact IEEE value of python's 2.0**-e
+            # (ldexp's exponent operand is int32 on every platform).
+            threshold = np.ldexp(
+                1.0, -np.minimum(payload_val, 2000).astype(np.int32)
+            )
+        else:
+            payload_val = live_cnt[U]
+            threshold = 1.0 / (2.0 * payload_val.astype(np.float64))
+            self._combined[U] = payload_val * n + U
+        self._prio_bits[U] = (
+            bit_length_u64(payload_val.astype(np.uint64)) + _MARK_FRAME_BITS
+        )
+        self._marked.fill(False)
+        self._marked[U] = self._draw_unit_floats(U) < threshold
+
+    def _update_desire(
+        self, keyed: np.ndarray, live: np.ndarray, inloop: np.ndarray
+    ) -> None:
+        """Ghaffari's end-of-phase desire-level update for the survivors.
+
+        A survivor's *effective degree* is ``sum(2^-e_u)`` over the
+        neighbors ``u`` whose round-A report it kept (``keyed``) and that
+        are still in its live set after the round-C pruning; the exponent
+        rises when that sum reaches 2 and falls (floored at 1) otherwise.
+        The comparison is computed in exact integer arithmetic --
+        ``sum(2^(E - e_u)) >= 2^(E+1)`` with ``E`` the largest exponent --
+        matching the protocol's exact-shift implementation independent of
+        any summation order.  The int64 fast path covers every exponent
+        range a real run produces; pathological spreads (possible only
+        after ~50+ adversarial phases) fall back to per-receiver Python
+        big-int sums, still exact.
+        """
+        n = self.n
+        src, dst, grev = self.arrays.src, self.arrays.dst, self.arrays.grev
+        high = np.zeros(n, dtype=bool)
+        rep = keyed & live[grev] & inloop[dst]
+        if rep.any():
+            exps = self._exponent[src[rep]]
+            cap = int(exps.max())
+            spread = cap - int(exps.min())
+            if cap + 1 <= 62 and spread + n.bit_length() <= 62:
+                contrib = np.int64(1) << (np.int64(cap) - exps)
+                acc = np.zeros(n, dtype=np.int64)
+                np.add.at(acc, dst[rep], contrib)
+                high = acc >= np.int64(1) << np.int64(cap + 1)
+            else:  # pragma: no cover - adversarial exponent spreads
+                grouped: dict = {}
+                for v, e in zip(dst[rep].tolist(), exps.tolist()):
+                    grouped.setdefault(v, []).append(e)
+                for v, group in grouped.items():
+                    top = max(group)
+                    total = sum(1 << (top - e) for e in group)
+                    high[v] = total >= 1 << (top + 1)
+        raised = inloop & high
+        lowered = inloop & ~high
+        self._exponent[raised] += 1
+        self._exponent[lowered] = np.maximum(
+            1, self._exponent[lowered] - 1
+        )
+
     def _decide(self, idx: np.ndarray, value: bool, clock: int) -> None:
         assert (self.in_mis[idx] == -1).all(), "re-deciding a node"
         self.in_mis[idx] = 1 if value else 0
@@ -180,6 +316,7 @@ class PhasedVectorizedEngine:
         if n == 0:
             return self._build_result()
         src, dst, grev = self.arrays.src, self.arrays.dst, self.arrays.grev
+        marking = self.algorithm in MARKING_ALGORITHMS
 
         inloop = np.ones(n, dtype=bool)
         # live[e] for directed e = (u, v): v is in u's live set (u still
@@ -208,14 +345,23 @@ class PhasedVectorizedEngine:
                 inloop[idx] = False
             if not inloop.any():
                 break
-            assert p <= n, "phased baseline failed to make progress"
+            # The rank baselines retire at least one node per phase (the
+            # global top key always wins); the marking baselines make
+            # progress only in probability, so their phase count is
+            # unbounded, as in the generator engine.
+            assert marking or p <= n, "rank baseline failed to make progress"
 
             U = np.flatnonzero(inloop)
-            if self.algorithm == "luby" or p == 0:
-                self._draw_priorities(U)
+            if marking:
+                self._draw_marks(U, live_cnt)
+                marked = self._marked
+            else:
+                if self.algorithm == "luby" or p == 0:
+                    self._draw_priorities(U)
+                marked = inloop
             combined = self._combined
 
-            # Round A (3p) -- rank exchange over the live sets.  Every
+            # Round A (3p) -- rank/mark exchange over the live sets.  Every
             # in-loop node has a nonempty live set, so all are tx.
             self._check_clock(r0, len(U))
             self.awake[U] += 1
@@ -228,9 +374,12 @@ class PhasedVectorizedEngine:
             # own live set (the protocol's ``if u in live`` filter).
             keyed = delivered & live[grev]
             key_cnt = np.bincount(dst[keyed], minlength=n)
+            # Contenders: kept reports that can veto a win -- every kept
+            # report for the rank baselines, marked ones for the others.
+            contender = keyed & marked[src] if marking else keyed
             best = np.full(n, -1, dtype=np.int64)
-            np.maximum.at(best, dst[keyed], combined[src[keyed]])
-            joined = inloop & (key_cnt == live_cnt) & (combined > best)
+            np.maximum.at(best, dst[contender], combined[src[contender]])
+            joined = marked & (key_cnt == live_cnt) & (combined > best)
             jidx = np.flatnonzero(joined)
             if len(jidx):
                 self._decide(jidx, True, r0 + 1)
@@ -276,6 +425,10 @@ class PhasedVectorizedEngine:
             self.finish[eidx] = r0 + 3
             inloop &= ~elim
             live_cnt = np.bincount(src[live], minlength=n)
+            if self.algorithm == "ghaffari":
+                # Survivors re-rate their desire level from the round-A
+                # reports of neighbors still live after the pruning.
+                self._update_desire(keyed, live, inloop)
             p += 1
 
         live[:] = False  # hand the edge buffer back clean

@@ -104,7 +104,8 @@ class RunResult:
             return 0.0
         total = 0
         for stats in self.node_stats.values():
-            total += stats.finish_round if stats.finish_round is not None else self.rounds
+            finish = stats.finish_round
+            total += finish if finish is not None else self.rounds
         return total / len(self.node_stats)
 
     # ------------------------------------------------------------------

@@ -36,7 +36,11 @@ from .messages import payload_bits
 from .metrics import NodeStats, RunResult
 from .node import NodeRuntime, NodeState
 from .protocol import Protocol
-from .rng import DEFAULT_STREAM, make_node_rng, node_rng  # noqa: F401 (node_rng re-exported)
+from .rng import (
+    DEFAULT_STREAM,
+    make_node_rng,
+    node_rng,  # noqa: F401 (re-exported)
+)
 from .trace import NULL_TRACE, Trace
 
 

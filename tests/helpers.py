@@ -29,8 +29,10 @@ GRAPH_CASES = [
     ("grid-4x4", lambda: nx.convert_node_labels_to_integers(nx.grid_2d_graph(4, 4))),
     ("gnp-30", lambda: nx.gnp_random_graph(30, 0.15, seed=4)),
     ("gnp-60-sparse", lambda: nx.gnp_random_graph(60, 0.05, seed=8)),
-    ("two-components", lambda: nx.disjoint_union(nx.cycle_graph(5), nx.complete_graph(4))),
-    ("isolated-plus-clique", lambda: nx.disjoint_union(nx.empty_graph(3), nx.complete_graph(5))),
+    ("two-components",
+     lambda: nx.disjoint_union(nx.cycle_graph(5), nx.complete_graph(4))),
+    ("isolated-plus-clique",
+     lambda: nx.disjoint_union(nx.empty_graph(3), nx.complete_graph(5))),
 ]
 
 GRAPH_IDS = [name for name, _ in GRAPH_CASES]

@@ -28,7 +28,9 @@ from repro.sim.array_result import (
 from repro.sim.batch import run_trials
 from repro.sim.energy import DEFAULT_MODEL
 
-ALGORITHMS = ("sleeping", "fast-sleeping", "luby", "greedy")
+ALGORITHMS = (
+    "sleeping", "fast-sleeping", "luby", "greedy", "ghaffari", "abi"
+)
 
 MEASURES = (
     "node_averaged_awake_complexity",
@@ -110,7 +112,7 @@ class TestGeneratorConversion:
     def test_solve_mis_result_arrays_on_generator_engine(self):
         graph = make_family_graph("gnp-sparse", 60, seed=1)
         result = solve_mis(
-            graph, "ghaffari", seed=1, engine="auto", result="arrays"
+            graph, "ghaffari", seed=1, engine="generators", result="arrays"
         )
         assert isinstance(result, ArrayRunResult)
         assert result.is_valid_mis()
@@ -131,10 +133,19 @@ class TestResultKindResolution:
         assert resolve_result_kind("arrays", "generators") == "arrays"
 
     def test_solve_mis_auto_kinds(self):
+        from repro.sim.trace import make_trace
+
         graph = make_family_graph("gnp-sparse", 40, seed=0)
         vec = solve_mis(graph, "sleeping", engine="auto", result="auto")
-        gen = solve_mis(graph, "ghaffari", engine="auto", result="auto")
+        ghf = solve_mis(graph, "ghaffari", engine="auto", result="auto")
+        # A generator-only feature (tracing) still drops auto back to the
+        # generator engine, and result="auto" follows it to legacy.
+        gen = solve_mis(
+            graph, "ghaffari", engine="auto", result="auto",
+            trace=make_trace(enabled=True),
+        )
         assert isinstance(vec, ArrayRunResult)
+        assert isinstance(ghf, ArrayRunResult)  # ghaffari is vectorized now
         assert not isinstance(gen, ArrayRunResult)
 
 

@@ -168,6 +168,36 @@ class TestPerformanceGuideFreshness:
                 f"algorithm {name!r} missing from the support matrix"
             )
 
+    def test_support_matrix_matches_capability_registry(self):
+        """The matrix renders ENGINE_CAPABILITIES, the dispatch registry.
+
+        A row that still tells a "generator-only" story for an algorithm
+        the registry vectorizes (or vice versa) is exactly the staleness
+        that shipped in the PR 3 era for ghaffari/abi -- the registry is
+        the single source of truth, and this test makes the rendered
+        matrix track it.
+        """
+        from repro.api import algorithm_names
+        from repro.sim.fast_engine import ENGINE_CAPABILITIES
+
+        assert set(ENGINE_CAPABILITIES) == set(algorithm_names())
+        guide = read("docs/performance.md")
+        rows = [
+            line for line in guide.splitlines() if line.startswith("| `")
+        ]
+        for name, capability in ENGINE_CAPABILITIES.items():
+            matching = [
+                row for row in rows if row.startswith(f"| `{name}`")
+            ]
+            assert matching, f"no support-matrix row for {name!r}"
+            assert any(
+                "yes" in row and f"`{capability.engine}`" in row
+                for row in matching
+            ), (
+                f"support-matrix row for {name!r} must say yes and name "
+                f"`{capability.engine}` (the registry entry)"
+            )
+
     def test_every_bench_artifact_referenced(self):
         guide = read("docs/performance.md")
         artifacts = sorted(

@@ -4,10 +4,11 @@ The vectorized engines' contract is not "produces a valid MIS" but
 "reproduces the generator engine's execution exactly" -- same per-node
 decisions, same round numbers, same statistics down to message, bit, and
 tx/rx/idle counters, for identical ``(graph, seed, rng)``.  These tests
-diff complete :class:`NodeStats` across every corner-case graph, all four
-vectorized algorithms (the two sleeping algorithms plus the Luby/greedy
-baselines), several seeds, and both RNG stream formats, plus the protocol
-knobs and the engine selection logic in the API.
+diff complete :class:`NodeStats` across every corner-case graph, all six
+vectorized algorithms (the two sleeping algorithms plus the four phased
+baselines: Luby, greedy, Ghaffari, ABI), several seeds, and both RNG
+stream formats, plus the protocol knobs and the engine selection logic in
+the API.
 """
 
 from dataclasses import asdict
@@ -21,7 +22,7 @@ from repro.sim.fast_engine import supports
 from repro.sim.trace import make_trace
 
 ALGORITHMS = ("sleeping", "fast-sleeping")
-PHASED = ("luby", "greedy")
+PHASED = ("luby", "greedy", "ghaffari", "abi")
 ALL_VECTORIZED = ALGORITHMS + PHASED
 SEEDS = (0, 1, 2)
 
@@ -128,12 +129,10 @@ class TestProtocolKnobs:
 
 class TestEngineSelection:
     def test_supports_vectorized_algorithms(self):
-        assert supports("sleeping")
-        assert supports("fast-sleeping")
-        assert supports("luby")
-        assert supports("greedy")
-        assert not supports("ghaffari")
-        assert not supports("abi")
+        for algorithm in ALL_VECTORIZED:
+            assert supports(algorithm), algorithm
+        assert not supports("seq-greedy")  # not a vectorized (or solve_mis)
+        assert not supports("coloring")  # algorithm at all
 
     def test_supports_rejects_tracing_and_congest(self):
         assert not supports("sleeping", trace=make_trace(enabled=True))
@@ -143,17 +142,15 @@ class TestEngineSelection:
         assert not supports("luby", congest_bit_limit=32)
 
     def test_supports_checks_per_algorithm_kwargs(self):
-        assert supports("luby", max_phases=10)
-        assert supports("greedy", max_phases=10)
-        assert not supports("luby", coin_bias=0.4)  # sleeping-only knob
+        for algorithm in PHASED:
+            assert supports(algorithm, max_phases=10)
+            assert not supports(algorithm, coin_bias=0.4)  # sleeping-only
         assert supports("fast-sleeping", greedy_constant=8)
         assert not supports("fast-sleeping", max_phases=10)  # phased-only
 
     def test_auto_resolves_per_configuration(self):
-        assert resolve_engine("auto", "fast-sleeping") == "vectorized"
-        assert resolve_engine("auto", "luby") == "vectorized"
-        assert resolve_engine("auto", "greedy") == "vectorized"
-        assert resolve_engine("auto", "ghaffari") == "generators"
+        for algorithm in ALL_VECTORIZED:
+            assert resolve_engine("auto", algorithm) == "vectorized"
         assert (
             resolve_engine("auto", "sleeping", congest_bit_limit=16)
             == "generators"
@@ -162,14 +159,41 @@ class TestEngineSelection:
             resolve_engine("auto", "luby", congest_bit_limit=16)
             == "generators"
         )
+        assert (
+            resolve_engine("auto", "ghaffari", congest_bit_limit=16)
+            == "generators"
+        )
         assert resolve_engine("generators", "sleeping") == "generators"
-        assert resolve_engine("generators", "luby") == "generators"
+        assert resolve_engine("generators", "ghaffari") == "generators"
+
+    def test_auto_never_silently_falls_back_when_vectorizable(self):
+        """Regression: every algorithm with a vectorized path must take it.
+
+        The capability registry is the source of truth; if an algorithm
+        is registered there, ``engine="auto"`` resolving to the generator
+        engine is a dispatch bug (the PR 3 era shipped exactly that state
+        for ghaffari/abi).  ``result="auto"`` doubles as the witness at
+        the API level: it yields :class:`ArrayRunResult` exactly when a
+        vectorized engine actually ran the trial.
+        """
+        from repro.api import algorithm_names
+        from repro.sim.array_result import ArrayRunResult
+        from repro.sim.fast_engine import ENGINE_CAPABILITIES
+
+        assert set(algorithm_names()) == set(ENGINE_CAPABILITIES)
+        graph = {0: (1,), 1: (0, 2), 2: (1,)}
+        for algorithm in algorithm_names():
+            assert resolve_engine("auto", algorithm) == "vectorized"
+            ran = run_mis(graph, algorithm, engine="auto", result="auto")
+            assert isinstance(ran, ArrayRunResult), algorithm
 
     def test_vectorized_request_fails_loudly_when_unsupported(self):
         with pytest.raises(ValueError):
-            resolve_engine("vectorized", "ghaffari")
+            resolve_engine("vectorized", "seq-greedy")
         with pytest.raises(ValueError):
             resolve_engine("vectorized", "luby", congest_bit_limit=16)
+        with pytest.raises(ValueError):
+            resolve_engine("vectorized", "ghaffari", loss_rate=0.5)
         with pytest.raises(ValueError):
             resolve_engine("bogus", "sleeping")
 

@@ -194,7 +194,10 @@ class TestSourceResolution:
 class TestEndToEnd:
     """The array pipeline must be invisible in measured results."""
 
-    @pytest.mark.parametrize("algorithm", ["sleeping", "fast-sleeping", "luby", "greedy"])
+    @pytest.mark.parametrize(
+        "algorithm",
+        ["sleeping", "fast-sleeping", "luby", "greedy", "ghaffari", "abi"],
+    )
     @pytest.mark.parametrize("rng", ["pernode", "batched"])
     def test_identical_runs_on_either_source(self, algorithm, rng):
         from repro.api import solve_mis
