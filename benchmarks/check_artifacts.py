@@ -17,12 +17,33 @@ Usage (compares the working tree against ``HEAD``)::
     python benchmarks/check_artifacts.py           # check, exit 1 on drift
     python benchmarks/check_artifacts.py --list    # show compared files
 
-Timing-dependent fields are ignored: any key ending in ``_s`` (wall
-clocks), the wall-clock ratio keys ``speedup``/``speedup_batched``, and
-``perf_smoke``'s calibrated ``measurements`` (machine-relative units by
-design; its regression gate is ``perf_smoke.py --check``, not this
-script).  Everything else -- configs and measured series -- must match
-the committed JSON exactly.
+Every ``benchmarks/artifacts/BENCH_*.json`` in the tree is compared --
+new artifacts (e.g. ``BENCH_scale_1e6.json`` and
+``BENCH_scale_1e6_sampler.json``, the 10^6-node scale pins) are picked up
+by the glob automatically; a file with no committed counterpart is
+reported as NEW rather than failed, since there is nothing to drift from
+yet (it still has to be committed with its PR).
+
+Wall-clock-key ignore list
+--------------------------
+Timing-dependent fields are stripped before comparison, and nothing
+else is:
+
+* any key ending in ``_s`` -- raw wall-clock seconds, wherever they
+  appear (``wall_clock_s``, ``legacy_pipeline_s``,
+  ``batched_sampler_pipeline_s``, ``calibration_s``, ...);
+* the wall-clock *ratio* keys named in :data:`TIMING_KEYS`
+  (``speedup``, ``speedup_batched``) -- ratios of two wall clocks move
+  with the machine even though each side is measured honestly (the
+  asserted floors like ``speedup_floor`` are config constants and stay
+  compared);
+* per-bench keys in :data:`BENCH_TIMING_KEYS`: ``perf_smoke``'s
+  calibrated ``measurements`` are machine-relative units by design (its
+  regression gate is ``perf_smoke.py --check``, not this script).
+
+Everything else -- configs and measured series (table cells, edge
+counts, per-size means, round counts) -- must match the committed JSON
+exactly.
 """
 
 from __future__ import annotations

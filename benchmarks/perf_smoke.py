@@ -16,7 +16,12 @@ each against the committed ``benchmarks/artifacts/BENCH_perf_smoke.json``:
 * ``sleeping_1e5_arrays`` -- a single 10^5-node Algorithm 1 trial on the
   fully array-native pipeline (``graph_source="arrays"`` +
   ``result="arrays"``), guarding the direct-to-CSR sampling and
-  struct-of-arrays result wins.
+  struct-of-arrays result wins;
+* ``gnp_1e6_sampler_batched`` -- a 10^6-node gnp-sparse sample on the v2
+  (``graph_rng="batched"``) vectorized sampling stream, guarding the
+  whole-array geometric-skip sampler and the ``from_distinct_pairs``
+  CSR build that break the 10^6 barrier (the full 10^6 *pipeline*
+  comparison lives in ``bench_scale_1e6.py``, outside the smoke budget).
 
 (The sweep-based measurements run on the sweep defaults --
 ``graph_source="auto"``/``result="auto"`` -- so a change that silently
@@ -87,6 +92,7 @@ def _calibrate() -> float:
 def _measurements() -> dict:
     from repro.analysis.complexity import sweep
     from repro.analysis.tables import build_table1
+    from repro.graphs.arrays import make_family_arrays
 
     # Warm imports and caches before timing anything.
     build_table1(sizes=(64,), trials=1, algorithms=("luby",))
@@ -121,6 +127,11 @@ def _measurements() -> dict:
                 "sleeping", "gnp-sparse", (100_000,), trials=1, seed0=11,
                 engine="vectorized", rng="batched",
                 graph_source="arrays", result="arrays",
+            )
+        ),
+        "gnp_1e6_sampler_batched": _best_of(
+            lambda: make_family_arrays(
+                "gnp-sparse", 1_000_000, seed=11, graph_rng="batched"
             )
         ),
     }

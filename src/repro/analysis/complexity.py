@@ -18,7 +18,7 @@ from dataclasses import dataclass
 from typing import Any, Dict, Iterable, List, Optional, Sequence
 
 from ..api import make_protocol_factory
-from ..graphs.arrays import make_family, resolve_graph_source
+from ..graphs.arrays import DEFAULT_GRAPH_RNG, make_family, resolve_graph_source
 from ..graphs.validation import is_maximal_independent_set
 from ..sim.array_result import ArrayRunResult, resolve_result_kind
 from ..sim.batch import iter_trials, make_vectorized_engine, resolve_engine
@@ -151,6 +151,7 @@ def sweep(
     engine: str = "auto",
     rng: str = DEFAULT_STREAM,
     graph_source: str = "auto",
+    graph_rng: str = DEFAULT_GRAPH_RNG,
     result: str = "auto",
     n_jobs: Optional[int] = None,
     energy_model: EnergyModel = DEFAULT_MODEL,
@@ -175,16 +176,20 @@ def sweep(
     vectorized-trial statistics as numpy columns instead of 10^5 per-node
     dicts.  Force ``graph_source="networkx"`` / ``result="legacy"`` to
     reproduce the classic path; ``rng="batched"`` selects the v2
-    whole-array random streams (:mod:`repro.sim.rng`); ``n_jobs`` fans the
-    per-size seed batches over worker processes.
+    whole-array random streams (:mod:`repro.sim.rng`) and
+    ``graph_rng="batched"`` the v2 vectorized graph sampling
+    (different seeded graphs, versioned -- see
+    :mod:`repro.graphs.arrays`); ``n_jobs`` fans the per-size seed
+    batches over worker processes.
     """
-    source = resolve_graph_source(graph_source, family)  # validate once
+    source = resolve_graph_source(graph_source, family, graph_rng)
     rows: List[Trial] = []
     for n in sizes:
         seeds = trial_seeds(seed0, n, trials)
         factory = (
             lambda seed, n=n: make_family(family, n, seed=seed,
-                                          graph_source=source)
+                                          graph_source=source,
+                                          graph_rng=graph_rng)
         )
         results = iter_trials(
             factory,

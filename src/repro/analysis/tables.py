@@ -11,7 +11,7 @@ from __future__ import annotations
 from dataclasses import dataclass, field
 from typing import Dict, List, Optional, Sequence
 
-from ..graphs.arrays import make_family, resolve_graph_source
+from ..graphs.arrays import DEFAULT_GRAPH_RNG, make_family, resolve_graph_source
 from ..sim.batch import iter_trials
 from ..sim.fast_engine import GraphArrays
 from .complexity import Trial, summarize, trial_from_result, trial_seeds
@@ -124,6 +124,7 @@ def build_table1(
     engine: str = "auto",
     rng: str = "pernode",
     graph_source: str = "auto",
+    graph_rng: str = DEFAULT_GRAPH_RNG,
     result: str = "auto",
     n_jobs: Optional[int] = None,
 ) -> Table:
@@ -140,8 +141,11 @@ def build_table1(
     flattened into rows.  Every algorithm in the default table has a
     vectorized engine; generator-forced runs (``engine="generators"``)
     read the adjacency dict through the arrays' lazy view.
+    ``graph_rng="batched"`` measures the table on v2-sampled graphs (same
+    families and sizes, different seeded edge sets -- see
+    :mod:`repro.graphs.arrays`).
     """
-    source = resolve_graph_source(graph_source, family)
+    source = resolve_graph_source(graph_source, family, graph_rng)
     table = Table(
         title=(
             f"Table 1 (measured): {family} graphs, "
@@ -160,7 +164,8 @@ def build_table1(
         # re-normalization and the per-graph edge-array construction.
         graphs = {}
         for seed in seeds:
-            built = make_family(family, n, seed=seed, graph_source=source)
+            built = make_family(family, n, seed=seed, graph_source=source,
+                                graph_rng=graph_rng)
             graphs[seed] = (
                 built if isinstance(built, GraphArrays) else GraphArrays(built)
             )

@@ -91,6 +91,16 @@ def build_parser() -> argparse.ArgumentParser:
             ),
         )
         p.add_argument(
+            "--graph-rng",
+            default="legacy",
+            choices=["legacy", "batched"],
+            help=(
+                "graph-sampling stream: legacy (v1, networkx's exact "
+                "draw order) or batched (v2, vectorized geometric-skip "
+                "sampling; same seed gives different graphs than v1)"
+            ),
+        )
+        p.add_argument(
             "--result",
             default="auto",
             choices=["auto", "legacy", "arrays"],
@@ -168,7 +178,8 @@ def _cmd_run(args: argparse.Namespace) -> int:
     from .graphs.arrays import make_family
 
     graph = make_family(
-        args.family, args.n, seed=args.seed, graph_source=args.graph_source
+        args.family, args.n, seed=args.seed, graph_source=args.graph_source,
+        graph_rng=args.graph_rng,
     )
     result, trial = run_trial(
         graph, args.algorithm, seed=args.seed, family=args.family,
@@ -192,7 +203,8 @@ def _cmd_sweep(args: argparse.Namespace) -> int:
         args.algorithm, args.family, args.sizes,
         trials=args.trials, seed0=args.seed,
         engine=args.engine, rng=args.rng, n_jobs=args.jobs,
-        graph_source=args.graph_source, result=args.result,
+        graph_source=args.graph_source, graph_rng=args.graph_rng,
+        result=args.result,
     )
     summary = summarize(rows, args.measure)
     table = Table(
@@ -213,7 +225,8 @@ def _cmd_table1(args: argparse.Namespace) -> int:
         sizes=args.sizes, family=args.family,
         trials=args.trials, seed0=args.seed,
         engine=args.engine, rng=args.rng, n_jobs=args.jobs,
-        graph_source=args.graph_source, result=args.result,
+        graph_source=args.graph_source, graph_rng=args.graph_rng,
+        result=args.result,
     )
     print(table.to_markdown() if args.markdown else table.to_text())
     return 0

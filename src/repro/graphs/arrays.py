@@ -33,6 +33,29 @@ registry for the families with an array-native sampler;
 :func:`resolve_graph_source` maps the ``graph_source=`` choices
 (:data:`GRAPH_SOURCES`: ``"auto"``/``"networkx"``/``"arrays"``) onto a
 concrete source per family.
+
+Versioned sampling streams (``graph_rng=``)
+-------------------------------------------
+Replaying ``random.Random``'s exact draw order is what pins the samplers
+above to a Python skip loop: at n = 10^6 the v1 gnp sampler spends tens of
+seconds appending edge tuples one geometric jump at a time.  Exactly as
+:mod:`repro.sim.rng` did for the node streams, this module therefore
+carries a second, **deliberately incompatible** sampling stream:
+
+``"legacy"`` (v1, the default)
+    The samplers above -- ``random.Random(seed)`` consumed in networkx's
+    exact order, edge-for-edge identical to the networkx generators.
+    Every graph seed recorded before v2 existed replays under it.
+
+``"batched"`` (v2)
+    :func:`gnp_arrays_v2`: whole geometric-skip arrays drawn from the
+    counter-based splitmix64 stream
+    (:func:`repro.sim.rng.graph_stream_key`), Batagelj--Brandes sampling
+    vectorized.  Same G(n, p) distribution, *different* seeded graphs --
+    the break is versioned (:data:`GRAPH_RNG_VERSIONS`), never silent:
+    record ``graph_rng`` next to the seed like ``rng``.  Deterministic
+    topologies (cycle/path/star/complete/empty) have no randomness, so
+    both streams build the identical graph there.
 """
 
 from __future__ import annotations
@@ -44,6 +67,7 @@ from typing import Callable, Dict, List
 import numpy as np
 
 from ..sim.fast_engine import GraphArrays
+from ..sim.rng import graph_stream_key, mix64_array, u64_to_unit_float
 from .generators import GNP_FAST_THRESHOLD
 
 #: Graph-source choices accepted by ``graph_source=`` throughout the
@@ -51,6 +75,24 @@ from .generators import GNP_FAST_THRESHOLD
 #: direct-to-CSR samplers here), ``"auto"`` (arrays whenever the family
 #: has an array-native sampler -- identical results either way).
 GRAPH_SOURCES = ("auto", "networkx", "arrays")
+
+#: Known graph-sampling stream formats, in version order (``graph_rng=``).
+GRAPH_RNGS = ("legacy", "batched")
+
+#: Graph-sampling stream name -> format version number.
+GRAPH_RNG_VERSIONS = {"legacy": 1, "batched": 2}
+
+#: The default sampling stream: v1, networkx's exact draw order.
+DEFAULT_GRAPH_RNG = "legacy"
+
+
+def validate_graph_rng(graph_rng: str) -> str:
+    """Return ``graph_rng`` if it names a known sampling stream, else raise."""
+    if graph_rng not in GRAPH_RNGS:
+        raise ValueError(
+            f"unknown graph_rng {graph_rng!r}; known: {GRAPH_RNGS}"
+        )
+    return graph_rng
 
 
 def _from_pairs(n: int, pairs: List[tuple]) -> GraphArrays:
@@ -106,6 +148,89 @@ def gnp_arrays(n: int, p: float, seed: int = 0) -> GraphArrays:
             if rand() < p:
                 pairs.append((u, v))
     return _from_pairs(n, pairs)
+
+
+#: Uniform draws per refill chunk of the v2 sampler.  Bounds the peak
+#: *transient* memory of a dense sample: however many edges G(n, p) has,
+#: the sampler never holds more than this many uniforms/skips in flight
+#: (~128 MB of float64+int64 temporaries), refilling until the pair space
+#: is exhausted.  Chunking changes nothing about the sampled graph -- draw
+#: ``j`` is a pure function of ``(key, j)`` -- so the constant can move
+#: without versioning.
+GNP_V2_CHUNK = 1 << 23
+
+
+def gnp_arrays_v2(n: int, p: float, seed: int = 0) -> GraphArrays:
+    """Erdos--Renyi ``G(n, p)`` on the v2 (``"batched"``) sampling stream.
+
+    Batagelj--Brandes geometric-skip sampling, vectorized: whole arrays of
+    skips come from the counter-based splitmix64 stream instead of one
+    ``random.Random`` call per edge.  Same distribution as
+    :func:`gnp_arrays`, **different seeded graphs** -- the v1/v2 break is
+    deliberate and versioned (see the module docstring).
+
+    v2 sampling format (normative, pinned by tests)
+    -----------------------------------------------
+    * ``key = sha256(f"repro|graph-v2|{seed}")[:8]`` little-endian
+      (:func:`repro.sim.rng.graph_stream_key`);
+    * draw ``j`` (``j = 0, 1, ...``): ``u_j = mix64((key + j) mod 2^64)``
+      mapped to [0, 1) by the standard ``(u >> 11) * 2^-53``;
+    * skip ``j``: ``g_j = 1 + floor(log1p(-u_j) / log1p(-p))`` in IEEE
+      float64 (the Batagelj--Brandes geometric jump);
+    * the sampled edges sit at flat positions ``cumsum(g) - 1`` (exact
+      int64 accounting -- positions never pass through floats) over the
+      pair enumeration ``(v, w), 0 <= w < v < n`` flattened as
+      ``v(v-1)/2 + w``, truncated at ``n(n-1)/2``.
+
+    Skips are strictly positive, so positions are strictly increasing: the
+    edge list needs no deduplication and arrives pre-sorted, which is what
+    lets :meth:`GraphArrays.from_distinct_pairs` skip the dedup sort.
+    """
+    if p >= 1.0:
+        return gnp_arrays(n, 1.0)
+    if p <= 0.0 or n < 2:
+        return _from_pairs(n, [])
+    key = np.uint64(graph_stream_key(seed))
+    total = n * (n - 1) // 2
+    log1mp = math.log1p(-p)
+    pos = np.int64(-1)  # last occupied flat position
+    counter = 0
+    parts_v: List[np.ndarray] = []
+    parts_w: List[np.ndarray] = []
+    while True:
+        # Aim one chunk at the expected remainder (with slack), bounded
+        # by GNP_V2_CHUNK; loop until a position lands past the end.
+        expect = float(total - int(pos)) * p
+        size = min(GNP_V2_CHUNK, max(int(expect * 1.1) + 64, 1024))
+        u = u64_to_unit_float(
+            mix64_array(
+                key + np.arange(counter, counter + size, dtype=np.uint64)
+            )
+        )
+        counter += size
+        skips = 1 + (np.log1p(-u) / log1mp).astype(np.int64)
+        positions = pos + np.cumsum(skips)
+        done = bool(positions[-1] >= total)
+        if done:
+            positions = positions[positions < total]
+        if len(positions):
+            pos = positions[-1]
+            # Decode flat positions to (v, w): v is the triangular root,
+            # float-seeded then corrected in exact integer arithmetic.
+            v = ((1.0 + np.sqrt(8.0 * positions + 1.0)) / 2.0).astype(
+                np.int64
+            )
+            v -= v * (v - 1) // 2 > positions
+            v += (v + 1) * v // 2 <= positions
+            parts_v.append(v)
+            parts_w.append(positions - v * (v - 1) // 2)
+        if done:
+            break
+    if not parts_v:
+        return _from_pairs(n, [])
+    hi = np.concatenate(parts_v)
+    lo = np.concatenate(parts_w)
+    return GraphArrays.from_distinct_pairs(n, lo, hi)
 
 
 def ring_arrays(n: int) -> GraphArrays:
@@ -164,26 +289,43 @@ def complete_arrays(n: int) -> GraphArrays:
 # ----------------------------------------------------------------------
 
 
-def _gnp_sparse(n: int, seed: int = 0) -> GraphArrays:
+def _gnp_sparse(
+    n: int, seed: int = 0, graph_rng: str = DEFAULT_GRAPH_RNG
+) -> GraphArrays:
     """G(n, p) with expected degree ~8 -- generators' ``gnp-sparse``."""
     p = min(1.0, 8.0 / max(n - 1, 1))
+    if validate_graph_rng(graph_rng) == "batched":
+        return gnp_arrays_v2(n, p, seed=seed)
     return gnp_arrays(n, p, seed=seed)
 
 
-def _gnp_dense(n: int, seed: int = 0) -> GraphArrays:
+def _gnp_dense(
+    n: int, seed: int = 0, graph_rng: str = DEFAULT_GRAPH_RNG
+) -> GraphArrays:
     """G(n, 1/2) -- generators' ``gnp-dense``."""
+    if validate_graph_rng(graph_rng) == "batched":
+        return gnp_arrays_v2(n, 0.5, seed=seed)
     return gnp_arrays(n, 0.5, seed=seed)
 
 
+#: Family samplers, keyed by name; every constructor accepts
+#: ``(n, seed=, graph_rng=)``.  The deterministic topologies carry no
+#: randomness, so they ignore both knobs beyond validation -- the same
+#: graph comes back under either sampling stream.
 ARRAY_FAMILIES: Dict[str, Callable[..., GraphArrays]] = {
     "gnp-sparse": _gnp_sparse,
     "gnp-dense": _gnp_dense,
-    "cycle": lambda n, seed=0: ring_arrays(n),
-    "path": lambda n, seed=0: path_arrays(n),
-    "star": lambda n, seed=0: star_arrays(n),
-    "complete": lambda n, seed=0: complete_arrays(n),
-    "empty": lambda n, seed=0: empty_arrays(n),
+    "cycle": lambda n, seed=0, graph_rng="legacy": ring_arrays(n),
+    "path": lambda n, seed=0, graph_rng="legacy": path_arrays(n),
+    "star": lambda n, seed=0, graph_rng="legacy": star_arrays(n),
+    "complete": lambda n, seed=0, graph_rng="legacy": complete_arrays(n),
+    "empty": lambda n, seed=0, graph_rng="legacy": empty_arrays(n),
 }
+
+#: The families whose sampled edges depend on ``graph_rng`` at all (the
+#: randomized ones); used by docs and tests -- everything else is
+#: deterministic and stream-independent.
+RANDOMIZED_ARRAY_FAMILIES = ("gnp-sparse", "gnp-dense")
 
 
 def array_family_names() -> List[str]:
@@ -191,50 +333,90 @@ def array_family_names() -> List[str]:
     return sorted(ARRAY_FAMILIES)
 
 
-def make_family_arrays(family: str, n: int, seed: int = 0) -> GraphArrays:
+def make_family_arrays(
+    family: str,
+    n: int,
+    seed: int = 0,
+    graph_rng: str = DEFAULT_GRAPH_RNG,
+) -> GraphArrays:
     """Build a :class:`GraphArrays` from the named family, array-natively.
 
-    Only families in :data:`ARRAY_FAMILIES` are accepted; the edge set is
-    identical to ``make_family_graph(family, n, seed)``.
+    Only families in :data:`ARRAY_FAMILIES` are accepted.  Under the
+    default ``graph_rng="legacy"`` the edge set is identical to
+    ``make_family_graph(family, n, seed)``; ``graph_rng="batched"``
+    selects the v2 vectorized sampling stream (different seeded graphs
+    for the randomized families, same distribution -- see the module
+    docstring).
     """
+    validate_graph_rng(graph_rng)
     if family not in ARRAY_FAMILIES:
         raise KeyError(
             f"graph family {family!r} has no array-native sampler; "
             f"array-native: {array_family_names()} "
             f"(use graph_source='networkx' for the rest)"
         )
-    return ARRAY_FAMILIES[family](n, seed=seed)
+    return ARRAY_FAMILIES[family](n, seed=seed, graph_rng=graph_rng)
 
 
 def make_family(
-    family: str, n: int, seed: int = 0, graph_source: str = "auto"
+    family: str,
+    n: int,
+    seed: int = 0,
+    graph_source: str = "auto",
+    graph_rng: str = DEFAULT_GRAPH_RNG,
 ) -> object:
     """One seeded family graph from the resolved source.
 
     The single dispatch point shared by ``sweep``, ``build_table1``, and
     the CLI: returns a :class:`GraphArrays` when the resolved source is
     ``"arrays"`` and a ``networkx.Graph`` otherwise -- same seeded edge
-    set either way.
+    set either way under ``graph_rng="legacy"``.  ``graph_rng="batched"``
+    always resolves to the array-native samplers (the v2 stream has no
+    networkx replay path).
     """
     from .generators import make_family_graph
 
-    if resolve_graph_source(graph_source, family) == "arrays":
-        return make_family_arrays(family, n, seed=seed)
+    if resolve_graph_source(graph_source, family, graph_rng) == "arrays":
+        return make_family_arrays(family, n, seed=seed, graph_rng=graph_rng)
     return make_family_graph(family, n, seed=seed)
 
 
-def resolve_graph_source(graph_source: str, family: str) -> str:
+def resolve_graph_source(
+    graph_source: str, family: str, graph_rng: str = DEFAULT_GRAPH_RNG
+) -> str:
     """Map a ``graph_source=`` request to the source that will be used.
 
     ``"auto"`` picks ``"arrays"`` exactly when the family has an
-    array-native sampler (a pure performance choice -- the edge sets are
-    identical); requesting ``"arrays"`` for a family without one is an
-    error rather than a silent fallback.
+    array-native sampler (a pure performance choice under the default
+    ``graph_rng="legacy"`` -- the edge sets are identical); requesting
+    ``"arrays"`` for a family without one is an error rather than a
+    silent fallback.  ``graph_rng="batched"`` (the v2 sampling stream)
+    exists only array-natively, so it requires an array-native family and
+    is incompatible with ``graph_source="networkx"`` -- both misuses fail
+    with the fix spelled out rather than silently changing the sampled
+    graphs.
     """
     if graph_source not in GRAPH_SOURCES:
         raise ValueError(
             f"unknown graph source {graph_source!r}; known: {GRAPH_SOURCES}"
         )
+    validate_graph_rng(graph_rng)
+    if graph_rng == "batched":
+        if family not in ARRAY_FAMILIES:
+            raise ValueError(
+                f"graph_rng='batched' (the v2 vectorized sampling stream) "
+                f"needs an array-native sampler, and family {family!r} has "
+                f"none (array-native: {array_family_names()}); use "
+                f"graph_rng='legacy' for this family"
+            )
+        if graph_source == "networkx":
+            raise ValueError(
+                "graph_rng='batched' samples array-natively and cannot "
+                "replay through the networkx generators; use "
+                "graph_source='arrays' (or 'auto'), or keep "
+                "graph_source='networkx' with graph_rng='legacy'"
+            )
+        return "arrays"
     if graph_source == "auto":
         return "arrays" if family in ARRAY_FAMILIES else "networkx"
     if graph_source == "arrays" and family not in ARRAY_FAMILIES:

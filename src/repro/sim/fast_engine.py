@@ -335,13 +335,15 @@ class GraphArrays:
     """
 
     __slots__ = (
-        "_adjacency", "node_ids", "n", "src", "dst", "grev", "deg", "_id_bits"
+        "_adjacency", "node_ids", "n", "src", "dst", "grev", "deg",
+        "_id_bits", "_ids_are_range",
     )
 
     def __init__(self, graph: Any):
         self._adjacency = normalize_graph(graph)
         self.node_ids: List[Any] = sorted(self._adjacency)
         self.n = len(self.node_ids)
+        self._ids_are_range = False
         adjacency = self._adjacency
         index = {v: i for i, v in enumerate(self.node_ids)}
         # Directed edge arrays, sorted by (src, dst): each undirected edge
@@ -386,18 +388,61 @@ class GraphArrays:
         if len(lo):
             key = np.unique(lo * np.int64(n) + hi)  # dedupe + sort
             lo, hi = key // n, key % n
+        return cls.from_distinct_pairs(n, lo, hi)
+
+    @classmethod
+    def from_distinct_pairs(cls, n: int, lo: Any, hi: Any) -> "GraphArrays":
+        """Trusted array-native constructor: edges as **distinct**
+        undirected pairs with ``lo[i] < hi[i]``.
+
+        The fast exit shared by :meth:`from_edges` and the v2 gnp sampler
+        (whose strictly increasing flat positions guarantee distinctness
+        for free, skipping the dedup sort).  One int64 argsort of the
+        ``2m`` directed keys replaces ``from_edges``'s historical pair of
+        ``lexsort`` passes, and the reverse-edge permutation falls out of
+        the same sort (each directed edge knows its partner's pre-sort
+        slot), so ``grev`` costs two gathers instead of a third sort --
+        at m = 4x10^6 graph construction drops ~4x.  Duplicate pairs or
+        ``lo >= hi`` entries violate the contract; bounds are still
+        checked.
+        """
+        lo = np.asarray(lo, dtype=np.int64)
+        hi = np.asarray(hi, dtype=np.int64)
+        m = len(lo)
+        if m and (lo.min() < 0 or hi.max() >= n):
+            raise ValueError(f"edge endpoints must lie in [0, {n})")
+        if m and not (lo < hi).all():
+            raise ValueError("pairs must satisfy lo < hi")
         self = cls.__new__(cls)
         self._adjacency = None
         self.node_ids = list(range(n))
         self.n = n
-        src = np.concatenate([lo, hi])
-        dst = np.concatenate([hi, lo])
-        order = np.lexsort((dst, src))
-        self.src = src[order].astype(np.int32)
-        self.dst = dst[order].astype(np.int32)
-        self.deg = np.bincount(self.src, minlength=n).astype(np.int64)
-        self.grev = np.lexsort((self.src, self.dst)).astype(np.int32)
+        self._ids_are_range = True
         self._id_bits = None
+        if not m:
+            self.src = np.empty(0, dtype=np.int32)
+            self.dst = np.empty(0, dtype=np.int32)
+            self.grev = np.empty(0, dtype=np.int32)
+            self.deg = np.zeros(n, dtype=np.int64)
+            return self
+        nn = np.int64(n)
+        keys = np.concatenate([lo * nn + hi, hi * nn + lo])
+        order = np.argsort(keys)  # (src, dst) ascending == key ascending
+        src_pre = np.empty(2 * m, dtype=np.int32)
+        src_pre[:m] = lo
+        src_pre[m:] = hi
+        dst_pre = np.empty(2 * m, dtype=np.int32)
+        dst_pre[:m] = hi
+        dst_pre[m:] = lo
+        self.src = src_pre[order]
+        self.dst = dst_pre[order]
+        # Pre-sort slot i's reverse partner is slot i +- m; mapping both
+        # through the sort permutation yields grev without another sort.
+        pos = np.empty(2 * m, dtype=np.int32)
+        pos[order] = np.arange(2 * m, dtype=np.int32)
+        partner = np.concatenate([pos[m:], pos[:m]])
+        self.grev = partner[order]
+        self.deg = np.bincount(self.src, minlength=n).astype(np.int64)
         return self
 
     @property
@@ -469,14 +514,21 @@ class GraphArrays:
 
         The phased baselines and the batched-RNG base case account message
         bits for ``(rank, id)`` payloads; hashing the id part out to an
-        array once keeps that accounting vectorized.
+        array once keeps that accounting vectorized.  Array-native graphs
+        (whose ids are always ``0..n-1``) take a pure-numpy path --
+        ``payload_bits(int) = max(bit_length, 1) + 2`` -- instead of a
+        10^6-call Python loop.
         """
         if self._id_bits is None:
-            self._id_bits = np.fromiter(
-                (payload_bits(v) for v in self.node_ids),
-                dtype=np.int64,
-                count=self.n,
-            )
+            if self._ids_are_range:
+                idx = np.arange(self.n, dtype=np.uint64)
+                self._id_bits = np.maximum(bit_length_u64(idx), 1) + 2
+            else:
+                self._id_bits = np.fromiter(
+                    (payload_bits(v) for v in self.node_ids),
+                    dtype=np.int64,
+                    count=self.n,
+                )
         return self._id_bits
 
     def nbytes(self) -> int:
@@ -597,9 +649,13 @@ class VectorizedEngine:
         # Per-node randomness, consumed in the generator engine's order:
         # ``depth`` coin flips up front, then one rank draw per
         # greedy-base-case entry (Algorithm 2 only).  Under the v1 stream
-        # that means one random.Random per node; under the v2 batched
-        # stream the coins come out of one vectorized pass and the rank
-        # draws advance a per-node counter array instead.
+        # that means one random.Random per node, and all coins really are
+        # drawn eagerly (later rank draws sit after them in each node's
+        # stream).  Under the v2 batched stream a coin is a pure function
+        # of ``(key, node, level)``, so no matrix is materialized at all:
+        # ``_coin_heads`` draws each call's coins on demand -- identical
+        # values, without the n x depth draw (~0.5 GB and several seconds
+        # of construction at n = 10^6, where depth = 60).
         depth = self.depth
         scratch = scratch if scratch is not None else EngineScratch()
         self._scratch = scratch
@@ -611,7 +667,7 @@ class VectorizedEngine:
             self._key = None
             self._ctr = None
             if n and depth:
-                self.coins = np.array(
+                self.coins: Optional[np.ndarray] = np.array(
                     [
                         [r.random() < coin_bias for _ in range(depth)]
                         for r in self._rngs
@@ -624,17 +680,7 @@ class VectorizedEngine:
             self._rngs = None
             self._key = stream_key(seed)
             self._ctr = scratch.take("rng_ctr", n, np.int64, fill=depth)
-            if n and depth:
-                u = draw_u64_array(
-                    self._key,
-                    np.arange(n, dtype=np.int64)[:, None],
-                    np.arange(depth, dtype=np.int64)[None, :],
-                )
-                self.coins = (
-                    u64_to_unit_float(u) < coin_bias
-                ).astype(np.int8)
-            else:
-                self.coins = np.zeros((n, 1), dtype=np.int8)
+            self.coins = None  # drawn lazily per call by _coin_heads
         self._rank_bound = n**6 + 1
 
         # Per-node state and statistics (the NodeStats fields, as arrays),
@@ -663,6 +709,18 @@ class VectorizedEngine:
         # call touches only its own in-call edge subset, so one zeroed
         # buffer per run serves every call (set at entry, cleared at exit).
         self._live_edges = scratch.take("live_edges", arrays.m, bool, fill=False)
+        # Per-edge broadcast participation, accumulated by _broadcast and
+        # flattened into ``mrecv`` once at result build.  Replacing the
+        # historical per-call ``bincount(minlength=n)`` + O(n) ``mrecv``
+        # add with an O(in-call edges) counter bump is what makes a
+        # deep-recursion broadcast cost the call's size, not the graph's.
+        self._edge_rounds = scratch.take(
+            "edge_rounds", arrays.m, np.int64, fill=0
+        )
+        # Global-to-local node index map for the greedy base cases
+        # (set-before-use only: each base call writes its own participants
+        # before reading, so stale entries are never observed).
+        self._local_index = scratch.take("local_index", n, np.int32)
 
     # ------------------------------------------------------------------
 
@@ -708,14 +766,20 @@ class VectorizedEngine:
         d_sub = self._duration(k - 1)
         se, de = self.src[E], self.dst[E]
 
-        # Part 2 -- first isolated node detection.
-        recv = self._broadcast(U, de, r)
-        iso = U[recv[U] == 0]
+        # Part 2 -- first isolated node detection.  A node is isolated in
+        # G[U] exactly when no in-call edge points at it; the shared mask
+        # (set-use-clear) keeps this O(|U| + |E|) instead of counting
+        # deliveries into an O(n) array.
+        self._broadcast(U, E, de, r)
+        has_nbr = self._nbr_mask
+        has_nbr[de] = True
+        iso = U[~has_nbr[U]]
+        has_nbr[de] = False
         if len(iso):
             self._decide(iso, True, r + 1)
 
         # Part 3 -- left recursion; everyone else sleeps through it.
-        left = (self.in_mis[U] == -1) & (self.coins[U, k - 1] == 1)
+        left = (self.in_mis[U] == -1) & self._coin_heads(U, k)
         L = U[left]
         if d_sub > 0:
             self.sleep[U[~left]] += d_sub
@@ -726,7 +790,7 @@ class VectorizedEngine:
         # masks borrow one shared buffer (set, read, clear by the same
         # indices) instead of zeroing a fresh O(n) array per call.
         r1 = r + 1 + d_sub
-        self._broadcast(U, de, r1)
+        self._broadcast(U, E, de, r1)
         has_mis_nbr = self._nbr_mask
         mis_heads = de[self.in_mis[se] == 1]
         has_mis_nbr[mis_heads] = True
@@ -737,7 +801,7 @@ class VectorizedEngine:
 
         # Part 5 -- second isolated node detection.
         r2 = r1 + 1
-        self._broadcast(U, de, r2)
+        self._broadcast(U, E, de, r2)
         has_undecided_or_mis_nbr = self._nbr_mask
         loud_heads = de[self.in_mis[se] != 0]
         has_undecided_or_mis_nbr[loud_heads] = True
@@ -780,25 +844,44 @@ class VectorizedEngine:
         self.decision_round[u] = r + 1
         self.awake_at_decision[u] = self.awake[u] - 2  # after Part 2 only
 
+    def _coin_heads(self, U: np.ndarray, k: int) -> np.ndarray:
+        """The level-``k`` coins of participants ``U`` (True = recurse left).
+
+        v1 reads the eagerly drawn per-node coin matrix; v2 computes the
+        same pure function of ``(key, node, level)`` on demand -- only the
+        nodes that actually reach a level-``k`` call ever cost a draw.
+        """
+        if self.coins is not None:
+            return self.coins[U, k - 1] == 1
+        u = draw_u64_array(self._key, U, np.int64(k - 1))
+        return u64_to_unit_float(u) < self.coin_bias
+
     def _subedges(
         self, S: np.ndarray, E: np.ndarray, se: np.ndarray, de: np.ndarray
     ) -> np.ndarray:
         """Edges of ``E`` (endpoints ``se``/``de``) inside sub-set ``S``."""
         inS = self._sub_mask
         inS[S] = True
-        sub = E[inS[se] & inS[de]]
+        both = inS[se]
+        both &= inS[de]  # in place: one |E|-sized temporary, not two
+        sub = E[both]
         inS[S] = False
         return sub
 
-    def _broadcast(self, U: np.ndarray, de: np.ndarray, r: int) -> np.ndarray:
+    def _broadcast(
+        self, U: np.ndarray, E: np.ndarray, de: np.ndarray, r: int
+    ) -> None:
         """One awake round in which every node of ``U`` sends a 2-bit flag
         to *all* its graph neighbors (presence or ``inMIS`` announcement).
 
-        ``de`` are the receiver endpoints of the in-call edges (deliveries
-        only happen between awake nodes).  Returns the per-node delivery
-        counts.  Classification matches the generator engine: senders with
-        at least one port are tx rounds; port-less nodes are
-        awake-and-silent, hence idle.
+        ``E``/``de`` are the in-call edges and their receiver endpoints
+        (deliveries only happen between awake nodes).  Received-message
+        accounting is *deferred*: each in-call edge bumps its
+        ``_edge_rounds`` counter, and ``_build_result`` flattens the
+        counters into ``mrecv`` with one weighted bincount -- so a
+        broadcast costs O(|U| + |E|), never O(n).  Classification matches
+        the generator engine: senders with at least one port are tx
+        rounds; port-less nodes are awake-and-silent, hence idle.
         """
         deg = self.deg[U]
         self.awake[U] += 1
@@ -809,9 +892,7 @@ class VectorizedEngine:
             self.idle[U[deg == 0]] += 1
         self.msent[U] += deg
         self.bits[U] += _FLAG_BITS * deg
-        recv = np.bincount(de, minlength=self.n)
-        self.mrecv += recv  # nonzero only on in-call endpoints, i.e. in U
-        return recv
+        self._edge_rounds[E] += 1
 
     def _decide(self, nodes: np.ndarray, value: bool, clock: int) -> None:
         """Fix ``inMIS`` for ``nodes`` at wall-clock ``clock``, exactly once."""
@@ -825,7 +906,19 @@ class VectorizedEngine:
     # ------------------------------------------------------------------
 
     def _greedy_base(self, U: np.ndarray, E: np.ndarray, r: int) -> None:
-        n = self.n
+        """The base case, computed in the call's **local index space**.
+
+        Every per-node array here has length ``|U|`` (slot ``i`` is global
+        node ``U[i]``), edge endpoints are mapped through the shared
+        ``_local_index`` scatter buffer, and received-message counts
+        accumulate locally until one ``mrecv[U] +=`` at exit.  Deep in the
+        recursion most base calls are tiny, so the historical full-``n``
+        masks and ``bincount(minlength=n)`` passes made every phase cost
+        the graph's size; compaction makes them cost the call's size.
+        Global state (``in_mis``, stats, the ``live`` edge bits) is
+        updated through ``U[...]`` fancy indexing -- same values, same
+        order, bit-for-bit the generator engine's execution.
+        """
         W = self.base_rounds
 
         if len(U) == 1:
@@ -853,30 +946,33 @@ class VectorizedEngine:
                 self.sleep[u] += W - 1
             return
 
-        es, ed, erev = self.src[E], self.dst[E], self.grev[E]
+        nu = len(U)
+        es_g, ed_g, erev = self.src[E], self.dst[E], self.grev[E]
+        local = self._local_index
+        local[U] = np.arange(nu, dtype=np.int32)
+        es, ed = local[es_g], local[ed_g]
 
         # Neighbor discovery inside G[U]: live sets start as the in-call
         # neighborhoods, kept as per-directed-edge bits over E (borrowing
         # the run-level buffer; cleared again at the loop's exit).
-        recv = self._broadcast(U, ed, r)
-        live_cnt = np.zeros(n, dtype=np.int64)
-        live_cnt[U] = recv[U]
+        self._broadcast(U, E, ed_g, r)
+        live_cnt = np.bincount(ed, minlength=nu)
         live = self._live_edges
         live[E] = True
+        mrecv = np.zeros(nu, dtype=np.int64)
 
         # Ranks: one draw per participant, same stream position as the
         # generator engine (see draw_dense_ranks for the stream and
-        # payload-bit contract).
-        rank = np.full(n, -1, dtype=np.int64)
-        rank_bits = np.zeros(n, dtype=np.int64)
-        dense, raw_bits = draw_dense_ranks(
+        # payload-bit contract).  ``gid`` carries the global indices for
+        # the (rank, id) tie-break.
+        rank, raw_bits = draw_dense_ranks(
             self._rngs, self._key, self._ctr, U, self._rank_bound
         )
-        rank[U] = dense
-        rank_bits[U] = raw_bits + self.arrays.id_bits[U] + 10
+        rank_bits = raw_bits + self.arrays.id_bits[U] + 10
+        gid = U
 
-        inloop = np.zeros(n, dtype=bool)
-        inloop[U] = True
+        inloop = np.ones(nu, dtype=bool)
+        undecided = np.ones(nu, dtype=bool)  # local mirror of in_mis == -1
 
         p = 0
         while True:
@@ -884,84 +980,92 @@ class VectorizedEngine:
 
             # Loop head: isolated-among-survivors nodes join; then decided
             # nodes and everyone out of window leave the loop.
-            iso = inloop & (self.in_mis == -1) & (live_cnt == 0)
+            iso = inloop & undecided & (live_cnt == 0)
             if iso.any():
-                self._decide(np.flatnonzero(iso), True, r + used)
-            leaving = inloop & ((self.in_mis != -1) | (used + 3 > W))
+                self._decide(U[iso], True, r + used)
+                undecided &= ~iso
+            leaving = inloop & (~undecided | (used + 3 > W))
             if leaving.any():
-                self.base_truncated |= leaving & (self.in_mis == -1)
+                truncated = leaving & undecided
+                if truncated.any():
+                    self.base_truncated[U[truncated]] = True
                 if W - used > 0:
-                    self.sleep[leaving] += W - used
+                    self.sleep[U[leaving]] += W - used
                 inloop &= ~leaving
             if not inloop.any():
                 live[E] = False  # hand the edge buffer back clean
+                self.mrecv[U] += mrecv
                 return
 
             # Round A -- rank exchange over the live sets.
             rA = r + used
-            self.awake[inloop] += 1
-            self.tx[inloop] += 1  # every in-loop node has a nonempty live set
-            self.msent[inloop] += live_cnt[inloop]
-            self.bits[inloop] += rank_bits[inloop] * live_cnt[inloop]
+            act = U[inloop]
+            self.awake[act] += 1
+            self.tx[act] += 1  # every in-loop node has a nonempty live set
+            self.msent[act] += live_cnt[inloop]
+            self.bits[act] += rank_bits[inloop] * live_cnt[inloop]
             delivered = inloop[es] & live[E] & inloop[ed]
-            self.mrecv += np.bincount(ed[delivered], minlength=n)
+            mrecv += np.bincount(ed[delivered], minlength=nu)
             # rank_keys: senders that are also in the receiver's live set.
             keyed = delivered & live[erev]
-            key_cnt = np.bincount(ed[keyed], minlength=n)
-            best_rank = np.full(n, -1, dtype=np.int64)
+            key_cnt = np.bincount(ed[keyed], minlength=nu)
+            best_rank = np.full(nu, -1, dtype=np.int64)
             np.maximum.at(best_rank, ed[keyed], rank[es[keyed]])
             top = keyed & (rank[es] == best_rank[ed])
-            best_id = np.full(n, -1, dtype=np.int64)
-            np.maximum.at(best_id, ed[top], es[top])
-            me = np.arange(n)
+            best_id = np.full(nu, -1, dtype=np.int64)
+            np.maximum.at(best_id, ed[top], es_g[top])
             joined = (
                 inloop
                 & (key_cnt == live_cnt)
-                & ((rank > best_rank) | ((rank == best_rank) & (me > best_id)))
+                & ((rank > best_rank) | ((rank == best_rank) & (gid > best_id)))
             )
-            if joined.any():
-                self._decide(np.flatnonzero(joined), True, rA + 1)
+            jact = U[joined]
+            if len(jact):
+                self._decide(jact, True, rA + 1)
+                undecided &= ~joined
 
             # Round B -- JOIN announcements; live neighbors are eliminated.
             rB = rA + 1
-            self.awake[inloop] += 1
-            self.tx[joined] += 1
-            self.msent[joined] += live_cnt[joined]
-            self.bits[joined] += _FLAG_BITS * live_cnt[joined]
+            self.awake[act] += 1
+            self.tx[jact] += 1
+            self.msent[jact] += live_cnt[joined]
+            self.bits[jact] += _FLAG_BITS * live_cnt[joined]
             delivered = joined[es] & live[E] & inloop[ed]
-            got_join = np.bincount(ed[delivered], minlength=n)
-            self.mrecv += got_join
+            got_join = np.bincount(ed[delivered], minlength=nu)
+            mrecv += got_join
             silent = inloop & ~joined
-            self.rx[silent & (got_join > 0)] += 1
-            self.idle[silent & (got_join == 0)] += 1
-            hit = np.zeros(n, dtype=bool)
+            self.rx[U[silent & (got_join > 0)]] += 1
+            self.idle[U[silent & (got_join == 0)]] += 1
+            hit = np.zeros(nu, dtype=bool)
             hit[ed[delivered & live[erev]]] = True
-            elim = inloop & (self.in_mis == -1) & hit
-            if elim.any():
-                self._decide(np.flatnonzero(elim), False, rB + 1)
-            if joined.any():
+            elim = inloop & undecided & hit
+            eact = U[elim]
+            if len(eact):
+                self._decide(eact, False, rB + 1)
+                undecided &= ~elim
+            if len(jact):
                 if W - (used + 2) > 0:
-                    self.sleep[joined] += W - (used + 2)
+                    self.sleep[jact] += W - (used + 2)
                 inloop &= ~joined
 
             # Round C -- OUT announcements from the newly eliminated;
             # survivors prune their live sets.
-            self.awake[inloop] += 1
-            self.tx[elim] += 1
-            self.msent[elim] += live_cnt[elim]
-            self.bits[elim] += _FLAG_BITS * live_cnt[elim]
+            self.awake[U[inloop]] += 1
+            self.tx[eact] += 1
+            self.msent[eact] += live_cnt[elim]
+            self.bits[eact] += _FLAG_BITS * live_cnt[elim]
             delivered = elim[es] & live[E] & inloop[ed]
-            got_out = np.bincount(ed[delivered], minlength=n)
-            self.mrecv += got_out
+            got_out = np.bincount(ed[delivered], minlength=nu)
+            mrecv += got_out
             survivor = inloop & ~elim
-            self.rx[survivor & (got_out > 0)] += 1
-            self.idle[survivor & (got_out == 0)] += 1
+            self.rx[U[survivor & (got_out > 0)]] += 1
+            self.idle[U[survivor & (got_out == 0)]] += 1
             live[erev[delivered & survivor[ed]]] = False
-            if elim.any():
+            if len(eact):
                 if W - (used + 3) > 0:
-                    self.sleep[elim] += W - (used + 3)
+                    self.sleep[eact] += W - (used + 3)
                 inloop &= ~elim
-            live_cnt = np.bincount(es[live[E]], minlength=n)
+            live_cnt = np.bincount(es[live[E]], minlength=nu)
             p += 1
 
     # ------------------------------------------------------------------
@@ -972,6 +1076,15 @@ class VectorizedEngine:
         # result copies the stat columns out of the (scratch-recycled)
         # engine state -- a handful of C passes instead of the 10^5
         # NodeStats dataclasses of the legacy view.
+        #
+        # First flatten the deferred per-edge broadcast counters into the
+        # received-message column: edge e delivered one message to dst[e]
+        # per broadcast round it participated in.  float64 weights are
+        # exact here (per-node totals stay far below 2^53).
+        if self.arrays.m:
+            self.mrecv += np.bincount(
+                self.dst, weights=self._edge_rounds, minlength=self.n
+            ).astype(np.int64)
         if self.result_kind == "arrays":
             from .array_result import ArrayRunResult
 

@@ -253,7 +253,13 @@ class PhasedVectorizedEngine:
         self._marked[U] = self._draw_unit_floats(U) < threshold
 
     def _update_desire(
-        self, keyed: np.ndarray, live: np.ndarray, inloop: np.ndarray
+        self,
+        sf: np.ndarray,
+        df: np.ndarray,
+        gf: np.ndarray,
+        keyed: np.ndarray,
+        live: np.ndarray,
+        inloop: np.ndarray,
     ) -> None:
         """Ghaffari's end-of-phase desire-level update for the survivors.
 
@@ -261,7 +267,9 @@ class PhasedVectorizedEngine:
         neighbors ``u`` whose round-A report it kept (``keyed``) and that
         are still in its live set after the round-C pruning; the exponent
         rises when that sum reaches 2 and falls (floored at 1) otherwise.
-        The comparison is computed in exact integer arithmetic --
+        ``sf``/``df``/``gf`` are the phase's frontier endpoints and
+        reverse-edge ids, with ``keyed`` aligned to the frontier.  The
+        comparison is computed in exact integer arithmetic --
         ``sum(2^(E - e_u)) >= 2^(E+1)`` with ``E`` the largest exponent --
         matching the protocol's exact-shift implementation independent of
         any summation order.  The int64 fast path covers every exponent
@@ -270,21 +278,20 @@ class PhasedVectorizedEngine:
         big-int sums, still exact.
         """
         n = self.n
-        src, dst, grev = self.arrays.src, self.arrays.dst, self.arrays.grev
         high = np.zeros(n, dtype=bool)
-        rep = keyed & live[grev] & inloop[dst]
+        rep = keyed & live[gf] & inloop[df]
         if rep.any():
-            exps = self._exponent[src[rep]]
+            exps = self._exponent[sf[rep]]
             cap = int(exps.max())
             spread = cap - int(exps.min())
             if cap + 1 <= 62 and spread + n.bit_length() <= 62:
                 contrib = np.int64(1) << (np.int64(cap) - exps)
                 acc = np.zeros(n, dtype=np.int64)
-                np.add.at(acc, dst[rep], contrib)
+                np.add.at(acc, df[rep], contrib)
                 high = acc >= np.int64(1) << np.int64(cap + 1)
             else:  # pragma: no cover - adversarial exponent spreads
                 grouped: dict = {}
-                for v, e in zip(dst[rep].tolist(), exps.tolist()):
+                for v, e in zip(df[rep].tolist(), exps.tolist()):
                     grouped.setdefault(v, []).append(e)
                 for v, group in grouped.items():
                     top = max(group)
@@ -311,7 +318,18 @@ class PhasedVectorizedEngine:
         return self.arrays.adjacency
 
     def run(self) -> RunResult:
-        """Replay the full execution and return the generator-equal result."""
+        """Replay the full execution and return the generator-equal result.
+
+        The phase loop walks a **shrinking edge frontier**: ``EF`` holds
+        the (int32) indices of the live edges between in-loop nodes, so a
+        late phase with a handful of survivors touches a handful of
+        edges, not all ``m`` -- the historical full-edge-array masks made
+        every phase cost the whole graph.  ``live_cnt`` is maintained
+        incrementally as edges are pruned (one bincount over the pruned
+        set per phase, never over all edges), and the per-phase ``best``/
+        ``hit`` node arrays are scratch buffers cleared by re-scattering
+        the touched slots.
+        """
         n = self.n
         if n == 0:
             return self._build_result()
@@ -324,6 +342,9 @@ class PhasedVectorizedEngine:
         # protocol's set-based live sets are.
         live = self._scratch.take("live_edges", self.arrays.m, bool, fill=True)
         live_cnt = self.arrays.deg.copy()
+        EF = np.arange(self.arrays.m, dtype=np.int32)
+        best = self._scratch.take("phase_best", n, np.int64, fill=-1)
+        hit = self._scratch.take("phase_hit", n, bool, fill=False)
 
         p = 0
         while True:
@@ -361,6 +382,14 @@ class PhasedVectorizedEngine:
                 marked = inloop
             combined = self._combined
 
+            # Compact the frontier: the deliveries of this phase are
+            # exactly the live edges between in-loop nodes.
+            keep = live[EF]
+            keep &= inloop[src[EF]]
+            keep &= inloop[dst[EF]]
+            EF = EF[keep]
+            sf, df, gf = src[EF], dst[EF], grev[EF]
+
             # Round A (3p) -- rank/mark exchange over the live sets.  Every
             # in-loop node has a nonempty live set, so all are tx.
             self._check_clock(r0, len(U))
@@ -368,18 +397,18 @@ class PhasedVectorizedEngine:
             self.tx[U] += 1
             self.msent[U] += live_cnt[U]
             self.bits[U] += self._prio_bits[U] * live_cnt[U]
-            delivered = live & inloop[src] & inloop[dst]
-            self.mrecv += np.bincount(dst[delivered], minlength=n)
+            self.mrecv += np.bincount(df, minlength=n)
             # Keys kept by receivers: senders that are in the receiver's
             # own live set (the protocol's ``if u in live`` filter).
-            keyed = delivered & live[grev]
-            key_cnt = np.bincount(dst[keyed], minlength=n)
+            keyed = live[gf]
+            key_cnt = np.bincount(df[keyed], minlength=n)
             # Contenders: kept reports that can veto a win -- every kept
             # report for the rank baselines, marked ones for the others.
-            contender = keyed & marked[src] if marking else keyed
-            best = np.full(n, -1, dtype=np.int64)
-            np.maximum.at(best, dst[contender], combined[src[contender]])
+            contender = keyed & marked[sf] if marking else keyed
+            touched = df[contender]
+            np.maximum.at(best, touched, combined[sf[contender]])
             joined = marked & (key_cnt == live_cnt) & (combined > best)
+            best[touched] = -1  # hand the scratch buffer back clean
             jidx = np.flatnonzero(joined)
             if len(jidx):
                 self._decide(jidx, True, r0 + 1)
@@ -391,15 +420,16 @@ class PhasedVectorizedEngine:
             self.tx[jidx] += 1
             self.msent[jidx] += live_cnt[jidx]
             self.bits[jidx] += _FLAG_BITS * live_cnt[jidx]
-            delivered = live & joined[src] & inloop[dst]
-            got_join = np.bincount(dst[delivered], minlength=n)
+            delivered = joined[sf]
+            got_join = np.bincount(df[delivered], minlength=n)
             self.mrecv += got_join
             silent = inloop & ~joined
             self.rx[silent & (got_join > 0)] += 1
             self.idle[silent & (got_join == 0)] += 1
-            hit = np.zeros(n, dtype=bool)
-            hit[dst[delivered & live[grev]]] = True
+            hitidx = df[delivered & keyed]
+            hit[hitidx] = True
             elim = silent & hit
+            hit[hitidx] = False  # hand the scratch buffer back clean
             eidx = np.flatnonzero(elim)
             if len(eidx):
                 self._decide(eidx, False, r0 + 2)
@@ -415,20 +445,24 @@ class PhasedVectorizedEngine:
             self.tx[eidx] += 1
             self.msent[eidx] += live_cnt[eidx]
             self.bits[eidx] += _FLAG_BITS * live_cnt[eidx]
-            delivered = live & elim[src] & inloop[dst]
-            got_out = np.bincount(dst[delivered], minlength=n)
+            delivered = elim[sf] & inloop[df]
+            got_out = np.bincount(df[delivered], minlength=n)
             self.mrecv += got_out
             survivor = inloop & ~elim
             self.rx[survivor & (got_out > 0)] += 1
             self.idle[survivor & (got_out == 0)] += 1
-            live[grev[delivered & survivor[dst]]] = False
+            # Prune: only reverse edges that were still live decrement the
+            # sender-side live counts (live sets prune asymmetrically, so
+            # a reverse edge may already be dead).
+            fresh = delivered & survivor[df] & live[gf]
+            live[gf[delivered & survivor[df]]] = False
+            live_cnt -= np.bincount(df[fresh], minlength=n)
             self.finish[eidx] = r0 + 3
             inloop &= ~elim
-            live_cnt = np.bincount(src[live], minlength=n)
             if self.algorithm == "ghaffari":
                 # Survivors re-rate their desire level from the round-A
                 # reports of neighbors still live after the pruning.
-                self._update_desire(keyed, live, inloop)
+                self._update_desire(sf, df, gf, keyed, live, inloop)
             p += 1
 
         live[:] = False  # hand the edge buffer back clean

@@ -117,6 +117,20 @@ def stream_key(seed: Optional[int]) -> int:
     return int.from_bytes(digest[:8], "little")
 
 
+def graph_stream_key(seed: Optional[int]) -> int:
+    """The uint64 key of the v2 *graph-sampling* stream for ``seed``.
+
+    Domain-separated from the node streams (``repro|graph-v2|`` vs
+    ``repro|rng-v2|``), so a graph sampled and a protocol run under the
+    same master seed never share draws.  Graph-sampling draw ``j`` is
+    ``mix64((key + j) mod 2^64)`` -- one flat counter stream, no per-node
+    substreams; see :func:`repro.graphs.arrays.gnp_arrays_v2` for the
+    normative skip-sampling format built on it.
+    """
+    digest = hashlib.sha256(f"repro|graph-v2|{seed}".encode()).digest()
+    return int.from_bytes(digest[:8], "little")
+
+
 def mix64(x: int) -> int:
     """The splitmix64 finalizer on a Python int (mod 2^64)."""
     x &= _MASK64
@@ -150,12 +164,13 @@ def draw_u64_array(
 
     Computes exactly :func:`draw_u64` element-wise: both sides form
     ``key + (i << 32) + j`` in wrapping uint64 arithmetic and apply the
-    same finalizer.
+    same finalizer.  Either operand may be a scalar (e.g. one shared
+    counter for a whole index array, the lazy per-level coin draw).
     """
     x = (
         np.uint64(key & _MASK64)
-        + (node_index.astype(np.uint64) << np.uint64(32))
-        + counter.astype(np.uint64)
+        + (np.asarray(node_index).astype(np.uint64) << np.uint64(32))
+        + np.asarray(counter).astype(np.uint64)
     )
     return mix64_array(x)
 

@@ -31,7 +31,12 @@ class TestParser:
         for command in ("run", "sweep", "table1"):
             args = build_parser().parse_args([command])
             assert args.graph_source == "auto"
+            assert args.graph_rng == "legacy"
             assert args.result == "auto"
+
+    def test_unknown_graph_rng_rejected(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["run", "--graph-rng", "v3"])
 
     def test_unknown_graph_source_rejected(self):
         with pytest.raises(SystemExit):
@@ -144,3 +149,27 @@ class TestArrayNativeFlags:
         )
         assert code == 0
         assert "node_averaged_awake" in capsys.readouterr().out
+
+    def test_sweep_batched_graph_rng(self, capsys):
+        code = main(
+            ["sweep", "--algorithm", "sleeping", "--sizes", "64",
+             "--trials", "2", "--rng", "batched", "--graph-rng", "batched"]
+        )
+        assert code == 0
+        assert "mean" in capsys.readouterr().out
+
+    def test_batched_graph_rng_with_networkx_source_errors(self, capsys):
+        code = main(
+            ["sweep", "--sizes", "12", "--graph-source", "networkx",
+             "--graph-rng", "batched"]
+        )
+        assert code == 2
+        assert "graph_rng='batched'" in capsys.readouterr().err
+
+    def test_batched_graph_rng_for_unsupported_family_errors(self, capsys):
+        code = main(
+            ["run", "--family", "tree", "--n", "12",
+             "--graph-rng", "batched"]
+        )
+        assert code == 2
+        assert "graph_rng='legacy'" in capsys.readouterr().err

@@ -159,6 +159,16 @@ class TestPerformanceGuideFreshness:
                 f"graph source {source!r} undocumented"
             )
 
+    def test_every_graph_rng_documented(self):
+        from repro.graphs.arrays import GRAPH_RNGS
+
+        guide = read("docs/performance.md")
+        assert "`graph_rng=`" in guide or "`graph_rng`" in guide
+        for stream in GRAPH_RNGS:
+            assert f"`{stream}`" in guide, (
+                f"graph_rng stream {stream!r} undocumented"
+            )
+
     def test_support_matrix_names_every_algorithm(self):
         from repro.api import algorithm_names
 

@@ -8,21 +8,31 @@ invariants of :meth:`GraphArrays.from_edges`, the ``to_networkx()``
 round-trip, and the source-resolution rules.
 """
 
+import math
+
 import networkx as nx
 import numpy as np
 import pytest
 
+import repro.graphs.arrays
 from repro.graphs.arrays import (
     ARRAY_FAMILIES,
+    DEFAULT_GRAPH_RNG,
+    GRAPH_RNG_VERSIONS,
+    GRAPH_RNGS,
     GRAPH_SOURCES,
+    RANDOMIZED_ARRAY_FAMILIES,
     array_family_names,
     gnp_arrays,
+    gnp_arrays_v2,
     grid_arrays,
+    make_family,
     make_family_arrays,
     path_arrays,
     resolve_graph_source,
     ring_arrays,
     star_arrays,
+    validate_graph_rng,
 )
 from repro.graphs.generators import (
     FAMILIES,
@@ -189,6 +199,194 @@ class TestSourceResolution:
         with pytest.raises(ValueError, match="unknown graph source"):
             resolve_graph_source("csr", "cycle")
         assert GRAPH_SOURCES == ("auto", "networkx", "arrays")
+
+
+def _gnp_v2_reference_pairs(n, p, seed):
+    """Scalar reimplementation of the normative v2 sampling format.
+
+    Independent of the vectorized code path: one draw at a time through
+    the scalar ``mix64``, Python ``math.log1p`` skips, exact int
+    positions.  The vectorized sampler must reproduce it bit-for-bit.
+    """
+    from repro.sim.rng import graph_stream_key, mix64
+
+    key = graph_stream_key(seed)
+    total = n * (n - 1) // 2
+    log1mp = math.log1p(-p)
+    pos, j, pairs = -1, 0, []
+    while True:
+        u = (mix64((key + j) % (1 << 64)) >> 11) * 2.0**-53
+        j += 1
+        pos += 1 + int(math.log1p(-u) / log1mp)
+        if pos >= total:
+            return pairs
+        v = (1 + math.isqrt(1 + 8 * pos)) // 2
+        while v * (v - 1) // 2 > pos:
+            v -= 1
+        while (v + 1) * v // 2 <= pos:
+            v += 1
+        pairs.append((pos - v * (v - 1) // 2, v))
+
+
+class TestGraphRngV2:
+    """The versioned v2 (``"batched"``) sampling stream.
+
+    Same three contracts as the node-stream tests in
+    ``tests/test_rng_streams.py``: determinism, deliberate v1/v2
+    incompatibility, and scalar/vector agreement on the normative format.
+    """
+
+    def test_streams_are_versioned(self):
+        assert GRAPH_RNGS == ("legacy", "batched")
+        assert GRAPH_RNG_VERSIONS == {"legacy": 1, "batched": 2}
+
+    def test_default_stays_v1(self):
+        """Seed compatibility: the default sampling stream must remain
+        ``legacy`` so graph seeds recorded before v2 existed keep
+        replaying identically."""
+        assert DEFAULT_GRAPH_RNG == "legacy"
+
+    def test_validate_rejects_unknown_streams(self):
+        assert validate_graph_rng("batched") == "batched"
+        with pytest.raises(ValueError, match="unknown graph_rng"):
+            validate_graph_rng("v3")
+        with pytest.raises(ValueError, match="unknown graph_rng"):
+            make_family_arrays("gnp-sparse", 10, graph_rng="v3")
+
+    @pytest.mark.parametrize("n,p", [(40, 0.1), (200, 0.03), (64, 0.5)])
+    def test_deterministic(self, n, p):
+        for seed in (0, 7):
+            a = gnp_arrays_v2(n, p, seed=seed)
+            b = gnp_arrays_v2(n, p, seed=seed)
+            np.testing.assert_array_equal(a.src, b.src)
+            np.testing.assert_array_equal(a.dst, b.dst)
+
+    def test_different_seeds_differ(self):
+        a = gnp_arrays_v2(200, 0.05, seed=0)
+        b = gnp_arrays_v2(200, 0.05, seed=1)
+        assert a.m != b.m or not np.array_equal(a.src, b.src)
+
+    def test_v1_v2_graphs_differ(self):
+        """The formats are deliberately incompatible: same (n, p, seed),
+        different sampled graphs (pinned on these fixed parameters)."""
+        v1 = gnp_arrays(300, 0.05, seed=7)
+        v2 = gnp_arrays_v2(300, 0.05, seed=7)
+        assert v1.m != v2.m or not np.array_equal(v1.src, v2.src)
+
+    @pytest.mark.parametrize("n,p,seed", [(30, 0.2, 0), (120, 0.05, 3),
+                                          (50, 0.7, 9)])
+    def test_matches_scalar_reference(self, n, p, seed):
+        """Vector/scalar agreement on the normative skip format."""
+        expected = _gnp_v2_reference_pairs(n, p, seed)
+        got = gnp_arrays_v2(n, p, seed=seed)
+        half = got.src < got.dst
+        pairs = sorted(
+            zip(got.src[half].tolist(), got.dst[half].tolist())
+        )
+        assert pairs == sorted(expected)
+
+    def test_format_anchor(self):
+        """A hardcoded anchor so any formula drift (key derivation, skip
+        law, decode order) fails loudly, not just differently."""
+        got = gnp_arrays_v2(12, 0.3, seed=0)
+        half = got.src < got.dst
+        pairs = list(zip(got.src[half].tolist(), got.dst[half].tolist()))
+        assert pairs == sorted(_gnp_v2_reference_pairs(12, 0.3, 0))
+        # Frozen output of the v2 format for (12, 0.3, 0); must never
+        # change -- the format is versioned.
+        assert pairs[:4] == [(0, 1), (0, 7), (1, 4), (1, 6)]
+        assert got.m == 2 * 21
+
+    def test_chunk_size_is_not_part_of_the_format(self, monkeypatch):
+        reference = gnp_arrays_v2(150, 0.08, seed=5)
+        monkeypatch.setattr(repro.graphs.arrays, "GNP_V2_CHUNK", 1024)
+        chunked = gnp_arrays_v2(150, 0.08, seed=5)
+        np.testing.assert_array_equal(chunked.src, reference.src)
+        np.testing.assert_array_equal(chunked.dst, reference.dst)
+
+    def test_structure_invariants(self):
+        ga = gnp_arrays_v2(400, 0.03, seed=2)
+        np.testing.assert_array_equal(ga.src[ga.grev], ga.dst)
+        np.testing.assert_array_equal(ga.dst[ga.grev], ga.src)
+        np.testing.assert_array_equal(
+            ga.deg, np.bincount(ga.src, minlength=ga.n)
+        )
+        assert (ga.src != ga.dst).all()
+
+    def test_edge_cases(self):
+        assert gnp_arrays_v2(0, 0.5).n == 0
+        assert gnp_arrays_v2(1, 0.5).m == 0
+        assert gnp_arrays_v2(10, 0.0).m == 0
+        assert gnp_arrays_v2(10, 1.0).m == 90  # complete, same as v1
+        assert gnp_arrays_v2(2, 0.9999, seed=3).n == 2
+
+    def test_distribution_sanity(self):
+        """Edge counts concentrate around p * n(n-1)/2 across seeds."""
+        n, p = 300, 0.05
+        expect = p * n * (n - 1) / 2
+        counts = [gnp_arrays_v2(n, p, seed=s).m // 2 for s in range(20)]
+        mean = sum(counts) / len(counts)
+        assert abs(mean - expect) < 0.05 * expect
+
+    @pytest.mark.parametrize("family", sorted(ARRAY_FAMILIES))
+    def test_family_registry_plumbs_graph_rng(self, family):
+        a = make_family_arrays(family, 60, seed=3, graph_rng="batched")
+        b = make_family_arrays(family, 60, seed=3, graph_rng="batched")
+        np.testing.assert_array_equal(a.src, b.src)
+        legacy = make_family_arrays(family, 60, seed=3, graph_rng="legacy")
+        if family in RANDOMIZED_ARRAY_FAMILIES:
+            assert a.m != legacy.m or not np.array_equal(a.src, legacy.src)
+        else:
+            # Deterministic topologies carry no randomness: identical
+            # graphs under either stream.
+            np.testing.assert_array_equal(a.src, legacy.src)
+            np.testing.assert_array_equal(a.dst, legacy.dst)
+
+    def test_make_family_routes_batched_to_arrays(self):
+        from repro.sim.fast_engine import GraphArrays
+
+        built = make_family("gnp-sparse", 80, seed=1, graph_source="auto",
+                            graph_rng="batched")
+        assert isinstance(built, GraphArrays)
+
+
+class TestGraphRngResolution:
+    """Unsupported graph_rng combinations fail with actionable text."""
+
+    def test_batched_resolves_to_arrays(self):
+        assert resolve_graph_source("auto", "gnp-sparse", "batched") == "arrays"
+        assert (
+            resolve_graph_source("arrays", "gnp-dense", "batched") == "arrays"
+        )
+
+    def test_batched_with_networkx_source_names_the_fix(self):
+        with pytest.raises(ValueError) as err:
+            resolve_graph_source("networkx", "gnp-sparse", "batched")
+        message = str(err.value)
+        assert "graph_rng='batched'" in message
+        assert "graph_source='arrays'" in message
+        assert "graph_rng='legacy'" in message
+
+    def test_batched_with_non_array_family_names_the_fix(self):
+        with pytest.raises(ValueError) as err:
+            resolve_graph_source("auto", "tree", "batched")
+        message = str(err.value)
+        assert "graph_rng='batched'" in message
+        assert "tree" in message
+        assert "graph_rng='legacy'" in message
+
+    def test_sweep_surfaces_the_actionable_error(self):
+        from repro.analysis.complexity import sweep
+
+        with pytest.raises(ValueError, match="graph_rng='batched'"):
+            sweep("luby", "tree", (16,), trials=1, graph_rng="batched")
+        with pytest.raises(ValueError, match="graph_rng='batched'"):
+            sweep("luby", "gnp-sparse", (16,), trials=1,
+                  graph_source="networkx", graph_rng="batched")
+
+    def test_legacy_resolution_unchanged(self):
+        assert resolve_graph_source("auto", "gnp-sparse", "legacy") == "arrays"
+        assert resolve_graph_source("auto", "tree", "legacy") == "networkx"
 
 
 class TestEndToEnd:
