@@ -9,6 +9,7 @@ flatness (growth factor near 1, classified as constant by the estimators).
 from conftest import record, timed_once, write_artifact
 
 from repro.analysis import classify_growth, growth_factor, mean_by_size, sweep
+from repro.plan import RunPlan
 
 SIZES = (64, 128, 256, 512, 1024)
 FAMILIES = ("gnp-sparse", "tree", "regular-4")
@@ -22,15 +23,22 @@ CONFIG = {
 }
 
 
+def _plans(algorithm):
+    """One validated plan per measured family (embedded in the artifact)."""
+    return {
+        family: RunPlan(
+            algorithm=algorithm, family=family, engine="vectorized"
+        )
+        for family in FAMILIES
+    }
+
+
 def _measure(algorithm):
     # Runs through the batch runner on the vectorized engine: identical
     # trial rows to the generator engine, at a fraction of the wall clock.
     series = {}
-    for family in FAMILIES:
-        rows = sweep(
-            algorithm, family, SIZES, trials=TRIALS, seed0=23,
-            engine="vectorized",
-        )
+    for family, plan in _plans(algorithm).items():
+        rows = sweep(plan=plan, sizes=SIZES, trials=TRIALS, seed0=23)
         assert all(r.valid for r in rows)
         series[family] = mean_by_size(rows, "node_averaged_awake")
     return series
@@ -52,6 +60,7 @@ def test_algorithm1_node_avg_awake_constant(benchmark):
     write_artifact(
         "node_avg_awake_alg1",
         config={**CONFIG, "algorithm": "sleeping"},
+        plan=_plans("sleeping"),
         wall_clock_s=elapsed,
         **means_by_family,
     )
@@ -73,6 +82,7 @@ def test_algorithm2_node_avg_awake_constant(benchmark):
     write_artifact(
         "node_avg_awake_alg2",
         config={**CONFIG, "algorithm": "fast-sleeping"},
+        plan=_plans("fast-sleeping"),
         wall_clock_s=elapsed,
         **means_by_family,
     )

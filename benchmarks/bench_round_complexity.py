@@ -12,6 +12,7 @@ import math
 from conftest import once, record, timed_once, write_artifact
 
 from repro.analysis import fit_power, mean_by_size, sweep
+from repro.plan import RunPlan
 from repro.core import schedule
 
 SIZES = (64, 128, 256, 512, 1024)
@@ -21,7 +22,7 @@ def test_algorithm1_rounds_cubic(benchmark):
     rows = once(
         benchmark,
         lambda: sweep(
-            "sleeping", "gnp-sparse", SIZES, trials=1, seed0=7,
+            "sleeping", "gnp-sparse", sizes=SIZES, trials=1, seed0=7,
             engine="vectorized",
         ),
     )
@@ -43,7 +44,7 @@ def test_algorithm2_rounds_polylog(benchmark):
     rows = once(
         benchmark,
         lambda: sweep(
-            "fast-sleeping", "gnp-sparse", SIZES, trials=1, seed0=7,
+            "fast-sleeping", "gnp-sparse", sizes=SIZES, trials=1, seed0=7,
             engine="vectorized",
         ),
     )
@@ -82,7 +83,7 @@ def test_crossover_ordering(benchmark):
             # (Luby included since the phased engine landed) -- same batch
             # runner either way.
             rows = sweep(
-                algorithm, "gnp-sparse", SIZES, trials=1, seed0=7,
+                algorithm, "gnp-sparse", sizes=SIZES, trials=1, seed0=7,
                 engine="auto",
             )
             out[algorithm] = mean_by_size(rows, "worst_case_rounds")[1]
@@ -97,6 +98,12 @@ def test_crossover_ordering(benchmark):
         "round_complexity_crossover",
         config={
             "sizes": list(SIZES), "trials": 1, "seed0": 7, "engine": "auto",
+        },
+        plan={
+            algorithm: RunPlan(
+                algorithm=algorithm, family="gnp-sparse", engine="auto"
+            )
+            for algorithm in ("luby", "fast-sleeping", "sleeping")
         },
         wall_clock_s=elapsed,
         **data,

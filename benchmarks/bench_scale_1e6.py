@@ -26,6 +26,7 @@ from conftest import record, timed_once, write_artifact
 
 from repro.analysis.complexity import sweep
 from repro.graphs.arrays import make_family_arrays
+from repro.plan import RunPlan
 
 N = 1_000_000
 SEED0 = 11
@@ -62,6 +63,10 @@ def test_gnp_1e6_sampler_smoke(benchmark):
             "family": "gnp-sparse", "n": N, "seed": SEED0,
             "graph_rng": "batched",
         },
+        plan=RunPlan(
+            family="gnp-sparse", n=N, seed=SEED0,
+            graph_rng="batched", graph_source="arrays",
+        ),
         wall_clock_s=elapsed,
         directed_edges=ga.m,
     )
@@ -71,12 +76,17 @@ def test_sleeping_1e6_pipeline_speedup(benchmark):
     """10^6 nodes: batched-sampler pipeline >= 2x the v1-sampler one."""
     import time
 
+    def plan_for(graph_rng):
+        return RunPlan(
+            algorithm="sleeping", family="gnp-sparse",
+            engine="vectorized", rng="batched", graph_rng=graph_rng,
+            graph_source="arrays", result="arrays",
+        )
+
     def run(graph_rng):
         start = time.perf_counter()
         rows = sweep(
-            "sleeping", "gnp-sparse", (N,), trials=1, seed0=SEED0,
-            engine="vectorized", rng="batched", graph_rng=graph_rng,
-            graph_source="arrays", result="arrays",
+            plan=plan_for(graph_rng), sizes=(N,), trials=1, seed0=SEED0,
         )
         return rows, time.perf_counter() - start
 
@@ -120,6 +130,10 @@ def test_sleeping_1e6_pipeline_speedup(benchmark):
                 "legacy_sampler": {"graph_rng": "legacy"},
                 "batched_sampler": {"graph_rng": "batched"},
             },
+        },
+        plan={
+            "legacy_sampler": plan_for("legacy"),
+            "batched_sampler": plan_for("batched"),
         },
         wall_clock_s=batched_s,
         legacy_sampler_pipeline_s=round(legacy_s, 3),

@@ -22,6 +22,7 @@ ROADMAP's scale target made executable, in two stages:
 from conftest import record, timed_once, write_artifact
 
 from repro.analysis.complexity import sweep
+from repro.plan import RunPlan
 
 SIZES = (1_000, 10_000)
 TRIALS = 3
@@ -36,12 +37,15 @@ N_LARGE = 100_000
 SPEEDUP_FLOOR = 1.7
 
 
+SWEEP_PLAN = RunPlan(
+    algorithm="sleeping", family="gnp-sparse",
+    engine="vectorized", rng="batched", result="auto",
+)
+
+
 def test_sleeping_mis_scale_sweep_batched(benchmark):
     def measure():
-        return sweep(
-            "sleeping", "gnp-sparse", SIZES, trials=TRIALS, seed0=SEED0,
-            engine="vectorized", rng="batched",
-        )
+        return sweep(plan=SWEEP_PLAN, sizes=SIZES, trials=TRIALS, seed0=SEED0)
 
     rows, elapsed = timed_once(benchmark, measure)
 
@@ -70,6 +74,7 @@ def test_sleeping_mis_scale_sweep_batched(benchmark):
             "engine": "vectorized", "rng": "batched",
             "graph_source": "auto", "result": "auto",
         },
+        plan=SWEEP_PLAN,
         wall_clock_s=elapsed,
         node_avg_awake={str(n): round(m, 3) for n, m in means.items()},
     )
@@ -82,9 +87,8 @@ def test_sleeping_1e5_array_native_speedup(benchmark):
     def run(graph_source, result):
         start = time.perf_counter()
         rows = sweep(
-            "sleeping", "gnp-sparse", (N_LARGE,), trials=1, seed0=SEED0,
-            engine="vectorized", rng="batched",
-            graph_source=graph_source, result=result,
+            plan=SWEEP_PLAN.replace(graph_source=graph_source, result=result),
+            sizes=(N_LARGE,), trials=1, seed0=SEED0,
         )
         return rows, time.perf_counter() - start
 
@@ -131,6 +135,14 @@ def test_sleeping_1e5_array_native_speedup(benchmark):
                 "legacy": {"graph_source": "networkx", "result": "legacy"},
                 "array_native": {"graph_source": "arrays", "result": "arrays"},
             },
+        },
+        plan={
+            "legacy": SWEEP_PLAN.replace(
+                graph_source="networkx", result="legacy"
+            ),
+            "array_native": SWEEP_PLAN.replace(
+                graph_source="arrays", result="arrays"
+            ),
         },
         wall_clock_s=arrays_s,
         legacy_pipeline_s=round(legacy_s, 3),

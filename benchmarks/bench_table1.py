@@ -20,9 +20,13 @@ from conftest import record, timed_once, write_artifact
 
 from repro.analysis.complexity import mean_by_size, sweep
 from repro.analysis.tables import build_table1
+from repro.plan import RunPlan
 
 SIZES = (64, 128, 256)
 TRIALS = 2
+#: The knob configuration Table 1 is measured under; build_table1 derives
+#: the per-algorithm variants via plan.replace(algorithm=...).
+TABLE_PLAN = RunPlan(family="gnp-sparse", engine="auto", result="auto")
 
 
 def test_table1_full(benchmark):
@@ -32,7 +36,7 @@ def test_table1_full(benchmark):
         # engine="auto" routes every algorithm in the table through the
         # vectorized engines (see bench_table1_all6.py for the measured
         # auto-vs-generators ratio of the full six-algorithm table).
-        return build_table1(sizes=SIZES, trials=TRIALS, seed0=1, engine="auto")
+        return build_table1(sizes=SIZES, plan=TABLE_PLAN, trials=TRIALS, seed0=1)
 
     table, elapsed = timed_once(benchmark, measure)
     print()
@@ -41,8 +45,8 @@ def test_table1_full(benchmark):
     data = {}
     for algorithm in ("luby", "sleeping", "fast-sleeping"):
         rows = sweep(
-            algorithm, "gnp-sparse", SIZES, trials=TRIALS, seed0=1,
-            engine="auto",
+            plan=TABLE_PLAN.replace(algorithm=algorithm),
+            sizes=SIZES, trials=TRIALS, seed0=1,
         )
         for measure_name in ("node_averaged_awake", "worst_case_rounds"):
             _, means = mean_by_size(rows, measure_name)
@@ -79,6 +83,7 @@ def test_table1_full(benchmark):
             "sizes": list(SIZES), "trials": TRIALS, "seed0": 1,
             "engine": "auto",
         },
+        plan=TABLE_PLAN,
         wall_clock_s=elapsed,
         sleeping_awake=data[("sleeping", "node_averaged_awake")],
         fast_awake=data[("fast-sleeping", "node_averaged_awake")],

@@ -17,6 +17,7 @@ import time
 from conftest import once, record, write_artifact
 
 from repro.analysis.tables import build_table1
+from repro.plan import RunPlan
 
 N = 300
 TRIALS = 6
@@ -75,6 +76,13 @@ def test_table1_all6_speedup_at_n300(benchmark):
         config={
             "n": N, "trials": TRIALS, "seed0": SEED0,
             "algorithms": list(ALGORITHMS),
+        },
+        plan={
+            "generators": RunPlan(family="gnp-sparse", engine="generators"),
+            "auto": RunPlan(family="gnp-sparse", engine="auto"),
+            "auto_batched": RunPlan(
+                family="gnp-sparse", engine="auto", rng="batched"
+            ),
         },
         wall_clock_s=generators_s + auto_s + batched_s,
         generators_s=round(generators_s, 3),

@@ -22,7 +22,7 @@ TRIALS = 3
 def test_algorithm1_worst_awake_logarithmic(benchmark):
     rows = once(
         benchmark,
-        lambda: sweep("sleeping", "gnp-sparse", SIZES, trials=TRIALS, seed0=31),
+        lambda: sweep("sleeping", "gnp-sparse", sizes=SIZES, trials=TRIALS, seed0=31),
     )
     ns, means = mean_by_size(rows, "worst_case_awake")
     fit = fit_logarithmic(ns, means)
@@ -46,7 +46,7 @@ def test_algorithm2_worst_awake_logarithmic(benchmark):
     rows = once(
         benchmark,
         lambda: sweep(
-            "fast-sleeping", "gnp-sparse", SIZES, trials=TRIALS, seed0=31
+            "fast-sleeping", "gnp-sparse", sizes=SIZES, trials=TRIALS, seed0=31
         ),
     )
     ns, means = mean_by_size(rows, "worst_case_awake")

@@ -44,6 +44,17 @@ else is:
 Everything else -- configs and measured series (table cells, edge
 counts, per-size means, round counts) -- must match the committed JSON
 exactly.
+
+Plan validation
+---------------
+Every artifact's ``config`` block must carry the canonical serialized
+:class:`repro.plan.RunPlan` it was measured with -- ``config.plan`` for
+single-configuration benches, ``config.plans`` (one plan per measurement
+name) for multi-configuration ones.  Each embedded plan is re-parsed via
+``RunPlan.from_dict`` against the *current* registries, so an artifact
+whose recorded configuration is no longer constructible (renamed
+algorithm, dropped knob value, unsupported combination) fails the check
+instead of silently rotting.
 """
 
 from __future__ import annotations
@@ -82,6 +93,42 @@ def _strip_timing(value: Any, extra: frozenset = frozenset()) -> Any:
     if isinstance(value, list):
         return [_strip_timing(v, extra) for v in value]
     return value
+
+
+def _embedded_plans(artifact: Any) -> List[Tuple[str, Any]]:
+    """``(label, plan dict)`` pairs found in the artifact's config block."""
+    config = artifact.get("config") if isinstance(artifact, dict) else None
+    if not isinstance(config, dict):
+        return []
+    found: List[Tuple[str, Any]] = []
+    if "plan" in config:
+        found.append(("config.plan", config["plan"]))
+    for key, value in sorted(config.get("plans", {}).items()):
+        found.append((f"config.plans.{key}", value))
+    return found
+
+
+def _plan_errors(artifact: Any) -> List[str]:
+    """Validate every embedded serialized plan; return error strings."""
+    try:
+        from repro.plan import RunPlan
+    except ImportError:
+        sys.path.insert(0, str(REPO / "src"))
+        from repro.plan import RunPlan
+    plans = _embedded_plans(artifact)
+    if not plans:
+        return [
+            "config block carries no serialized RunPlan "
+            "(config.plan / config.plans); regenerate with "
+            "BENCH_UPDATE_ARTIFACTS=1"
+        ]
+    errors = []
+    for label, data in plans:
+        try:
+            RunPlan.from_dict(data)
+        except (TypeError, ValueError) as exc:
+            errors.append(f"{label}: {exc}")
+    return errors
 
 
 def _committed(path: Path) -> Any:
@@ -134,13 +181,20 @@ def check_artifacts(list_only: bool = False) -> int:
         if list_only:
             print(name)
             continue
+        regenerated = json.loads(path.read_text())
+        plan_errors = _plan_errors(regenerated)
+        if plan_errors:
+            failed = True
+            print(f"{name:40s} PLAN INVALID")
+            for err in plan_errors:
+                print(f"    {err}")
+            continue
         committed = _committed(path)
         if committed is None:
             # Brand-new artifact: nothing committed to drift from.  The
             # file itself still has to be committed with the PR.
             print(f"{name:40s} NEW (no committed baseline; commit it)")
             continue
-        regenerated = json.loads(path.read_text())
         extra = frozenset(
             BENCH_TIMING_KEYS.get(regenerated.get("bench"), ())
         )

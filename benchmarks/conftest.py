@@ -52,6 +52,7 @@ def write_artifact(
     name: str,
     *,
     config: Dict[str, Any],
+    plan: Any = None,
     wall_clock_s: Optional[float] = None,
     **data: Any,
 ) -> Optional[Path]:
@@ -60,6 +61,14 @@ def write_artifact(
     One artifact per benchmark entry point: the exact config that was
     measured, the wall-clock it took, and whatever measured series the
     benchmark wants tracked across PRs.
+
+    ``plan`` is the :class:`repro.plan.RunPlan` the benchmark measured
+    (or a dict of several, keyed by measurement name, for benches that
+    measure more than one configuration); its canonical serialization is
+    embedded as ``config["plan"]`` / ``config["plans"]``, so the
+    committed artifact states the *complete* validated knob
+    configuration and ``benchmarks/check_artifacts.py`` can re-validate
+    it against the current registries.
 
     The committed files are only rewritten when ``BENCH_UPDATE_ARTIFACTS``
     is set (CI sets it; refresh locally with
@@ -71,6 +80,14 @@ def write_artifact(
         print(f"  artifact skipped (BENCH_UPDATE_ARTIFACTS unset): {name}")
         return None
     ARTIFACT_DIR.mkdir(exist_ok=True)
+    if plan is not None:
+        config = dict(config)
+        if isinstance(plan, dict):
+            config["plans"] = {
+                key: one.to_dict() for key, one in sorted(plan.items())
+            }
+        else:
+            config["plan"] = plan.to_dict()
     payload: Dict[str, Any] = {"bench": name, "config": config}
     if wall_clock_s is not None:
         payload["wall_clock_s"] = round(wall_clock_s, 3)

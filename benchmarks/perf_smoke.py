@@ -89,10 +89,39 @@ def _calibrate() -> float:
     return _best_of(workload)
 
 
-def _measurements() -> dict:
+def _plans() -> dict:
+    """The validated :class:`RunPlan` behind each pinned measurement.
+
+    One plan per measurement name; the canonical serializations are
+    embedded as the artifact's ``config.plans`` block, so the committed
+    baseline states exactly which knob configuration each calibrated
+    unit was measured under (and ``check_artifacts.py`` re-validates
+    them against the current registries).
+    """
+    from repro.plan import RunPlan
+
+    sweep_1e4 = RunPlan(
+        family="gnp-sparse", engine="vectorized", rng="batched",
+        result="auto",
+    )
+    return {
+        "table1_auto": RunPlan(family="gnp-sparse", engine="auto"),
+        "sleeping_1e4_batched": sweep_1e4.replace(algorithm="sleeping"),
+        "luby_1e4_batched": sweep_1e4.replace(algorithm="luby"),
+        "ghaffari_1e4_batched": sweep_1e4.replace(algorithm="ghaffari"),
+        "sleeping_1e5_arrays": sweep_1e4.replace(
+            algorithm="sleeping", graph_source="arrays", result="arrays",
+        ),
+        "gnp_1e6_sampler_batched": RunPlan(
+            family="gnp-sparse", n=1_000_000, seed=11,
+            graph_source="arrays", graph_rng="batched",
+        ),
+    }
+
+
+def _measurements(plans: dict) -> dict:
     from repro.analysis.complexity import sweep
     from repro.analysis.tables import build_table1
-    from repro.graphs.arrays import make_family_arrays
 
     # Warm imports and caches before timing anything.
     build_table1(sizes=(64,), trials=1, algorithms=("luby",))
@@ -100,39 +129,36 @@ def _measurements() -> dict:
     return {
         "table1_auto": _best_of(
             lambda: build_table1(
-                sizes=(300,), trials=10, seed0=1, engine="auto",
+                sizes=(300,), plan=plans["table1_auto"], trials=10, seed0=1,
                 algorithms=("luby", "greedy", "sleeping", "fast-sleeping"),
             )
         ),
         "sleeping_1e4_batched": _best_of(
             lambda: sweep(
-                "sleeping", "gnp-sparse", (10_000,), trials=2, seed0=11,
-                engine="vectorized", rng="batched",
+                plan=plans["sleeping_1e4_batched"],
+                sizes=(10_000,), trials=2, seed0=11,
             )
         ),
         "luby_1e4_batched": _best_of(
             lambda: sweep(
-                "luby", "gnp-sparse", (10_000,), trials=2, seed0=11,
-                engine="vectorized", rng="batched",
+                plan=plans["luby_1e4_batched"],
+                sizes=(10_000,), trials=2, seed0=11,
             )
         ),
         "ghaffari_1e4_batched": _best_of(
             lambda: sweep(
-                "ghaffari", "gnp-sparse", (10_000,), trials=2, seed0=11,
-                engine="vectorized", rng="batched",
+                plan=plans["ghaffari_1e4_batched"],
+                sizes=(10_000,), trials=2, seed0=11,
             )
         ),
         "sleeping_1e5_arrays": _best_of(
             lambda: sweep(
-                "sleeping", "gnp-sparse", (100_000,), trials=1, seed0=11,
-                engine="vectorized", rng="batched",
-                graph_source="arrays", result="arrays",
+                plan=plans["sleeping_1e5_arrays"],
+                sizes=(100_000,), trials=1, seed0=11,
             )
         ),
         "gnp_1e6_sampler_batched": _best_of(
-            lambda: make_family_arrays(
-                "gnp-sparse", 1_000_000, seed=11, graph_rng="batched"
-            )
+            lambda: plans["gnp_1e6_sampler_batched"].build_graph()
         ),
     }
 
@@ -149,9 +175,10 @@ def main(argv=None) -> int:
     )
     args = parser.parse_args(argv)
 
+    plans = _plans()
     calibration = _calibrate()
     print(f"{'calibration':24s} {calibration:8.3f}s")
-    raw = {k: round(v, 3) for k, v in _measurements().items()}
+    raw = {k: round(v, 3) for k, v in _measurements(plans).items()}
     units = {k: round(v / calibration, 3) for k, v in raw.items()}
     for key in raw:
         print(f"{key:24s} {raw[key]:8.3f}s  = {units[key]:7.3f} units")
@@ -162,6 +189,12 @@ def main(argv=None) -> int:
             json.dumps(
                 {
                     "bench": "perf_smoke",
+                    "config": {
+                        "plans": {
+                            key: plan.to_dict()
+                            for key, plan in sorted(plans.items())
+                        },
+                    },
                     "tolerance": TOLERANCE,
                     "calibration_s": round(calibration, 3),
                     "wall_clock_s": raw,

@@ -40,7 +40,7 @@ def main() -> None:
     )
     for algorithm in ("sleeping", "fast-sleeping", "luby", "ghaffari"):
         rows = sweep(
-            algorithm, "gnp-sparse", sizes, trials=args.trials, seed0=17
+            algorithm, "gnp-sparse", sizes=sizes, trials=args.trials, seed0=17
         )
         ns, means = mean_by_size(rows, "node_averaged_awake")
         table.add_row(
@@ -58,7 +58,7 @@ def main() -> None:
     )
     for algorithm in ("sleeping", "fast-sleeping"):
         rows = sweep(
-            algorithm, "gnp-sparse", sizes, trials=args.trials, seed0=17
+            algorithm, "gnp-sparse", sizes=sizes, trials=args.trials, seed0=17
         )
         ns, means = mean_by_size(rows, "worst_case_awake")
         fit = fit_logarithmic(ns, means)
@@ -71,7 +71,7 @@ def main() -> None:
         headers=["algorithm"] + [f"n={n}" for n in sizes],
     )
     for algorithm in ("sleeping", "fast-sleeping", "luby"):
-        rows = sweep(algorithm, "gnp-sparse", sizes, trials=1, seed0=17)
+        rows = sweep(algorithm, "gnp-sparse", sizes=sizes, trials=1, seed0=17)
         ns, means = mean_by_size(rows, "worst_case_rounds")
         table.add_row(algorithm, *[f"{m:.3g}" for m in means])
     print(table.to_text())

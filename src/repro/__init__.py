@@ -15,6 +15,7 @@ Quickstart::
 from . import core, graphs, sim
 from .api import ALGORITHMS, algorithm_names, make_protocol_factory, solve_mis
 from .core import FastSleepingMIS, SleepingMIS
+from .plan import RunPlan, ensure_plan
 from .sim import (
     EnergyModel,
     MISProtocol,
@@ -34,6 +35,7 @@ __all__ = [
     "FastSleepingMIS",
     "MISProtocol",
     "Protocol",
+    "RunPlan",
     "RunResult",
     "SendAndReceive",
     "Simulator",
@@ -41,6 +43,7 @@ __all__ = [
     "SleepingMIS",
     "algorithm_names",
     "core",
+    "ensure_plan",
     "graphs",
     "make_protocol_factory",
     "sim",

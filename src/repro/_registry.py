@@ -1,0 +1,62 @@
+"""Shared helper for registry lookups: helpful unknown-name errors.
+
+Every name registry in the package (graph families, algorithms, the
+array-native family mirror) used to raise a bare ``KeyError`` on a typo,
+so ``family="gnp"`` surfaced as ``KeyError: 'gnp'`` with no hint that
+``"gnp-sparse"`` / ``"gnp-dense"`` exist.  :func:`unknown_name_error`
+is the one error path they all share now: a ``ValueError`` that names
+the bad value, suggests close matches (edit distance plus prefix
+matches, so ``"gnp"`` finds both gnp variants), and lists the full
+registry.
+"""
+
+from __future__ import annotations
+
+import difflib
+from typing import Iterable, List, Optional
+
+
+def close_name_matches(name: str, known: Iterable[str]) -> List[str]:
+    """Plausible intended names for a mistyped ``name``.
+
+    Combines :func:`difflib.get_close_matches` (typos: ``"slepeing"`` ->
+    ``"sleeping"``) with prefix containment in either direction
+    (truncations: ``"gnp"`` -> ``"gnp-sparse"``, ``"gnp-dense"``),
+    preserving registry order for the prefix hits.
+    """
+    known = list(known)
+    fuzzy = difflib.get_close_matches(name, known, n=3, cutoff=0.6)
+    prefixed = [
+        k for k in known
+        if k not in fuzzy and (k.startswith(name) or name.startswith(k))
+    ]
+    return fuzzy + prefixed
+
+
+def unknown_name_error(
+    kind: str,
+    name: object,
+    known: Iterable[str],
+    *,
+    hint: Optional[str] = None,
+) -> ValueError:
+    """A ``ValueError`` describing an unknown registry ``name``.
+
+    ``kind`` is the human label ("graph family", "algorithm", ...);
+    ``known`` the registry's valid names; ``hint`` an optional trailing
+    sentence (e.g. which knob selects a different registry).  Returned,
+    not raised, so call sites read ``raise unknown_name_error(...)``.
+    """
+    known = sorted(known)
+    parts = [f"unknown {kind} {name!r}"]
+    if isinstance(name, str):
+        matches = close_name_matches(name, known)
+        if matches:
+            parts.append(
+                "did you mean " + ", ".join(repr(m) for m in matches) + "?"
+            )
+    parts.append(f"known: {known}")
+    message = "; ".join(parts)
+    if hint:
+        message += f" ({hint})"
+    return ValueError(message)

@@ -15,17 +15,20 @@ from __future__ import annotations
 
 import statistics
 from dataclasses import dataclass
-from typing import Any, Dict, Iterable, List, Optional, Sequence
+from typing import TYPE_CHECKING, Any, Dict, Iterable, List, Optional, Sequence
 
 from ..api import make_protocol_factory
-from ..graphs.arrays import DEFAULT_GRAPH_RNG, make_family, resolve_graph_source
+from ..graphs.arrays import DEFAULT_GRAPH_RNG, make_family
 from ..graphs.validation import is_maximal_independent_set
 from ..sim.array_result import ArrayRunResult, resolve_result_kind
-from ..sim.batch import iter_trials, make_vectorized_engine, resolve_engine
+from ..sim.batch import iter_trials, make_vectorized_engine
 from ..sim.energy import DEFAULT_MODEL, EnergyModel
 from ..sim.metrics import RunResult
 from ..sim.network import Simulator
 from ..sim.rng import DEFAULT_STREAM
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from ..plan import RunPlan
 
 
 @dataclass
@@ -87,9 +90,10 @@ def trial_from_result(
 
 def run_trial(
     graph: Any,
-    algorithm: str,
-    seed: int = 0,
+    algorithm: Optional[str] = None,
     *,
+    plan: Optional["RunPlan"] = None,
+    seed: int = 0,
     family: str = "custom",
     energy_model: EnergyModel = DEFAULT_MODEL,
     congest_bit_limit: Optional[int] = None,
@@ -100,6 +104,15 @@ def run_trial(
 ) -> tuple:
     """Run one algorithm once; returns ``(result, Trial)``.
 
+    Takes ``(graph, algorithm)`` -- the concrete-graph argument order
+    shared with :func:`repro.api.solve_mis` (family-driven entry points
+    like :func:`sweep` take ``(algorithm, family)``); everything else is
+    keyword-only, so cross-use fails with a clear named-argument error.
+    Pass ``plan=`` (a :class:`repro.plan.RunPlan`) instead of loose
+    knobs; ``family`` here is the row *label* written into the
+    :class:`Trial` (often not a registered family name), and
+    ``energy_model`` a live model object, so both stay outside the plan.
+
     The default engine stays ``"generators"`` because single-trial callers
     (recursion trees, lemma analyses) usually need ``result.protocols``,
     which the vectorized engines do not populate.  ``result="arrays"``
@@ -107,26 +120,61 @@ def run_trial(
     :class:`~repro.sim.array_result.ArrayRunResult` instead of the
     per-node-dict :class:`RunResult`; the Trial row is identical.
     """
-    resolved = resolve_engine(
-        engine, algorithm,
-        congest_bit_limit=congest_bit_limit, **protocol_kwargs,
+    from ..plan import ensure_plan
+
+    if plan is None and algorithm is None:
+        raise TypeError(
+            "run_trial() needs an algorithm: pass it positionally "
+            "(run_trial(graph, 'luby')) or inside plan="
+        )
+    if plan is not None and algorithm is not None and algorithm != plan.algorithm:
+        raise ValueError(
+            f"run_trial() got algorithm={algorithm!r} and a plan with "
+            f"algorithm={plan.algorithm!r}; derive a variant with "
+            f"plan.replace(algorithm=...) instead"
+        )
+    plan = ensure_plan(
+        "run_trial",
+        plan,
+        given=dict(
+            algorithm="fast-sleeping" if algorithm is None else algorithm,
+            seed=seed,
+            congest_bit_limit=congest_bit_limit,
+            engine=engine,
+            rng=rng,
+            result=result,
+            protocol_kwargs=protocol_kwargs,
+        ),
+        defaults=dict(
+            algorithm="fast-sleeping" if algorithm is None else algorithm,
+            seed=0,
+            congest_bit_limit=None,
+            engine="generators",
+            rng=DEFAULT_STREAM,
+            result="legacy",
+            protocol_kwargs={},
+        ),
     )
-    result_kind = resolve_result_kind(result, resolved)
+    algorithm = plan.algorithm
+    protocol_kwargs = plan.protocol_dict()
+    resolved = plan.resolved_engine
+    result_kind = resolve_result_kind(plan.result, resolved)
     if resolved == "vectorized":
         run = make_vectorized_engine(
-            graph, algorithm, seed=seed, rng=rng, result=result_kind,
-            **protocol_kwargs,
+            graph, algorithm, seed=plan.seed, rng=plan.rng,
+            result=result_kind, **protocol_kwargs,
         ).run()
     else:
         factory = make_protocol_factory(algorithm, **protocol_kwargs)
         run = Simulator(
-            graph, factory, seed=seed, congest_bit_limit=congest_bit_limit,
-            rng=rng,
+            graph, factory, seed=plan.seed,
+            congest_bit_limit=plan.congest_bit_limit, rng=plan.rng,
         ).run()
         if result_kind == "arrays":
             run = ArrayRunResult.from_run_result(run)
     trial = trial_from_result(
-        run, algorithm, family=family, seed=seed, energy_model=energy_model
+        run, algorithm, family=family, seed=plan.seed,
+        energy_model=energy_model,
     )
     return run, trial
 
@@ -142,12 +190,13 @@ def trial_seeds(seed0: int, n: int, trials: int) -> List[int]:
 
 
 def sweep(
-    algorithm: str,
-    family: str,
-    sizes: Sequence[int],
+    algorithm: Optional[str] = None,
+    family: Optional[str] = None,
+    *,
+    sizes: Sequence[int] = (),
+    plan: Optional["RunPlan"] = None,
     trials: int = 3,
     seed0: int = 0,
-    *,
     engine: str = "auto",
     rng: str = DEFAULT_STREAM,
     graph_source: str = "auto",
@@ -159,6 +208,15 @@ def sweep(
     **protocol_kwargs: Any,
 ) -> List[Trial]:
     """Measure ``algorithm`` on ``family`` across ``sizes``.
+
+    Takes ``(algorithm, family)`` -- the family-driven argument order
+    shared with :func:`repro.analysis.tables.build_table1` (concrete-graph
+    entry points like :func:`run_trial` take ``(graph, algorithm)``);
+    everything else, including ``sizes``, is keyword-only.  Pass ``plan=``
+    (a :class:`repro.plan.RunPlan` carrying algorithm + family + the knob
+    configuration) instead of loose knobs; ``sizes``/``trials``/``seed0``
+    stay loose arguments because they are the measurement *grid*, not
+    per-run configuration.
 
     Each (size, trial index) pair gets its own graph seed and run seed so
     repeated sweeps are reproducible yet independent across trials.  The
@@ -182,7 +240,50 @@ def sweep(
     :mod:`repro.graphs.arrays`); ``n_jobs`` fans the per-size seed
     batches over worker processes.
     """
-    source = resolve_graph_source(graph_source, family, graph_rng)
+    from ..plan import ensure_plan
+
+    if plan is None and (algorithm is None or family is None):
+        raise TypeError(
+            "sweep() needs an algorithm and a family: pass them "
+            "positionally (sweep('luby', 'gnp-sparse', sizes=...)) or "
+            "inside plan="
+        )
+    plan = ensure_plan(
+        "sweep",
+        plan,
+        given=dict(
+            algorithm=algorithm,
+            family=family,
+            engine=engine,
+            rng=rng,
+            graph_source=graph_source,
+            graph_rng=graph_rng,
+            result=result,
+            n_jobs=n_jobs,
+            congest_bit_limit=congest_bit_limit,
+            protocol_kwargs=protocol_kwargs,
+        ),
+        defaults=dict(
+            algorithm=None,
+            family=None,
+            engine="auto",
+            rng=DEFAULT_STREAM,
+            graph_source="auto",
+            graph_rng=DEFAULT_GRAPH_RNG,
+            result="auto",
+            n_jobs=None,
+            congest_bit_limit=None,
+            protocol_kwargs={},
+        ),
+    )
+    if plan.family is None:
+        raise ValueError(
+            "sweep() plan carries no family (family=None); build the "
+            "plan with the graph family to measure"
+        )
+    algorithm, family = plan.algorithm, plan.family
+    source = plan.resolved_graph_source
+    graph_rng = plan.graph_rng
     rows: List[Trial] = []
     for n in sizes:
         seeds = trial_seeds(seed0, n, trials)
@@ -191,17 +292,7 @@ def sweep(
                                           graph_source=source,
                                           graph_rng=graph_rng)
         )
-        results = iter_trials(
-            factory,
-            algorithm,
-            seeds,
-            n_jobs=n_jobs,
-            engine=engine,
-            rng=rng,
-            result=result,
-            congest_bit_limit=congest_bit_limit,
-            **protocol_kwargs,
-        )
+        results = iter_trials(factory, seeds=seeds, plan=plan)
         rows.extend(
             trial_from_result(
                 one, algorithm,

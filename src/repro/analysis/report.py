@@ -59,7 +59,7 @@ def _awake_section(sizes, family, trials, seed0) -> str:
         + ["growth", "class"],
     )
     for algorithm in ("sleeping", "fast-sleeping", "luby"):
-        rows = sweep(algorithm, family, sizes, trials=trials, seed0=seed0)
+        rows = sweep(algorithm, family, sizes=sizes, trials=trials, seed0=seed0)
         ns, means = mean_by_size(rows, "node_averaged_awake")
         table.add_row(
             algorithm,
@@ -76,7 +76,7 @@ def _worst_case_section(sizes, family, trials, seed0) -> str:
         headers=["algorithm"] + [f"n={n}" for n in sizes] + ["log fit"],
     )
     for algorithm in ("sleeping", "fast-sleeping"):
-        rows = sweep(algorithm, family, sizes, trials=trials, seed0=seed0)
+        rows = sweep(algorithm, family, sizes=sizes, trials=trials, seed0=seed0)
         ns, means = mean_by_size(rows, "worst_case_awake")
         table.add_row(
             algorithm, *[f"{m:.1f}" for m in means], str(fit_logarithmic(ns, means))

@@ -9,12 +9,15 @@ the corresponding measure, with the paper's asymptotic claim alongside.
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Dict, List, Optional, Sequence
+from typing import TYPE_CHECKING, Dict, List, Optional, Sequence
 
-from ..graphs.arrays import DEFAULT_GRAPH_RNG, make_family, resolve_graph_source
+from ..graphs.arrays import DEFAULT_GRAPH_RNG, make_family
 from ..sim.batch import iter_trials
 from ..sim.fast_engine import GraphArrays
 from .complexity import Trial, summarize, trial_from_result, trial_seeds
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from ..plan import RunPlan
 
 
 @dataclass
@@ -111,6 +114,8 @@ TABLE1_MEASURES = (
 def build_table1(
     sizes: Sequence[int] = (64, 128, 256),
     family: str = "gnp-sparse",
+    *,
+    plan: Optional["RunPlan"] = None,
     algorithms: Sequence[str] = (
         "luby",
         "abi",
@@ -130,6 +135,13 @@ def build_table1(
 ) -> Table:
     """Measured Table 1: one row per (algorithm, measure), one column per n.
 
+    Everything after ``(sizes, family)`` is keyword-only.  Pass ``plan=``
+    (a :class:`repro.plan.RunPlan` carrying family + the knob
+    configuration) instead of loose knobs; the table iterates
+    ``algorithms`` via ``plan.replace(algorithm=...)``, and
+    ``sizes``/``trials``/``seed0`` stay loose arguments (the measurement
+    grid, not per-run configuration).
+
     Every algorithm is measured on the *same* seeded graphs (identical to
     what :func:`repro.analysis.complexity.sweep` would build for the same
     ``seed0``), constructed once per size rather than once per algorithm;
@@ -145,7 +157,38 @@ def build_table1(
     families and sizes, different seeded edge sets -- see
     :mod:`repro.graphs.arrays`).
     """
-    source = resolve_graph_source(graph_source, family, graph_rng)
+    from ..plan import ensure_plan
+
+    plan = ensure_plan(
+        "build_table1",
+        plan,
+        given=dict(
+            family=family,
+            engine=engine,
+            rng=rng,
+            graph_source=graph_source,
+            graph_rng=graph_rng,
+            result=result,
+            n_jobs=n_jobs,
+        ),
+        defaults=dict(
+            family="gnp-sparse",
+            engine="auto",
+            rng="pernode",
+            graph_source="auto",
+            graph_rng=DEFAULT_GRAPH_RNG,
+            result="auto",
+            n_jobs=None,
+        ),
+    )
+    if plan.family is None:
+        raise ValueError(
+            "build_table1() plan carries no family (family=None); build "
+            "the plan with the graph family to measure"
+        )
+    family = plan.family
+    source = plan.resolved_graph_source
+    graph_rng = plan.graph_rng
     table = Table(
         title=(
             f"Table 1 (measured): {family} graphs, "
@@ -170,9 +213,12 @@ def build_table1(
                 built if isinstance(built, GraphArrays) else GraphArrays(built)
             )
         for algorithm in algorithms:
+            # One base plan, per-algorithm variants: the demonstration
+            # that a knob added to RunPlan reaches the table without
+            # another signature change here.
             results = iter_trials(
-                lambda seed: graphs[seed], algorithm, seeds,
-                engine=engine, rng=rng, result=result, n_jobs=n_jobs,
+                lambda seed: graphs[seed], seeds=seeds,
+                plan=plan.replace(algorithm=algorithm),
             )
             rows_by_algorithm[algorithm].extend(
                 trial_from_result(one, algorithm, family=family, seed=seed)

@@ -29,7 +29,7 @@ For many seeds at once, see :func:`repro.sim.batch.run_trials`.
 
 from __future__ import annotations
 
-from typing import Any, Callable, Dict, List, Optional, Union
+from typing import TYPE_CHECKING, Any, Callable, Dict, List, Optional, Union
 
 from .sim.array_result import ArrayRunResult
 from .sim.metrics import RunResult
@@ -37,6 +37,9 @@ from .sim.network import Simulator
 from .sim.protocol import Protocol
 from .sim.rng import DEFAULT_STREAM
 from .sim.trace import Trace
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from .plan import RunPlan
 
 
 def _lazy_registry() -> Dict[str, Callable[..., Protocol]]:
@@ -76,12 +79,16 @@ def algorithm_names() -> List[str]:
 def make_protocol_factory(
     algorithm: str, **protocol_kwargs: Any
 ) -> Callable[[Any], Protocol]:
-    """A ``node_id -> Protocol`` factory for the named algorithm."""
+    """A ``node_id -> Protocol`` factory for the named algorithm.
+
+    An unknown name raises ``ValueError`` with close-match suggestions
+    -- the shared registry error path (:mod:`repro._registry`).
+    """
     registry = _registry()
     if algorithm not in registry:
-        raise KeyError(
-            f"unknown algorithm {algorithm!r}; known: {sorted(registry)}"
-        )
+        from ._registry import unknown_name_error
+
+        raise unknown_name_error("algorithm", algorithm, registry)
     cls = registry[algorithm]
     return lambda node_id: cls(**protocol_kwargs)
 
@@ -90,6 +97,7 @@ def solve_mis(
     graph: Any,
     algorithm: str = "fast-sleeping",
     *,
+    plan: Optional["RunPlan"] = None,
     seed: Optional[int] = 0,
     congest_bit_limit: Optional[int] = None,
     trace: Optional[Trace] = None,
@@ -115,6 +123,12 @@ def solve_mis(
         ``"fast-sleeping"`` (Algorithm 2, the default), ``"luby"``,
         ``"greedy"`` (distributed randomized greedy), ``"ghaffari"``, or
         ``"abi"`` (Alon--Babai--Itai).
+    plan:
+        A pre-validated :class:`repro.plan.RunPlan` carrying the full
+        knob configuration (algorithm, engine, rng, result, ...).
+        Mutually exclusive with the loose knob keywords below; derive
+        variants with ``plan.replace(...)``.  ``trace`` stays a loose
+        argument (a live instrumentation object, not configuration).
     seed:
         Master seed for all per-node random streams.
     engine:
@@ -144,36 +158,65 @@ def solve_mis(
         ``result.mis`` is the computed set; the four complexity measures are
         available as properties on either result type.
     """
+    from .plan import ensure_plan
     from .sim.array_result import resolve_result_kind
     from .sim.batch import make_vectorized_engine, resolve_engine
 
+    plan = ensure_plan(
+        "solve_mis",
+        plan,
+        given=dict(
+            algorithm=algorithm,
+            seed=seed,
+            congest_bit_limit=congest_bit_limit,
+            max_rounds=max_rounds,
+            engine=engine,
+            rng=rng,
+            result=result,
+            protocol_kwargs=protocol_kwargs,
+        ),
+        defaults=dict(
+            algorithm="fast-sleeping",
+            seed=0,
+            congest_bit_limit=None,
+            max_rounds=None,
+            engine="generators",
+            rng=DEFAULT_STREAM,
+            result="legacy",
+            protocol_kwargs={},
+        ),
+    )
+    protocol_kwargs = plan.protocol_dict()
+    # Re-resolve with the live trace object (not part of the plan): a
+    # trace forces the generator engine under engine="auto" and is
+    # rejected under engine="vectorized".
     resolved = resolve_engine(
-        engine,
-        algorithm,
+        plan.engine,
+        plan.algorithm,
         trace=trace,
-        congest_bit_limit=congest_bit_limit,
+        congest_bit_limit=plan.congest_bit_limit,
         **protocol_kwargs,
     )
-    result_kind = resolve_result_kind(result, resolved)
+    result_kind = resolve_result_kind(plan.result, resolved)
     if resolved == "vectorized":
         return make_vectorized_engine(
             graph,
-            algorithm,
-            seed=seed,
-            max_rounds=max_rounds,
-            rng=rng,
+            plan.algorithm,
+            seed=plan.seed,
+            max_rounds=plan.max_rounds,
+            rng=plan.rng,
             result=result_kind,
             **protocol_kwargs,
         ).run()
-    factory = make_protocol_factory(algorithm, **protocol_kwargs)
+    factory = make_protocol_factory(plan.algorithm, **protocol_kwargs)
     simulator = Simulator(
         graph,
         factory,
-        seed=seed,
-        congest_bit_limit=congest_bit_limit,
+        seed=plan.seed,
+        congest_bit_limit=plan.congest_bit_limit,
         trace=trace,
-        max_rounds=max_rounds,
-        rng=rng,
+        max_rounds=plan.max_rounds,
+        rng=plan.rng,
     )
     run = simulator.run()
     if result_kind == "arrays":

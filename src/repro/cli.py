@@ -21,8 +21,11 @@ from .analysis.complexity import run_trial, summarize, sweep
 from .analysis.recursion_tree import build_tree, render_tree, tree_stats
 from .analysis.tables import Table, build_table1
 from .api import algorithm_names
+from .graphs.arrays import DEFAULT_GRAPH_RNG
 from .graphs.generators import family_names, make_family_graph
+from .plan import RunPlan
 from .sim.energy import DEFAULT_MODEL
+from .sim.rng import DEFAULT_STREAM
 
 
 def _parse_sizes(text: str) -> List[int]:
@@ -174,17 +177,35 @@ def build_parser() -> argparse.ArgumentParser:
     return parser
 
 
-def _cmd_run(args: argparse.Namespace) -> int:
-    from .graphs.arrays import make_family
+def plan_from_args(args: argparse.Namespace) -> RunPlan:
+    """Map parsed CLI flags onto one validated :class:`RunPlan`.
 
-    graph = make_family(
-        args.family, args.n, seed=args.seed, graph_source=args.graph_source,
-        graph_rng=args.graph_rng,
+    Every configuration flag corresponds to exactly one plan field
+    (asserted by the CLI tests); subcommands that omit a flag fall back
+    to the behavior-preserving default for that command group
+    (``engine="generators"``/``result="legacy"`` -- what ``tree`` and
+    ``energy`` always ran with).  Building the plan here means every
+    subcommand validates its whole knob combination up front, with the
+    shared suggestion-bearing errors, before any graph is built.
+    """
+    return RunPlan(
+        algorithm=getattr(args, "algorithm", "fast-sleeping"),
+        family=getattr(args, "family", None),
+        n=getattr(args, "n", None),
+        seed=getattr(args, "seed", 0),
+        engine=getattr(args, "engine", "generators"),
+        rng=getattr(args, "rng", DEFAULT_STREAM),
+        graph_rng=getattr(args, "graph_rng", DEFAULT_GRAPH_RNG),
+        graph_source=getattr(args, "graph_source", "auto"),
+        result=getattr(args, "result", "legacy"),
+        n_jobs=getattr(args, "jobs", None),
     )
-    result, trial = run_trial(
-        graph, args.algorithm, seed=args.seed, family=args.family,
-        engine=args.engine, rng=args.rng, result=args.result,
-    )
+
+
+def _cmd_run(args: argparse.Namespace) -> int:
+    plan = plan_from_args(args)
+    graph = plan.build_graph()
+    result, trial = run_trial(graph, plan=plan, family=args.family)
     print(f"algorithm          : {args.algorithm}")
     print(f"graph              : {args.family} n={result.n}")
     print(f"MIS size           : {len(result.mis)}")
@@ -200,11 +221,8 @@ def _cmd_run(args: argparse.Namespace) -> int:
 
 def _cmd_sweep(args: argparse.Namespace) -> int:
     rows = sweep(
-        args.algorithm, args.family, args.sizes,
+        sizes=args.sizes, plan=plan_from_args(args),
         trials=args.trials, seed0=args.seed,
-        engine=args.engine, rng=args.rng, n_jobs=args.jobs,
-        graph_source=args.graph_source, graph_rng=args.graph_rng,
-        result=args.result,
     )
     summary = summarize(rows, args.measure)
     table = Table(
@@ -222,21 +240,19 @@ def _cmd_sweep(args: argparse.Namespace) -> int:
 
 def _cmd_table1(args: argparse.Namespace) -> int:
     table = build_table1(
-        sizes=args.sizes, family=args.family,
+        sizes=args.sizes, plan=plan_from_args(args),
         trials=args.trials, seed0=args.seed,
-        engine=args.engine, rng=args.rng, n_jobs=args.jobs,
-        graph_source=args.graph_source, graph_rng=args.graph_rng,
-        result=args.result,
     )
     print(table.to_markdown() if args.markdown else table.to_text())
     return 0
 
 
 def _cmd_tree(args: argparse.Namespace) -> int:
+    # The tree needs result.protocols, so the plan stays on the
+    # generator engine (plan_from_args' fallback for flagless commands).
+    plan = plan_from_args(args)
     graph = make_family_graph(args.family, args.n, seed=args.seed)
-    result, _ = run_trial(
-        graph, args.algorithm, seed=args.seed, family=args.family
-    )
+    result, _ = run_trial(graph, plan=plan, family=args.family)
     root = build_tree(result)
     print(render_tree(root, max_depth=args.max_depth))
     stats = tree_stats(root)
@@ -256,8 +272,11 @@ def _cmd_energy(args: argparse.Namespace) -> int:
         f"idle={DEFAULT_MODEL.idle}, sleep={DEFAULT_MODEL.sleep})",
         headers=["algorithm", "total energy", "avg awake", "valid"],
     )
+    plan = plan_from_args(args)
     for algorithm in ("luby", "sleeping", "fast-sleeping"):
-        _, trial = run_trial(graph, algorithm, seed=args.seed, family=args.family)
+        _, trial = run_trial(
+            graph, plan=plan.replace(algorithm=algorithm), family=args.family
+        )
         table.add_row(
             algorithm,
             f"{trial.total_energy:.1f}",

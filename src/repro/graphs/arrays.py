@@ -66,9 +66,10 @@ from typing import Callable, Dict, List
 
 import numpy as np
 
+from .._registry import unknown_name_error
 from ..sim.fast_engine import GraphArrays
 from ..sim.rng import graph_stream_key, mix64_array, u64_to_unit_float
-from .generators import GNP_FAST_THRESHOLD
+from .generators import FAMILIES, GNP_FAST_THRESHOLD
 
 #: Graph-source choices accepted by ``graph_source=`` throughout the
 #: package: ``"networkx"`` (the classic generators), ``"arrays"`` (the
@@ -350,10 +351,16 @@ def make_family_arrays(
     """
     validate_graph_rng(graph_rng)
     if family not in ARRAY_FAMILIES:
-        raise KeyError(
-            f"graph family {family!r} has no array-native sampler; "
-            f"array-native: {array_family_names()} "
-            f"(use graph_source='networkx' for the rest)"
+        if family in FAMILIES:
+            raise ValueError(
+                f"graph family {family!r} has no array-native sampler; "
+                f"array-native: {array_family_names()} "
+                f"(use graph_source='networkx' for the rest)"
+            )
+        # Unknown everywhere: the shared registry error path, suggesting
+        # close matches over every family either registry knows.
+        raise unknown_name_error(
+            "graph family", family, set(FAMILIES) | set(ARRAY_FAMILIES)
         )
     return ARRAY_FAMILIES[family](n, seed=seed, graph_rng=graph_rng)
 
@@ -401,6 +408,14 @@ def resolve_graph_source(
             f"unknown graph source {graph_source!r}; known: {GRAPH_SOURCES}"
         )
     validate_graph_rng(graph_rng)
+    if family not in ARRAY_FAMILIES and family not in FAMILIES:
+        # A typo, not a capability gap: the shared registry error path
+        # (with close-match suggestions) beats a misleading
+        # "no array-native sampler" story for a family that is not known
+        # under any source.
+        raise unknown_name_error(
+            "graph family", family, set(FAMILIES) | set(ARRAY_FAMILIES)
+        )
     if graph_rng == "batched":
         if family not in ARRAY_FAMILIES:
             raise ValueError(

@@ -17,6 +17,8 @@ from typing import Callable, Dict, List
 
 import networkx as nx
 
+from .._registry import unknown_name_error
+
 
 def _relabel(graph: nx.Graph) -> nx.Graph:
     """Relabel nodes to consecutive integers 0..n-1 deterministically."""
@@ -188,11 +190,15 @@ FAMILIES: Dict[str, Callable[..., nx.Graph]] = {
 
 
 def make_family_graph(family: str, n: int, seed: int = 0) -> nx.Graph:
-    """Build a graph from the named family, checked against the registry."""
+    """Build a graph from the named family, checked against the registry.
+
+    A typo raises ``ValueError`` with close-match suggestions
+    (``"gnp"`` -> did you mean ``"gnp-sparse"``, ``"gnp-dense"``?) --
+    the same error path the array-native registry
+    (:func:`repro.graphs.arrays.make_family_arrays`) uses.
+    """
     if family not in FAMILIES:
-        raise KeyError(
-            f"unknown graph family {family!r}; known: {sorted(FAMILIES)}"
-        )
+        raise unknown_name_error("graph family", family, FAMILIES)
     return FAMILIES[family](n, seed=seed)
 
 

@@ -34,10 +34,10 @@ runner layers four optimizations over naive sequential calls:
 
 from __future__ import annotations
 
-import os
 import warnings
 from collections import deque
 from typing import (
+    TYPE_CHECKING,
     Any,
     Callable,
     Dict,
@@ -61,6 +61,9 @@ from .fast_phased import PhasedVectorizedEngine
 from .metrics import RunResult
 from .network import Simulator, normalize_graph
 from .rng import DEFAULT_STREAM
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from ..plan import RunPlan
 
 #: What one trial yields: the legacy dict-backed result or the
 #: struct-of-arrays result, depending on ``result=``.
@@ -246,8 +249,9 @@ def _iter_graphs(
 def iter_trials(
     graph_factory: Any,
     algorithm: str = "fast-sleeping",
-    seeds: Iterable[Optional[int]] = range(10),
     *,
+    seeds: Iterable[Optional[int]] = range(10),
+    plan: Optional["RunPlan"] = None,
     n_jobs: Optional[int] = None,
     engine: str = "auto",
     rng: str = DEFAULT_STREAM,
@@ -274,10 +278,15 @@ def iter_trials(
     algorithm:
         Name from :func:`repro.api.algorithm_names`.
     seeds:
-        Master seeds, one trial each.
+        Master seeds, one trial each (keyword-only).
+    plan:
+        A pre-validated :class:`repro.plan.RunPlan`; mutually exclusive
+        with the loose knob keywords below (``seeds`` stays separate --
+        it is the trial grid, not a configuration knob).
     n_jobs:
         ``None`` or ``1`` runs sequentially in-process; ``> 1`` uses that
-        many worker processes; ``<= 0`` means one worker per CPU.
+        many worker processes.  ``0``/negative values are rejected (pass
+        ``n_jobs=os.cpu_count()`` explicitly for one worker per CPU).
     engine:
         ``"auto"`` (default), ``"generators"``, or ``"vectorized"``.
     rng:
@@ -292,15 +301,55 @@ def iter_trials(
         Forwarded to the protocol (``coin_bias=``, ``greedy_constant=``,
         ``depth=``, ``max_phases=``).
     """
+    from ..plan import ensure_plan
+
+    plan = ensure_plan(
+        "iter_trials",
+        plan,
+        given=dict(
+            algorithm=algorithm,
+            n_jobs=n_jobs,
+            engine=engine,
+            rng=rng,
+            result=result,
+            max_rounds=max_rounds,
+            congest_bit_limit=congest_bit_limit,
+            protocol_kwargs=protocol_kwargs,
+        ),
+        defaults=dict(
+            algorithm="fast-sleeping",
+            n_jobs=None,
+            engine="auto",
+            rng=DEFAULT_STREAM,
+            result="legacy",
+            max_rounds=None,
+            congest_bit_limit=None,
+            protocol_kwargs={},
+        ),
+    )
+    # Plan construction already validated names and combinations; resolve
+    # the concrete engine/result once and iterate.
+    return _iter_trials_planned(graph_factory, seeds, plan)
+
+
+def _iter_trials_planned(
+    graph_factory: Any,
+    seeds: Iterable[Optional[int]],
+    plan: "RunPlan",
+) -> Iterator[ResultLike]:
+    """The generator core behind :func:`iter_trials` (validation happens
+    eagerly in the wrapper, not on first ``next()``)."""
+    algorithm = plan.algorithm
+    max_rounds = plan.max_rounds
+    congest_bit_limit = plan.congest_bit_limit
+    rng = plan.rng
+    result = plan.result
+    protocol_kwargs = plan.protocol_dict()
     seed_list = list(seeds)
     if not seed_list:
         return
-    resolved = resolve_engine(
-        engine, algorithm,
-        congest_bit_limit=congest_bit_limit, **protocol_kwargs,
-    )
-    resolve_result_kind(result, resolved)  # validate early
-    jobs = _effective_jobs(n_jobs, len(seed_list))
+    resolved = plan.resolved_engine
+    jobs = _effective_jobs(plan.n_jobs, len(seed_list))
     if jobs > 1:
         from concurrent.futures.process import BrokenProcessPool
 
@@ -350,8 +399,9 @@ def iter_trials(
 def run_trials(
     graph_factory: Any,
     algorithm: str = "fast-sleeping",
-    seeds: Iterable[Optional[int]] = range(10),
     *,
+    seeds: Iterable[Optional[int]] = range(10),
+    plan: Optional["RunPlan"] = None,
     n_jobs: Optional[int] = None,
     engine: str = "auto",
     rng: str = DEFAULT_STREAM,
@@ -367,7 +417,7 @@ def run_trials(
     """
     return list(
         iter_trials(
-            graph_factory, algorithm, seeds,
+            graph_factory, algorithm, seeds=seeds, plan=plan,
             n_jobs=n_jobs, engine=engine, rng=rng, result=result,
             max_rounds=max_rounds,
             congest_bit_limit=congest_bit_limit, **protocol_kwargs,
@@ -376,11 +426,12 @@ def run_trials(
 
 
 def _effective_jobs(n_jobs: Optional[int], n_tasks: int) -> int:
+    # RunPlan validation guarantees n_jobs is None or >= 1 by the time
+    # it reaches here (0/negative requests are rejected at construction
+    # with an error naming the fix).
     if n_jobs is None or n_jobs == 1:
         return 1
-    if n_jobs <= 0:
-        n_jobs = os.cpu_count() or 1
-    return max(1, min(n_jobs, n_tasks))
+    return min(n_jobs, n_tasks)
 
 
 def _iter_chunks(

@@ -10,7 +10,7 @@ from repro.analysis.complexity import (
 
 class TestCsvExport:
     def test_header_and_rows(self):
-        rows = sweep("luby", "cycle", [10], trials=2, seed0=1)
+        rows = sweep("luby", "cycle", sizes=[10], trials=2, seed0=1)
         csv = trials_to_csv(rows)
         lines = csv.splitlines()
         assert lines[0] == ",".join(CSV_FIELDS)
@@ -18,12 +18,12 @@ class TestCsvExport:
         assert lines[1].startswith("luby,cycle,10,")
 
     def test_field_count_consistent(self):
-        rows = sweep("greedy", "cycle", [10], trials=1, seed0=1)
+        rows = sweep("greedy", "cycle", sizes=[10], trials=1, seed0=1)
         for line in trials_to_csv(rows).splitlines():
             assert len(line.split(",")) == len(CSV_FIELDS)
 
     def test_write_csv(self, tmp_path):
-        rows = sweep("luby", "cycle", [10], trials=1, seed0=1)
+        rows = sweep("luby", "cycle", sizes=[10], trials=1, seed0=1)
         target = tmp_path / "trials.csv"
         write_csv(rows, str(target))
         content = target.read_text()

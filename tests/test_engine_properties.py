@@ -107,7 +107,7 @@ class TestBatchRunner:
     def test_results_in_seed_order_and_equal_to_single_runs(self):
         graph = gnp(30, 0.15, 4)
         seeds = [3, 1, 4, 1, 5]  # duplicates allowed
-        batch = run_trials(graph, "fast-sleeping", seeds, engine="auto")
+        batch = run_trials(graph, "fast-sleeping", seeds=seeds, engine="auto")
         assert len(batch) == len(seeds)
         for seed, result in zip(seeds, batch):
             single = run_mis(graph, "fast-sleeping", seed=seed)
@@ -120,28 +120,28 @@ class TestBatchRunner:
 
     def test_graph_factory_builds_per_seed_graphs(self):
         results = run_trials(
-            lambda seed: nx.path_graph(5 + seed), "sleeping", [0, 2],
+            lambda seed: nx.path_graph(5 + seed), "sleeping", seeds=[0, 2],
         )
         assert [r.n for r in results] == [5, 7]
 
     def test_engines_agree_through_batch(self):
         graph = gnp(25, 0.2, 6)
         seeds = range(4)
-        vec = run_trials(graph, "sleeping", seeds, engine="vectorized")
-        gen = run_trials(graph, "sleeping", seeds, engine="generators")
+        vec = run_trials(graph, "sleeping", seeds=seeds, engine="vectorized")
+        gen = run_trials(graph, "sleeping", seeds=seeds, engine="generators")
         for a, b in zip(vec, gen):
             assert a.outputs == b.outputs and a.rounds == b.rounds
 
     def test_empty_seed_list(self):
-        assert run_trials(nx.path_graph(3), "sleeping", []) == []
+        assert run_trials(nx.path_graph(3), "sleeping", seeds=[]) == []
 
     def test_parallel_matches_sequential(self):
         # On a 1-CPU container this exercises the pool plumbing rather
         # than any speedup; the contract is identical results in order.
         graph = gnp(20, 0.2, 8)
         seeds = list(range(6))
-        seq = run_trials(graph, "fast-sleeping", seeds)
-        par = run_trials(graph, "fast-sleeping", seeds, n_jobs=2)
+        seq = run_trials(graph, "fast-sleeping", seeds=seeds)
+        par = run_trials(graph, "fast-sleeping", seeds=seeds, n_jobs=2)
         assert [r.outputs for r in par] == [r.outputs for r in seq]
 
 
@@ -154,12 +154,12 @@ class TestBatchCongestEnforcement:
         from repro.sim.errors import CongestViolationError
 
         rows = sweep(
-            "sleeping", "cycle", [8], trials=1, seed0=0,
+            "sleeping", "cycle", sizes=[8], trials=1, seed0=0,
             congest_bit_limit=64,
         )
         assert rows and rows[0].valid
 
         with pytest.raises(CongestViolationError):
             run_trials(
-                nx.path_graph(3), "sleeping", [0], congest_bit_limit=1
+                nx.path_graph(3), "sleeping", seeds=[0], congest_bit_limit=1
             )

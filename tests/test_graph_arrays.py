@@ -175,8 +175,12 @@ class TestFamilyRegistry:
             )
 
     def test_unknown_family_rejected(self):
-        with pytest.raises(KeyError):
-            make_family_arrays("tree", 10)  # no array-native sampler
+        # Known family, but no array-native sampler.
+        with pytest.raises(ValueError, match="no array-native sampler"):
+            make_family_arrays("tree", 10)
+        # Unknown everywhere: the shared suggestion-bearing error path.
+        with pytest.raises(ValueError, match="'gnp-dense', 'gnp-sparse'"):
+            make_family_arrays("gnp", 10)
 
     def test_names_sorted(self):
         assert array_family_names() == sorted(ARRAY_FAMILIES)
@@ -379,9 +383,9 @@ class TestGraphRngResolution:
         from repro.analysis.complexity import sweep
 
         with pytest.raises(ValueError, match="graph_rng='batched'"):
-            sweep("luby", "tree", (16,), trials=1, graph_rng="batched")
+            sweep("luby", "tree", sizes=(16,), trials=1, graph_rng="batched")
         with pytest.raises(ValueError, match="graph_rng='batched'"):
-            sweep("luby", "gnp-sparse", (16,), trials=1,
+            sweep("luby", "gnp-sparse", sizes=(16,), trials=1,
                   graph_source="networkx", graph_rng="batched")
 
     def test_legacy_resolution_unchanged(self):

@@ -46,8 +46,16 @@ class TestGenerators:
         assert 20 <= graph.number_of_nodes() <= 21
 
     def test_unknown_family(self):
-        with pytest.raises(KeyError):
+        with pytest.raises(ValueError, match="unknown graph family 'nope'"):
             make_family_graph("nope", 10)
+
+    def test_unknown_family_suggests_close_matches(self):
+        # The shared registry error path: a truncated name finds both
+        # gnp variants, a typo finds its edit-distance neighbour.
+        with pytest.raises(ValueError, match="'gnp-dense', 'gnp-sparse'"):
+            make_family_graph("gnp", 10)
+        with pytest.raises(ValueError, match="did you mean 'tree'"):
+            make_family_graph("tre", 10)
 
     def test_family_names_sorted(self):
         assert family_names() == sorted(FAMILIES)

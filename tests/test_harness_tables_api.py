@@ -36,17 +36,17 @@ class TestRunTrial:
 
 class TestSweep:
     def test_row_counts(self):
-        rows = sweep("luby", "cycle", [10, 20], trials=2, seed0=0)
+        rows = sweep("luby", "cycle", sizes=[10, 20], trials=2, seed0=0)
         assert len(rows) == 4
         assert {row.n for row in rows} == {10, 20}
 
     def test_all_valid(self):
-        rows = sweep("greedy", "gnp-sparse", [20, 40], trials=2, seed0=0)
+        rows = sweep("greedy", "gnp-sparse", sizes=[20, 40], trials=2, seed0=0)
         assert all_valid(rows)
 
     def test_reproducible(self):
-        a = sweep("luby", "cycle", [12], trials=2, seed0=5)
-        b = sweep("luby", "cycle", [12], trials=2, seed0=5)
+        a = sweep("luby", "cycle", sizes=[12], trials=2, seed0=5)
+        b = sweep("luby", "cycle", sizes=[12], trials=2, seed0=5)
         assert [r.worst_case_rounds for r in a] == [
             r.worst_case_rounds for r in b
         ]
@@ -54,7 +54,7 @@ class TestSweep:
 
 class TestSummarize:
     def test_statistics(self):
-        rows = sweep("luby", "cycle", [10], trials=3, seed0=0)
+        rows = sweep("luby", "cycle", sizes=[10], trials=3, seed0=0)
         summary = summarize(rows, "node_averaged_awake")
         assert 10 in summary
         stats = summary[10]
@@ -67,13 +67,13 @@ class TestSummarize:
             summarize([], "nope")
 
     def test_mean_by_size_sorted(self):
-        rows = sweep("luby", "cycle", [20, 10], trials=1, seed0=0)
+        rows = sweep("luby", "cycle", sizes=[20, 10], trials=1, seed0=0)
         sizes, means = mean_by_size(rows, "worst_case_rounds")
         assert sizes == [10, 20]
         assert len(means) == 2
 
     def test_all_measures_supported(self):
-        rows = sweep("luby", "cycle", [10], trials=1, seed0=0)
+        rows = sweep("luby", "cycle", sizes=[10], trials=1, seed0=0)
         for measure in MEASURES:
             assert summarize(rows, measure)
 
@@ -128,7 +128,7 @@ class TestAPI:
         assert names == sorted(names)
 
     def test_unknown_algorithm(self):
-        with pytest.raises(KeyError):
+        with pytest.raises(ValueError, match="unknown algorithm 'nope'"):
             solve_mis(nx.path_graph(3), algorithm="nope")
 
     def test_factory_builds_fresh_instances(self):
