@@ -160,8 +160,68 @@ def gnp_arrays(n: int, p: float, seed: int = 0) -> GraphArrays:
 #: without versioning.
 GNP_V2_CHUNK = 1 << 23
 
+#: Draws per refill in **streaming** mode, where the CSR build holds one
+#: chunk's index temporaries on top of the sampler's float64+int64 pair
+#: (~60 bytes per pair all told): smaller chunks keep the whole
+#: sample-plus-build transient near the same ~128 MB envelope.
+GNP_V2_STREAM_CHUNK = 1 << 21
 
-def gnp_arrays_v2(n: int, p: float, seed: int = 0) -> GraphArrays:
+#: ``stream="auto"`` switches to the bounded-memory two-pass build once
+#: the *expected* edge count crosses this many pairs -- below it the
+#: one-shot build is faster (no second sampling pass) and its transient
+#: memory is small anyway.
+GNP_V2_STREAM_THRESHOLD = 1 << 24
+
+#: ``stream=`` choices accepted by :func:`gnp_arrays_v2`.
+GNP_V2_STREAM_MODES = ("auto", True, False)
+
+
+def _gnp_v2_pair_chunks(n: int, p: float, key: np.uint64, chunk: int):
+    """Yield the v2 gnp edge stream as ``(lo, hi)`` array chunks.
+
+    The chunks concatenate to the full edge list in strictly increasing
+    ``(hi, lo)``-lex order (= ascending flat position).  Every draw is a
+    pure function of ``(key, counter)``, so iterating twice replays the
+    identical stream -- which is what lets the streaming CSR build
+    re-sample instead of buffering pairs.
+    """
+    total = n * (n - 1) // 2
+    log1mp = math.log1p(-p)
+    pos = np.int64(-1)  # last occupied flat position
+    counter = 0
+    while True:
+        # Aim one chunk at the expected remainder (with slack), bounded
+        # by the chunk budget; loop until a position lands past the end.
+        expect = float(total - int(pos)) * p
+        size = min(chunk, max(int(expect * 1.1) + 64, 1024))
+        u = u64_to_unit_float(
+            mix64_array(
+                key + np.arange(counter, counter + size, dtype=np.uint64)
+            )
+        )
+        counter += size
+        skips = 1 + (np.log1p(-u) / log1mp).astype(np.int64)
+        positions = pos + np.cumsum(skips)
+        done = bool(positions[-1] >= total)
+        if done:
+            positions = positions[positions < total]
+        if len(positions):
+            pos = positions[-1]
+            # Decode flat positions to (v, w): v is the triangular root,
+            # float-seeded then corrected in exact integer arithmetic.
+            v = ((1.0 + np.sqrt(8.0 * positions + 1.0)) / 2.0).astype(
+                np.int64
+            )
+            v -= v * (v - 1) // 2 > positions
+            v += (v + 1) * v // 2 <= positions
+            yield positions - v * (v - 1) // 2, v
+        if done:
+            return
+
+
+def gnp_arrays_v2(
+    n: int, p: float, seed: int = 0, stream: object = "auto"
+) -> GraphArrays:
     """Erdos--Renyi ``G(n, p)`` on the v2 (``"batched"``) sampling stream.
 
     Batagelj--Brandes geometric-skip sampling, vectorized: whole arrays of
@@ -185,48 +245,38 @@ def gnp_arrays_v2(n: int, p: float, seed: int = 0) -> GraphArrays:
 
     Skips are strictly positive, so positions are strictly increasing: the
     edge list needs no deduplication and arrives pre-sorted, which is what
-    lets :meth:`GraphArrays.from_distinct_pairs` skip the dedup sort.
+    lets :meth:`GraphArrays.from_distinct_pairs` take the direct O(m)
+    CSR build.
+
+    ``stream`` picks the build strategy -- **never** the sampled graph
+    (both modes consume the identical counter stream): ``False`` buffers
+    every pair chunk and builds the CSR in one shot; ``True`` makes two
+    passes with :meth:`GraphArrays.from_distinct_pair_chunks`,
+    re-sampling on the second, so peak transient memory stays bounded by
+    the chunk size instead of growing with ``m``; ``"auto"`` (default)
+    streams exactly when the expected edge count crosses
+    :data:`GNP_V2_STREAM_THRESHOLD`.
     """
+    if stream not in GNP_V2_STREAM_MODES:
+        raise ValueError(
+            f"unknown stream mode {stream!r}; known: {GNP_V2_STREAM_MODES}"
+        )
     if p >= 1.0:
         return gnp_arrays(n, 1.0)
     if p <= 0.0 or n < 2:
         return _from_pairs(n, [])
     key = np.uint64(graph_stream_key(seed))
-    total = n * (n - 1) // 2
-    log1mp = math.log1p(-p)
-    pos = np.int64(-1)  # last occupied flat position
-    counter = 0
-    parts_v: List[np.ndarray] = []
-    parts_w: List[np.ndarray] = []
-    while True:
-        # Aim one chunk at the expected remainder (with slack), bounded
-        # by GNP_V2_CHUNK; loop until a position lands past the end.
-        expect = float(total - int(pos)) * p
-        size = min(GNP_V2_CHUNK, max(int(expect * 1.1) + 64, 1024))
-        u = u64_to_unit_float(
-            mix64_array(
-                key + np.arange(counter, counter + size, dtype=np.uint64)
-            )
+    if stream == "auto":
+        stream = n * (n - 1) / 2 * p >= GNP_V2_STREAM_THRESHOLD
+    if stream:
+        return GraphArrays.from_distinct_pair_chunks(
+            n, lambda: _gnp_v2_pair_chunks(n, p, key, GNP_V2_STREAM_CHUNK)
         )
-        counter += size
-        skips = 1 + (np.log1p(-u) / log1mp).astype(np.int64)
-        positions = pos + np.cumsum(skips)
-        done = bool(positions[-1] >= total)
-        if done:
-            positions = positions[positions < total]
-        if len(positions):
-            pos = positions[-1]
-            # Decode flat positions to (v, w): v is the triangular root,
-            # float-seeded then corrected in exact integer arithmetic.
-            v = ((1.0 + np.sqrt(8.0 * positions + 1.0)) / 2.0).astype(
-                np.int64
-            )
-            v -= v * (v - 1) // 2 > positions
-            v += (v + 1) * v // 2 <= positions
-            parts_v.append(v)
-            parts_w.append(positions - v * (v - 1) // 2)
-        if done:
-            break
+    parts_w: List[np.ndarray] = []
+    parts_v: List[np.ndarray] = []
+    for w, v in _gnp_v2_pair_chunks(n, p, key, GNP_V2_CHUNK):
+        parts_w.append(w)
+        parts_v.append(v)
     if not parts_v:
         return _from_pairs(n, [])
     hi = np.concatenate(parts_v)

@@ -22,14 +22,19 @@ runner layers four optimizations over naive sequential calls:
   10^4-trial sweep does not reallocate a dozen node-sized buffers per
   trial;
 * **streaming** -- graphs are built and results yielded one seed at a
-  time, so a 10^4..10^5-node sweep holds one graph and one result in
-  memory, not ``len(seeds)`` of each.  With ``n_jobs`` workers, seed
-  chunks fan out over a :class:`concurrent.futures.ProcessPoolExecutor`
-  with a bounded in-flight window; graphs cross process boundaries as
-  plain adjacency dicts or as :class:`GraphArrays` whose edge arrays
-  pickle without the (lazily rebuilt) adjacency dict.  If a pool cannot
-  be started (restricted sandboxes), the runner degrades to sequential
-  execution for the remaining seeds instead of failing.
+  time, so a 10^4..10^7-node sweep holds one graph and one result in
+  memory, not ``len(seeds)`` of each (at 10^7 the graph itself also
+  builds in bounded transient memory: the v2 sampler streams its pair
+  chunks through :meth:`GraphArrays.from_distinct_pair_chunks` instead
+  of buffering them -- see docs/performance.md, "Scaling to 10^7").
+  With ``n_jobs`` workers, seed chunks fan out over a
+  :class:`concurrent.futures.ProcessPoolExecutor` with a bounded
+  in-flight window; graphs cross process boundaries as plain adjacency
+  dicts or as :class:`GraphArrays` whose edge arrays pickle without the
+  (lazily rebuilt) adjacency dict.  If a pool cannot be started
+  (restricted sandboxes), the runner degrades to sequential execution
+  for the remaining seeds instead of failing; CI additionally pins
+  ``n_jobs=2`` parity with the sequential path on a multi-core runner.
 """
 
 from __future__ import annotations

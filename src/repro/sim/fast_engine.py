@@ -52,7 +52,8 @@ from .rng import (
     bit_length_u64,
     draw_u64_array,
     node_rng,  # noqa: F401  (re-exported; historical import site)
-    node_rng_factory,
+    node_rng_bulk,
+    randbelow,
     stream_key,
     u64_mod_bound,
     u64_to_unit_float,
@@ -238,7 +239,7 @@ def draw_dense_ranks(
     whole-array draws at each node's counter, which is then advanced.
     """
     if rngs is not None:
-        values = [rngs[i].randrange(bound) for i in U.tolist()]
+        values = [randbelow(rngs[i], bound) for i in U.tolist()]
         order = {v: j for j, v in enumerate(sorted(set(values)))}
         dense = np.fromiter(
             (order[v] for v in values), dtype=np.int64, count=len(values)
@@ -391,20 +392,35 @@ class GraphArrays:
         return cls.from_distinct_pairs(n, lo, hi)
 
     @classmethod
+    def _pair_shell(cls, n: int) -> "GraphArrays":
+        """The empty array-native instance the pair builders fill in."""
+        self = cls.__new__(cls)
+        self._adjacency = None
+        self.node_ids = list(range(n))
+        self.n = n
+        self._ids_are_range = True
+        self._id_bits = None
+        return self
+
+    @classmethod
     def from_distinct_pairs(cls, n: int, lo: Any, hi: Any) -> "GraphArrays":
         """Trusted array-native constructor: edges as **distinct**
         undirected pairs with ``lo[i] < hi[i]``.
 
         The fast exit shared by :meth:`from_edges` and the v2 gnp sampler
         (whose strictly increasing flat positions guarantee distinctness
-        for free, skipping the dedup sort).  One int64 argsort of the
-        ``2m`` directed keys replaces ``from_edges``'s historical pair of
-        ``lexsort`` passes, and the reverse-edge permutation falls out of
-        the same sort (each directed edge knows its partner's pre-sort
-        slot), so ``grev`` costs two gathers instead of a third sort --
-        at m = 4x10^6 graph construction drops ~4x.  Duplicate pairs or
-        ``lo >= hi`` entries violate the contract; bounds are still
-        checked.
+        for free, skipping the dedup sort).  Both callers hand over pairs
+        that are already lex-sorted -- ``from_edges`` by ``(lo, hi)``
+        (``np.unique`` output), the sampler by ``(hi, lo)`` (ascending
+        flat positions) -- and a strictly increasing composite key
+        certifies either order in one vectorized compare, so the common
+        case takes the **direct O(m) build**: the sorted direction's CSR
+        slots are pure prefix-sum arithmetic and only the other direction
+        pays an argsort, of ``m`` keys instead of the historical ``2m``
+        (see :meth:`_from_sorted_pairs`).  Unsorted input falls back to
+        the ``2m``-key argsort build (:meth:`_from_pairs_argsort`).
+        Duplicate pairs or ``lo >= hi`` entries violate the contract;
+        bounds are still checked.
         """
         lo = np.asarray(lo, dtype=np.int64)
         hi = np.asarray(hi, dtype=np.int64)
@@ -413,18 +429,90 @@ class GraphArrays:
             raise ValueError(f"edge endpoints must lie in [0, {n})")
         if m and not (lo < hi).all():
             raise ValueError("pairs must satisfy lo < hi")
-        self = cls.__new__(cls)
-        self._adjacency = None
-        self.node_ids = list(range(n))
-        self.n = n
-        self._ids_are_range = True
-        self._id_bits = None
         if not m:
+            self = cls._pair_shell(n)
             self.src = np.empty(0, dtype=np.int32)
             self.dst = np.empty(0, dtype=np.int32)
             self.grev = np.empty(0, dtype=np.int32)
             self.deg = np.zeros(n, dtype=np.int64)
             return self
+        # A strictly increasing composite key both certifies the lex
+        # order and re-verifies pair distinctness for free.
+        nn = np.int64(n)
+        key = hi * nn + lo
+        if m == 1 or bool((key[1:] > key[:-1]).all()):
+            return cls._from_sorted_pairs(n, lo, hi, hi_major=True)
+        key = lo * nn + hi
+        if bool((key[1:] > key[:-1]).all()):
+            return cls._from_sorted_pairs(n, lo, hi, hi_major=False)
+        return cls._from_pairs_argsort(n, lo, hi)
+
+    @classmethod
+    def _from_sorted_pairs(
+        cls, n: int, lo: Any, hi: Any, *, hi_major: bool
+    ) -> "GraphArrays":
+        """Direct O(m) CSR build for lex-sorted distinct pairs.
+
+        Row ``s`` of the (src, dst)-sorted directed edge list is the
+        backward block (reverses ``(s, w)`` of pairs ``(w, s)``, ``w``
+        ascending) followed by the forward block (pairs ``(s, w)``, ``w``
+        ascending).  Whichever direction matches the input's lex order
+        needs no sort at all: its within-block rank is ``input position -
+        exclusive prefix count of its block's node``, because the groups
+        arrive contiguous and in order.  The other direction's ranks come
+        from one argsort of the ``m`` opposite-order composite keys
+        (unique, so the non-stable default sort is exact).  ``grev`` is
+        the cross-link between the two slot arrays -- no extra sort.
+        Slot arithmetic runs in int32: ``2m`` already must fit int32 for
+        the ``grev`` format, and halving the index temporaries is what
+        keeps the 1e7 build in bounded memory.
+        """
+        m = len(lo)
+        self = cls._pair_shell(n)
+        degF = np.bincount(lo, minlength=n)  # forward  (lo -> hi) counts
+        degB = np.bincount(hi, minlength=n)  # backward (hi -> lo) counts
+        deg = degF + degB
+        csum = np.cumsum(deg)
+        startB = (csum - deg).astype(np.int32)  # row start = backward block
+        startF = (csum - degF).astype(np.int32)  # forward block start
+        idx = np.arange(m, dtype=np.int32)
+        nn = np.int64(n)
+        if hi_major:
+            cumB = (np.cumsum(degB) - degB).astype(np.int32)
+            back = startB[hi] + (idx - cumB[hi])
+            order = np.argsort(lo * nn + hi)
+            cumF = (np.cumsum(degF) - degF).astype(np.int32)
+            lo_s = lo[order]
+            fwd = np.empty(m, dtype=np.int32)
+            fwd[order] = startF[lo_s] + (idx - cumF[lo_s])
+        else:
+            cumF = (np.cumsum(degF) - degF).astype(np.int32)
+            fwd = startF[lo] + (idx - cumF[lo])
+            order = np.argsort(hi * nn + lo)
+            cumB = (np.cumsum(degB) - degB).astype(np.int32)
+            hi_s = hi[order]
+            back = np.empty(m, dtype=np.int32)
+            back[order] = startB[hi_s] + (idx - cumB[hi_s])
+        # src never needs a scatter: row s holds deg[s] copies of s.
+        src = np.repeat(np.arange(n, dtype=np.int32), deg)
+        dst = np.empty(2 * m, dtype=np.int32)
+        grev = np.empty(2 * m, dtype=np.int32)
+        dst[back] = lo
+        dst[fwd] = hi
+        grev[back] = fwd
+        grev[fwd] = back
+        self.src, self.dst, self.grev, self.deg = src, dst, grev, deg
+        return self
+
+    @classmethod
+    def _from_pairs_argsort(cls, n: int, lo: Any, hi: Any) -> "GraphArrays":
+        """The order-agnostic fallback: one int64 argsort of all ``2m``
+        directed keys.  Kept as the reference build the sorted fast path
+        is pinned against, and the path unsorted (but distinct) pairs
+        still take.
+        """
+        m = len(lo)
+        self = cls._pair_shell(n)
         nn = np.int64(n)
         keys = np.concatenate([lo * nn + hi, hi * nn + lo])
         order = np.argsort(keys)  # (src, dst) ascending == key ascending
@@ -443,6 +531,110 @@ class GraphArrays:
         partner = np.concatenate([pos[m:], pos[:m]])
         self.grev = partner[order]
         self.deg = np.bincount(self.src, minlength=n).astype(np.int64)
+        return self
+
+    @classmethod
+    def from_distinct_pair_chunks(
+        cls, n: int, chunks: Any
+    ) -> "GraphArrays":
+        """Streaming CSR build: two passes over re-iterable pair chunks.
+
+        ``chunks`` is a zero-argument callable returning a fresh iterable
+        of ``(lo, hi)`` array pairs whose concatenation is the edge list
+        in strictly increasing ``(hi, lo)``-lex order (the v2 gnp
+        sampler's native order) -- distinct pairs with ``lo < hi``, both
+        validated chunk by chunk.  Pass 1 only accumulates the per-node
+        degree counts; pass 2 re-pulls the chunks and scatters each
+        straight into its final CSR slots, so peak transient memory is
+        O(n) node arrays plus a few index temporaries per *chunk*, never
+        per graph -- the whole point for dense families at 1e7 (see
+        ``docs/performance.md``).  The factory must replay the identical
+        chunk stream twice (counter-based samplers re-sample for free);
+        a length mismatch between passes is detected and raised.
+
+        Slot math: the backward (``hi``-major) direction's rank is pure
+        arithmetic off the global input position, exactly as in
+        :meth:`_from_sorted_pairs`; the forward direction's global rank
+        splits into a per-node carry (``occF``, pairs seen in earlier
+        chunks) plus a within-chunk cumcount from one bounded argsort.
+        """
+        degF = np.zeros(n, dtype=np.int64)
+        degB = np.zeros(n, dtype=np.int64)
+        m = 0
+        last_key = np.int64(-1)
+        nn = np.int64(n)
+        for lo, hi in chunks():
+            lo = np.asarray(lo, dtype=np.int64)
+            hi = np.asarray(hi, dtype=np.int64)
+            c = len(lo)
+            if not c:
+                continue
+            if lo.min() < 0 or hi.max() >= n:
+                raise ValueError(f"edge endpoints must lie in [0, {n})")
+            if not (lo < hi).all():
+                raise ValueError("pairs must satisfy lo < hi")
+            key = hi * nn + lo
+            if key[0] <= last_key or not bool((key[1:] > key[:-1]).all()):
+                raise ValueError(
+                    "chunked pairs must arrive distinct and in strictly "
+                    "increasing (hi, lo)-lex order"
+                )
+            last_key = key[-1]
+            degF += np.bincount(lo, minlength=n)
+            degB += np.bincount(hi, minlength=n)
+            m += c
+        self = cls._pair_shell(n)
+        deg = degF + degB
+        if not m:
+            self.src = np.empty(0, dtype=np.int32)
+            self.dst = np.empty(0, dtype=np.int32)
+            self.grev = np.empty(0, dtype=np.int32)
+            self.deg = deg
+            return self
+        csum = np.cumsum(deg)
+        startB = (csum - deg).astype(np.int32)
+        startF = (csum - degF).astype(np.int32)
+        cumB = (np.cumsum(degB) - degB).astype(np.int32)
+        occF = np.zeros(n, dtype=np.int32)  # forward pairs in prior chunks
+        # src never needs a scatter: row s holds deg[s] copies of s.
+        src = np.repeat(np.arange(n, dtype=np.int32), deg)
+        dst = np.empty(2 * m, dtype=np.int32)
+        grev = np.empty(2 * m, dtype=np.int32)
+        base = 0
+        for lo, hi in chunks():
+            lo = np.asarray(lo, dtype=np.int64)
+            hi = np.asarray(hi, dtype=np.int64)
+            c = len(lo)
+            if not c:
+                continue
+            idx = np.arange(c, dtype=np.int32)
+            back = startB[hi] + (base + idx - cumB[hi])
+            # Within a chunk, equal-lo pairs are already hi-ascending (a
+            # consequence of the global (hi, lo) order), so a (lo, hi)
+            # sort groups them without reordering inside groups.
+            order = np.argsort(lo * nn + hi)
+            lo_s = lo[order]
+            run = np.empty(c, dtype=bool)
+            run[0] = True
+            np.not_equal(lo_s[1:], lo_s[:-1], out=run[1:])
+            starts = np.flatnonzero(run).astype(np.int32)
+            lens = np.diff(np.append(starts, np.int32(c)))
+            fwd = np.empty(c, dtype=np.int32)
+            fwd[order] = (
+                startF[lo_s] + occF[lo_s] + (idx - np.repeat(starts, lens))
+            )
+            occF[lo_s[starts]] += lens  # run heads are unique node ids
+            dst[back] = lo
+            dst[fwd] = hi
+            grev[back] = fwd
+            grev[fwd] = back
+            base += c
+        if base != m:
+            raise ValueError(
+                f"chunk factory is not replayable: pass 1 saw {m} pairs, "
+                f"pass 2 saw {base}"
+            )
+        self.src, self.dst, self.grev, self.deg = src, dst, grev, deg
         return self
 
     @property
@@ -660,20 +852,24 @@ class VectorizedEngine:
         scratch = scratch if scratch is not None else EngineScratch()
         self._scratch = scratch
         if rng == "pernode":
-            make_rng = node_rng_factory(seed)
-            self._rngs: Optional[List[Any]] = [
-                make_rng(v) for v in self.node_ids
-            ]
+            self._rngs: Optional[List[Any]] = node_rng_bulk(
+                seed, self.node_ids
+            )
             self._key = None
             self._ctr = None
             if n and depth:
-                self.coins: Optional[np.ndarray] = np.array(
-                    [
-                        [r.random() < coin_bias for _ in range(depth)]
+                # One flat C pass (row-major: node i's coins are
+                # consecutive, matching each stream's draw order) instead
+                # of n Python lists plus an np.array conversion.
+                self.coins: Optional[np.ndarray] = np.fromiter(
+                    (
+                        r.random() < coin_bias
                         for r in self._rngs
-                    ],
+                        for _ in range(depth)
+                    ),
                     dtype=np.int8,
-                )
+                    count=n * depth,
+                ).reshape(n, depth)
             else:
                 self.coins = np.zeros((n, 1), dtype=np.int8)
         else:
@@ -687,7 +883,21 @@ class VectorizedEngine:
         # borrowed from the scratch pool so batch runs recycle them.
         self.in_mis = scratch.take("in_mis", n, np.int8, fill=-1)
         self.awake = scratch.take("awake", n, np.int64, fill=0)
-        self.sleep = scratch.take("sleep", n, np.int64, fill=0)
+        # Round *labels* grow like T(K) = 3(2^K - 1), which leaves int64
+        # range once K = ceil(3 log2 n) passes 62 (n beyond ~1.3x10^6):
+        # there the round-valued columns (sleep spans, decision rounds)
+        # switch to float64 -- approximate at the far tail of the clock,
+        # while every *count* column (awake, tx, messages, bits) stays
+        # exact int64.  The node-averaged awake complexity -- the paper's
+        # claim -- is therefore exact at every n; only the astronomically
+        # large round labels round.  Below that depth nothing changes:
+        # int64 exactness is what the cross-engine equivalence suite pins.
+        round_dtype: Any = (
+            np.int64
+            if self._duration(self.depth) <= np.iinfo(np.int64).max
+            else np.float64
+        )
+        self.sleep = scratch.take("sleep", n, round_dtype, fill=0)
         self.tx = scratch.take("tx", n, np.int64, fill=0)
         self.rx = scratch.take("rx", n, np.int64, fill=0)
         self.idle = scratch.take("idle", n, np.int64, fill=0)
@@ -695,7 +905,7 @@ class VectorizedEngine:
         self.bits = scratch.take("bits", n, np.int64, fill=0)
         self.mrecv = scratch.take("mrecv", n, np.int64, fill=0)
         self.decision_round = scratch.take(
-            "decision_round", n, np.int64, fill=-1
+            "decision_round", n, round_dtype, fill=-1
         )
         self.awake_at_decision = scratch.take(
             "awake_at_decision", n, np.int64, fill=-1
@@ -935,7 +1145,7 @@ class VectorizedEngine:
             else:
                 self.idle[u] += 1
             if self._rngs is not None:
-                self._rngs[u].randrange(self._rank_bound)
+                randbelow(self._rngs[u], self._rank_bound)
             else:
                 self._ctr[u] += 1
             assert self.in_mis[u] == -1
@@ -1105,7 +1315,15 @@ class VectorizedEngine:
                 messages_received=self.mrecv.copy(),
                 decision_round=self.decision_round.copy(),
                 awake_at_decision=self.awake_at_decision.copy(),
-                finish_round=np.full(n, rounds, dtype=np.int64),
+                finish_round=np.full(
+                    n,
+                    rounds,
+                    dtype=(
+                        np.int64
+                        if rounds <= np.iinfo(np.int64).max
+                        else np.float64
+                    ),
+                ),
                 arrays=self.arrays,
             )
         if self.n == 0:

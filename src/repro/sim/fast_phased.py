@@ -73,7 +73,7 @@ from .rng import (
     DEFAULT_STREAM,
     bit_length_u64,
     draw_u64_array,
-    node_rng_factory,
+    node_rng_bulk,
     stream_key,
     u64_to_unit_float,
     validate_stream,
@@ -140,10 +140,9 @@ class PhasedVectorizedEngine:
         scratch = scratch if scratch is not None else EngineScratch()
         self._scratch = scratch
         if rng == "pernode":
-            make_rng = node_rng_factory(seed)
-            self._rngs: Optional[List[Any]] = [
-                make_rng(v) for v in self.node_ids
-            ]
+            self._rngs: Optional[List[Any]] = node_rng_bulk(
+                seed, self.node_ids
+            )
             self._key = None
             self._ctr = None
         else:
@@ -182,6 +181,19 @@ class PhasedVectorizedEngine:
         if algorithm == "ghaffari":
             # Desire level p_v = 2 ** -exponent, initially 1/2.
             self._exponent = scratch.take("exponent", n, np.int64, fill=1)
+        # Per-edge round-A participation, accumulated by the phase loop
+        # and flattened into ``mrecv`` once at result build (the sleeping
+        # engine's deferred-mrecv pattern): bumping the frontier edges'
+        # counters is O(frontier), where the historical
+        # ``bincount(minlength=n)`` + full-length ``mrecv +=`` cost O(n)
+        # per phase.
+        self._edge_rounds = scratch.take(
+            "edge_rounds", arrays.m, np.int64, fill=0
+        )
+        # Global-to-local map for the phase loop's node frontier
+        # (set-before-use only: each phase writes its own frontier
+        # before reading, so stale entries are never observed).
+        self._local_index = scratch.take("local_index", n, np.int32)
 
     # ------------------------------------------------------------------
 
@@ -223,7 +235,9 @@ class PhasedVectorizedEngine:
         self._ctr[U] += 1
         return u64_to_unit_float(u)
 
-    def _draw_marks(self, U: np.ndarray, live_cnt: np.ndarray) -> None:
+    def _draw_marks(
+        self, U: np.ndarray, live_cnt_l: np.ndarray, marked_l: np.ndarray
+    ) -> None:
         """Mark the in-loop nodes ``U`` and fill their payload bit costs.
 
         ``ghaffari`` marks with probability ``2^-exponent`` and sends
@@ -232,7 +246,9 @@ class PhasedVectorizedEngine:
         and sends ``(marked, deg)`` -- its combined key ``deg * n + index``
         reproduces the protocol's ``(degree, id)`` tuple order.  Both
         thresholds are single IEEE operations, so the numpy comparison
-        reproduces the scalar protocol's coin exactly.
+        reproduces the scalar protocol's coin exactly.  ``live_cnt_l``
+        and ``marked_l`` are frontier-local (slot ``i`` is node ``U[i]``):
+        the coins land in ``marked_l`` without an O(n) clear.
         """
         n = self.n
         if self.algorithm == "ghaffari":
@@ -243,23 +259,23 @@ class PhasedVectorizedEngine:
                 1.0, -np.minimum(payload_val, 2000).astype(np.int32)
             )
         else:
-            payload_val = live_cnt[U]
+            payload_val = live_cnt_l
             threshold = 1.0 / (2.0 * payload_val.astype(np.float64))
             self._combined[U] = payload_val * n + U
         self._prio_bits[U] = (
             bit_length_u64(payload_val.astype(np.uint64)) + _MARK_FRAME_BITS
         )
-        self._marked.fill(False)
-        self._marked[U] = self._draw_unit_floats(U) < threshold
+        marked_l[:] = self._draw_unit_floats(U) < threshold
 
     def _update_desire(
         self,
+        U: np.ndarray,
         sf: np.ndarray,
-        df: np.ndarray,
+        ld: np.ndarray,
         gf: np.ndarray,
         keyed: np.ndarray,
         live: np.ndarray,
-        inloop: np.ndarray,
+        survivor_l: np.ndarray,
     ) -> None:
         """Ghaffari's end-of-phase desire-level update for the survivors.
 
@@ -267,39 +283,40 @@ class PhasedVectorizedEngine:
         neighbors ``u`` whose round-A report it kept (``keyed``) and that
         are still in its live set after the round-C pruning; the exponent
         rises when that sum reaches 2 and falls (floored at 1) otherwise.
-        ``sf``/``df``/``gf`` are the phase's frontier endpoints and
-        reverse-edge ids, with ``keyed`` aligned to the frontier.  The
-        comparison is computed in exact integer arithmetic --
-        ``sum(2^(E - e_u)) >= 2^(E+1)`` with ``E`` the largest exponent --
-        matching the protocol's exact-shift implementation independent of
-        any summation order.  The int64 fast path covers every exponent
-        range a real run produces; pathological spreads (possible only
-        after ~50+ adversarial phases) fall back to per-receiver Python
-        big-int sums, still exact.
+        ``sf``/``ld``/``gf`` are the phase's frontier sender endpoints,
+        *local* receiver ids, and reverse-edge ids, with ``keyed`` aligned
+        to the frontier and ``survivor_l`` local to ``U`` -- the whole
+        update is O(frontier), never O(n).  The comparison is computed in
+        exact integer arithmetic -- ``sum(2^(E - e_u)) >= 2^(E+1)`` with
+        ``E`` the largest exponent -- matching the protocol's exact-shift
+        implementation independent of any summation order.  The int64
+        fast path covers every exponent range a real run produces;
+        pathological spreads (possible only after ~50+ adversarial
+        phases) fall back to per-receiver Python big-int sums, still
+        exact.
         """
-        n = self.n
-        high = np.zeros(n, dtype=bool)
-        rep = keyed & live[gf] & inloop[df]
+        nu = len(U)
+        high_l = np.zeros(nu, dtype=bool)
+        rep = keyed & live[gf] & survivor_l[ld]
         if rep.any():
             exps = self._exponent[sf[rep]]
             cap = int(exps.max())
             spread = cap - int(exps.min())
-            if cap + 1 <= 62 and spread + n.bit_length() <= 62:
+            if cap + 1 <= 62 and spread + self.n.bit_length() <= 62:
                 contrib = np.int64(1) << (np.int64(cap) - exps)
-                acc = np.zeros(n, dtype=np.int64)
-                np.add.at(acc, df[rep], contrib)
-                high = acc >= np.int64(1) << np.int64(cap + 1)
+                acc = np.zeros(nu, dtype=np.int64)
+                np.add.at(acc, ld[rep], contrib)
+                high_l = acc >= np.int64(1) << np.int64(cap + 1)
             else:  # pragma: no cover - adversarial exponent spreads
                 grouped: dict = {}
-                for v, e in zip(df[rep].tolist(), exps.tolist()):
+                for v, e in zip(ld[rep].tolist(), exps.tolist()):
                     grouped.setdefault(v, []).append(e)
                 for v, group in grouped.items():
                     top = max(group)
                     total = sum(1 << (top - e) for e in group)
-                    high[v] = total >= 1 << (top + 1)
-        raised = inloop & high
-        lowered = inloop & ~high
-        self._exponent[raised] += 1
+                    high_l[v] = total >= 1 << (top + 1)
+        self._exponent[U[survivor_l & high_l]] += 1
+        lowered = U[survivor_l & ~high_l]
         self._exponent[lowered] = np.maximum(
             1, self._exponent[lowered] - 1
         )
@@ -320,15 +337,22 @@ class PhasedVectorizedEngine:
     def run(self) -> RunResult:
         """Replay the full execution and return the generator-equal result.
 
-        The phase loop walks a **shrinking edge frontier**: ``EF`` holds
-        the (int32) indices of the live edges between in-loop nodes, so a
-        late phase with a handful of survivors touches a handful of
-        edges, not all ``m`` -- the historical full-edge-array masks made
-        every phase cost the whole graph.  ``live_cnt`` is maintained
-        incrementally as edges are pruned (one bincount over the pruned
-        set per phase, never over all edges), and the per-phase ``best``/
-        ``hit`` node arrays are scratch buffers cleared by re-scattering
-        the touched slots.
+        The phase loop walks a **shrinking edge frontier** and a matching
+        **node frontier**: ``EF`` holds the (int32) indices of the live
+        edges between in-loop nodes, ``U`` the (ascending) indices of the
+        in-loop nodes themselves, so a late phase with a handful of
+        survivors touches a handful of edges and nodes, not all ``m`` or
+        ``n`` -- the historical full-length masks, ``flatnonzero`` scans,
+        and ``bincount(minlength=n)`` passes made every phase cost the
+        whole graph.  All per-phase aggregation happens in ``U``'s local
+        index space (slot ``i`` is node ``U[i]``, mapped through the
+        ``_local_index`` scatch scatter), ``live_cnt`` is maintained
+        incrementally as edges are pruned, round-A message receipt is
+        deferred to per-edge counters flattened once at result build, and
+        the per-phase ``best``/``hit``/``marked`` arrays are frontier-
+        sized slices of scratch buffers.  Because ``U`` stays ascending,
+        every draw happens at exactly the stream position the historical
+        full-scan loop used -- bit-for-bit equivalence is preserved.
         """
         n = self.n
         if n == 0:
@@ -343,7 +367,9 @@ class PhasedVectorizedEngine:
         live = self._scratch.take("live_edges", self.arrays.m, bool, fill=True)
         live_cnt = self.arrays.deg.copy()
         EF = np.arange(self.arrays.m, dtype=np.int32)
-        best = self._scratch.take("phase_best", n, np.int64, fill=-1)
+        U = np.arange(n, dtype=np.int64)
+        local = self._local_index
+        best = self._scratch.take("phase_best", n, np.int64)
         hit = self._scratch.take("phase_hit", n, bool, fill=False)
 
         p = 0
@@ -354,17 +380,18 @@ class PhasedVectorizedEngine:
             # then the phase budget is checked (everyone still in the loop
             # shares the same phase count, so a ``max_phases`` exit empties
             # the loop in one step, matching the per-node protocol).
-            iso = inloop & (live_cnt == 0)
-            if iso.any():
-                idx = np.flatnonzero(iso)
+            iso_l = live_cnt[U] == 0
+            if iso_l.any():
+                idx = U[iso_l]
                 self._decide(idx, True, r0)
                 self.finish[idx] = r0
-                inloop &= ~iso
-            if self.max_phases is not None and p >= self.max_phases:
-                idx = np.flatnonzero(inloop)
-                self.finish[idx] = r0  # gives up undecided
                 inloop[idx] = False
-            if not inloop.any():
+                U = U[~iso_l]
+            if self.max_phases is not None and p >= self.max_phases:
+                self.finish[U] = r0  # gives up undecided
+                inloop[U] = False
+                U = U[:0]
+            if not len(U):
                 break
             # The rank baselines retire at least one node per phase (the
             # global top key always wins); the marking baselines make
@@ -372,97 +399,106 @@ class PhasedVectorizedEngine:
             # unbounded, as in the generator engine.
             assert marking or p <= n, "rank baseline failed to make progress"
 
-            U = np.flatnonzero(inloop)
+            nu = len(U)
+            live_cnt_l = live_cnt[U]
             if marking:
-                self._draw_marks(U, live_cnt)
-                marked = self._marked
+                marked_l = self._marked[:nu]
+                self._draw_marks(U, live_cnt_l, marked_l)
             else:
                 if self.algorithm == "luby" or p == 0:
                     self._draw_priorities(U)
-                marked = inloop
-            combined = self._combined
 
             # Compact the frontier: the deliveries of this phase are
-            # exactly the live edges between in-loop nodes.
+            # exactly the live edges between in-loop nodes.  Endpoints
+            # are mapped to the local index space once per phase.
             keep = live[EF]
             keep &= inloop[src[EF]]
             keep &= inloop[dst[EF]]
             EF = EF[keep]
             sf, df, gf = src[EF], dst[EF], grev[EF]
+            local[U] = np.arange(nu, dtype=np.int32)
+            ls, ld = local[sf], local[df]
 
             # Round A (3p) -- rank/mark exchange over the live sets.  Every
             # in-loop node has a nonempty live set, so all are tx.
-            self._check_clock(r0, len(U))
+            self._check_clock(r0, nu)
             self.awake[U] += 1
             self.tx[U] += 1
-            self.msent[U] += live_cnt[U]
-            self.bits[U] += self._prio_bits[U] * live_cnt[U]
-            self.mrecv += np.bincount(df, minlength=n)
+            self.msent[U] += live_cnt_l
+            self.bits[U] += self._prio_bits[U] * live_cnt_l
+            self._edge_rounds[EF] += 1  # mrecv, flattened at result build
             # Keys kept by receivers: senders that are in the receiver's
             # own live set (the protocol's ``if u in live`` filter).
             keyed = live[gf]
-            key_cnt = np.bincount(df[keyed], minlength=n)
+            key_cnt = np.bincount(ld[keyed], minlength=nu)
             # Contenders: kept reports that can veto a win -- every kept
             # report for the rank baselines, marked ones for the others.
-            contender = keyed & marked[sf] if marking else keyed
-            touched = df[contender]
-            np.maximum.at(best, touched, combined[sf[contender]])
-            joined = marked & (key_cnt == live_cnt) & (combined > best)
-            best[touched] = -1  # hand the scratch buffer back clean
-            jidx = np.flatnonzero(joined)
+            contender = keyed & marked_l[ls] if marking else keyed
+            best_l = best[:nu]
+            best_l.fill(-1)
+            np.maximum.at(best_l, ld[contender], self._combined[sf[contender]])
+            joined_l = (key_cnt == live_cnt_l) & (self._combined[U] > best_l)
+            if marking:
+                joined_l &= marked_l
+            jidx = U[joined_l]
             if len(jidx):
                 self._decide(jidx, True, r0 + 1)
 
             # Round B (3p + 1) -- JOIN announcements; winners terminate
             # after sending (they are still awake and receiving this round).
-            self._check_clock(r0 + 1, len(U))
+            self._check_clock(r0 + 1, nu)
             self.awake[U] += 1
             self.tx[jidx] += 1
-            self.msent[jidx] += live_cnt[jidx]
-            self.bits[jidx] += _FLAG_BITS * live_cnt[jidx]
-            delivered = joined[sf]
-            got_join = np.bincount(df[delivered], minlength=n)
-            self.mrecv += got_join
-            silent = inloop & ~joined
-            self.rx[silent & (got_join > 0)] += 1
-            self.idle[silent & (got_join == 0)] += 1
-            hitidx = df[delivered & keyed]
-            hit[hitidx] = True
-            elim = silent & hit
-            hit[hitidx] = False  # hand the scratch buffer back clean
-            eidx = np.flatnonzero(elim)
+            self.msent[jidx] += live_cnt_l[joined_l]
+            self.bits[jidx] += _FLAG_BITS * live_cnt_l[joined_l]
+            delivered = joined_l[ls]
+            got_join = np.bincount(ld[delivered], minlength=nu)
+            self.mrecv[U] += got_join
+            silent_l = ~joined_l
+            self.rx[U[silent_l & (got_join > 0)]] += 1
+            self.idle[U[silent_l & (got_join == 0)]] += 1
+            hit_l = hit[:nu]
+            hitidx = ld[delivered & keyed]
+            hit_l[hitidx] = True
+            elim_l = silent_l & hit_l
+            hit_l[hitidx] = False  # hand the scratch buffer back clean
+            eidx = U[elim_l]
             if len(eidx):
                 self._decide(eidx, False, r0 + 2)
             self.finish[jidx] = r0 + 2
-            inloop &= ~joined
+            inloop[jidx] = False
 
             # Round C (3p + 2) -- OUT announcements from the newly
             # eliminated; survivors prune their live sets, announcers
-            # terminate.
-            still = np.flatnonzero(inloop)
-            self._check_clock(r0 + 2, len(still))
-            self.awake[still] += 1
+            # terminate.  ``silent_l`` is exactly the in-loop set now.
+            stillidx = U[silent_l]
+            self._check_clock(r0 + 2, len(stillidx))
+            self.awake[stillidx] += 1
             self.tx[eidx] += 1
-            self.msent[eidx] += live_cnt[eidx]
-            self.bits[eidx] += _FLAG_BITS * live_cnt[eidx]
-            delivered = elim[sf] & inloop[df]
-            got_out = np.bincount(df[delivered], minlength=n)
-            self.mrecv += got_out
-            survivor = inloop & ~elim
-            self.rx[survivor & (got_out > 0)] += 1
-            self.idle[survivor & (got_out == 0)] += 1
+            self.msent[eidx] += live_cnt_l[elim_l]
+            self.bits[eidx] += _FLAG_BITS * live_cnt_l[elim_l]
+            delivered = elim_l[ls] & silent_l[ld]
+            got_out = np.bincount(ld[delivered], minlength=nu)
+            self.mrecv[U] += got_out
+            survivor_l = silent_l & ~elim_l
+            self.rx[U[survivor_l & (got_out > 0)]] += 1
+            self.idle[U[survivor_l & (got_out == 0)]] += 1
             # Prune: only reverse edges that were still live decrement the
             # sender-side live counts (live sets prune asymmetrically, so
             # a reverse edge may already be dead).
-            fresh = delivered & survivor[df] & live[gf]
-            live[gf[delivered & survivor[df]]] = False
-            live_cnt -= np.bincount(df[fresh], minlength=n)
+            recv_live = delivered & survivor_l[ld]
+            fresh = recv_live & live[gf]
+            live[gf[recv_live]] = False
+            live_cnt[U] -= np.bincount(ld[fresh], minlength=nu)
             self.finish[eidx] = r0 + 3
-            inloop &= ~elim
+            inloop[eidx] = False
             if self.algorithm == "ghaffari":
                 # Survivors re-rate their desire level from the round-A
                 # reports of neighbors still live after the pruning.
-                self._update_desire(sf, df, gf, keyed, live, inloop)
+                self._update_desire(U, sf, ld, gf, keyed, live, survivor_l)
+            # The node frontier shrinks in place; masking preserves the
+            # ascending order the draw positions depend on.
+            U = U[survivor_l]
             p += 1
 
         live[:] = False  # hand the edge buffer back clean
@@ -473,6 +509,12 @@ class PhasedVectorizedEngine:
     def _build_result(self) -> RunResult:
         # Phased nodes never sleep (constant ``sleep`` column) but finish
         # at per-node rounds as they terminate phase by phase.
+        if self.arrays.m:
+            # Round-A receipt was deferred to per-edge phase counters;
+            # flatten them into per-node counts in one weighted pass.
+            self.mrecv += np.bincount(
+                self.arrays.dst, weights=self._edge_rounds, minlength=self.n
+            ).astype(np.int64)
         if self.result_kind == "arrays":
             from .array_result import ArrayRunResult
 

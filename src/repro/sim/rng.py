@@ -48,9 +48,11 @@ v2 stream definition (normative)
 
 from __future__ import annotations
 
+import gc
 import hashlib
 import random
-from typing import Any, Callable, Optional
+from _random import Random as _CoreRandom
+from typing import Any, Callable, List, Optional
 
 import numpy as np
 
@@ -100,6 +102,77 @@ def node_rng_factory(seed: Optional[int]) -> Callable[[Any], random.Random]:
     """
     prefix = f"repro|{seed}|"
     return lambda node_id: random.Random(prefix + str(node_id))
+
+
+def node_rng_bulk(seed: Optional[int], node_ids: Any) -> List[Any]:
+    """Every node's v1 stream at once, bit-for-bit equal to :func:`node_rng`.
+
+    The closure of :func:`node_rng_factory` already amortizes the prefix
+    *string*; what it cannot amortize is everything CPython layers on top
+    of each ``random.Random(str)`` construction.  Profiled at n = 10^6,
+    the SHA-512 itself is a sideshow (~1.5 us of ~27 us per node) -- the
+    real costs are (a) every ``random.Random`` instance being tracked by
+    the cyclic garbage collector, whose generational scans re-walk the
+    whole growing list of streams several times during construction, and
+    (b) the Python-level ``Random.__init__``/``seed`` plumbing.
+
+    This constructor removes both while keeping the *values* frozen:
+
+    * it builds ``_random.Random`` (the untracked C base class) instances,
+      seeded with the exact integer CPython's string seeding derives --
+      ``int.from_bytes(s + sha512(s).digest(), "big")`` for the UTF-8
+      seed string ``s`` -- so every stream is bit-for-bit the v1 stream;
+    * garbage collection is paused across the construction loop (the
+      instances are acyclic; nothing is lost by not scanning them).
+
+    The returned objects expose the C primitives (``random``,
+    ``getrandbits``, ``getstate``/``setstate``) but **not** the derived
+    Python methods (``randrange``, ``choice``, ...); vectorized-engine
+    call sites draw ranks through :func:`randbelow`, which replays
+    ``Random.randrange(bound)`` exactly.  Consumers needing the full
+    interface (the generator engine) keep :func:`make_node_rng`.
+    """
+    prefix = f"repro|{seed}|".encode()
+    sha512 = hashlib.sha512
+    from_bytes = int.from_bytes
+    out: List[Any] = []
+    append = out.append
+    enabled = gc.isenabled()
+    gc.disable()
+    try:
+        for node_id in node_ids:
+            # UTF-8 is concatenative, so prefix + str(node_id).encode()
+            # equals f"repro|{seed}|{node_id}".encode(); %d short-cuts the
+            # dominant int-id case (bool is an int subclass that must
+            # render as "True"/"False", so it takes the str path).
+            if type(node_id) is int:
+                s = prefix + b"%d" % node_id
+            else:
+                s = prefix + str(node_id).encode()
+            append(_CoreRandom(from_bytes(s + sha512(s).digest(), "big")))
+    finally:
+        if enabled:
+            gc.enable()
+    return out
+
+
+def randbelow(rng: Any, bound: int) -> int:
+    """``rng.randrange(bound)`` via ``getrandbits``, for the bulk streams.
+
+    Replays CPython's ``Random._randbelow_with_getrandbits`` exactly --
+    draw ``bit_length(bound)`` bits, retry while the draw reaches
+    ``bound`` -- so a ``_random.Random`` from :func:`node_rng_bulk`
+    consumes the same underlying Mersenne--Twister words, and lands at
+    the same stream position, as ``random.Random.randrange`` would.
+    """
+    if bound <= 0:
+        raise ValueError(f"empty range for randbelow({bound})")
+    k = bound.bit_length()
+    getrandbits = rng.getrandbits
+    r = getrandbits(k)
+    while r >= bound:
+        r = getrandbits(k)
+    return r
 
 
 # ----------------------------------------------------------------------

@@ -29,12 +29,17 @@ SLEEPING_BUFFERS = (
     "_local_index", "_ctr",
 )
 
-#: The scratch-borrowed per-node state buffers of the phased engine.
+#: The scratch-borrowed per-node state buffers of the phased engine,
+#: including the node-frontier localization buffers (deferred per-edge
+#: round-A receipt counters and the global-to-local index map).
 PHASED_BUFFERS = (
     "in_mis", "awake", "tx", "rx", "idle", "msent", "bits", "mrecv",
     "decision_round", "awake_at_decision", "finish", "_combined",
-    "_prio_bits", "_ctr",
+    "_prio_bits", "_ctr", "_edge_rounds", "_local_index",
 )
+
+#: Additional scratch buffers of the marking (ghaffari) phased engine.
+GHAFFARI_BUFFERS = ("_marked", "_exponent")
 
 
 class TestBufferIdentity:
@@ -54,16 +59,23 @@ class TestBufferIdentity:
                 f"{name} was reallocated instead of reused from scratch"
             )
 
-    def test_phased_engine_reuses_scratch_buffers(self):
+    @pytest.mark.parametrize(
+        "algorithm,names",
+        [
+            ("luby", PHASED_BUFFERS),
+            ("ghaffari", PHASED_BUFFERS + GHAFFARI_BUFFERS),
+        ],
+    )
+    def test_phased_engine_reuses_scratch_buffers(self, algorithm, names):
         scratch = EngineScratch()
         ga = make_family_arrays("gnp-sparse", 400, seed=1)
         first = PhasedVectorizedEngine(
-            ga, "luby", seed=0, rng="batched", scratch=scratch
+            ga, algorithm, seed=0, rng="batched", scratch=scratch
         )
-        buffers = {name: getattr(first, name) for name in PHASED_BUFFERS}
+        buffers = {name: getattr(first, name) for name in names}
         first.run()
         second = PhasedVectorizedEngine(
-            ga, "luby", seed=1, rng="batched", scratch=scratch
+            ga, algorithm, seed=1, rng="batched", scratch=scratch
         )
         for name, buf in buffers.items():
             assert getattr(second, name) is buf, (
@@ -144,3 +156,55 @@ class TestTracedMemory:
         assert levels[-1] <= levels[1] + slack, (
             f"traced memory grew across trials: {levels}"
         )
+
+
+class TestChunkedCsrBuild:
+    def test_streaming_build_transient_memory_is_chunk_bounded(
+        self, monkeypatch
+    ):
+        """The two-pass streaming CSR build must hold chunk-sized (plus
+        O(n) node-array) transients, never pair-count-sized ones.
+
+        A dense ~10^6-edge family forced through tiny chunks: with
+        ~2x10^3 pairs in flight at a time, the peak traced memory above
+        the persistent CSR arrays has to stay orders of magnitude below
+        the ~50 MB the one-shot build transiently holds for this graph
+        (pair buffers, composite keys, argsort).  The documented bound
+        (docs/performance.md, "Scaling to 10^7"): O(n) node arrays plus
+        ~64 bytes per in-flight pair.
+        """
+        import repro.graphs.arrays as arrays_mod
+
+        n, p = 2000, 0.5  # ~10^6 undirected pairs
+        chunk = 1 << 11
+        monkeypatch.setattr(arrays_mod, "GNP_V2_STREAM_CHUNK", chunk)
+        gc.collect()
+        tracemalloc.start()
+        try:
+            ga = arrays_mod.gnp_arrays_v2(n, p, seed=5, stream=True)
+            current, peak = tracemalloc.get_traced_memory()
+        finally:
+            tracemalloc.stop()
+        assert ga.m > 1_500_000  # really a dense 10^6-edge family
+        # O(n) node arrays (degree splits, prefix starts, carry) plus a
+        # generous multiple of the in-flight chunk temporaries.
+        node_arrays = 8 * 64 * n
+        transient_bound = node_arrays + 256 * chunk
+        assert peak - current <= transient_bound, (
+            f"streaming build transient {peak - current} exceeds "
+            f"{transient_bound} (peak {peak}, persistent {current})"
+        )
+
+    def test_streaming_build_equals_one_shot(self, monkeypatch):
+        """stream=True is a build strategy, never a different graph."""
+        import numpy as np
+
+        import repro.graphs.arrays as arrays_mod
+
+        monkeypatch.setattr(arrays_mod, "GNP_V2_STREAM_CHUNK", 1 << 11)
+        one_shot = arrays_mod.gnp_arrays_v2(500, 0.3, seed=9, stream=False)
+        streamed = arrays_mod.gnp_arrays_v2(500, 0.3, seed=9, stream=True)
+        for field in ("src", "dst", "grev", "deg"):
+            assert np.array_equal(
+                getattr(one_shot, field), getattr(streamed, field)
+            ), field

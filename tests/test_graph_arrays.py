@@ -47,6 +47,8 @@ from repro.graphs.generators import (
 from repro.sim.fast_engine import GraphArrays
 from repro.sim.network import normalize_graph
 
+from helpers import GRAPH_BUILDERS, GRAPH_IDS
+
 
 def assert_same_graph(arrays: GraphArrays, graph) -> None:
     """Edge-for-edge equality with a networkx-built reference."""
@@ -426,3 +428,251 @@ class TestEndToEnd:
         assert ga._adjacency is not None  # generator engine forced the view
         reference = solve_mis(cycle_graph(12), "luby", seed=2, engine="generators")
         assert result.mis == reference.mis
+
+
+# ----------------------------------------------------------------------
+# The direct O(m) CSR build (sorted fast path, argsort fallback, and the
+# two-pass streaming builder).
+# ----------------------------------------------------------------------
+
+
+def _distinct_pairs_of(graph):
+    """The (lo, hi)-sorted distinct pair arrays of a networkx graph."""
+    ga = GraphArrays(normalize_graph(graph))
+    fwd = ga.src < ga.dst
+    return ga.n, ga.src[fwd].astype(np.int64), ga.dst[fwd].astype(np.int64)
+
+
+def _assert_same_arrays(a: GraphArrays, b: GraphArrays) -> None:
+    assert a.n == b.n
+    for field in ("src", "dst", "grev", "deg"):
+        np.testing.assert_array_equal(getattr(a, field), getattr(b, field))
+
+
+def _assert_csr_invariants(ga: GraphArrays) -> None:
+    """The structural contract every build path must satisfy."""
+    m = len(ga.src)
+    assert int(ga.deg.sum()) == m
+    if not m:
+        return
+    # (src, dst) strictly ascending: sorted, no duplicate directed edges.
+    key = ga.src.astype(np.int64) * ga.n + ga.dst
+    assert (key[1:] > key[:-1]).all()
+    # grev is the reverse-edge involution.
+    np.testing.assert_array_equal(ga.src[ga.grev], ga.dst)
+    np.testing.assert_array_equal(ga.dst[ga.grev], ga.src)
+    np.testing.assert_array_equal(ga.grev[ga.grev], np.arange(m))
+
+
+class TestDirectCsrBuild:
+    """`from_distinct_pairs`' sorted fast path vs the argsort reference."""
+
+    @pytest.mark.parametrize("builder", GRAPH_BUILDERS, ids=GRAPH_IDS)
+    def test_parity_with_argsort_path_across_graph_cases(self, builder):
+        n, lo, hi = _distinct_pairs_of(builder())
+        built = GraphArrays.from_distinct_pairs(n, lo, hi)
+        reference = GraphArrays._from_pairs_argsort(n, lo, hi)
+        _assert_same_arrays(built, reference)
+        _assert_csr_invariants(built)
+
+    @pytest.mark.parametrize("builder", GRAPH_BUILDERS, ids=GRAPH_IDS)
+    def test_parity_on_hi_major_order(self, builder):
+        """The v2 sampler's native (hi, lo)-lex order, same graphs."""
+        n, lo, hi = _distinct_pairs_of(builder())
+        order = np.lexsort((lo, hi))
+        lo, hi = lo[order], hi[order]
+        built = GraphArrays.from_distinct_pairs(n, lo, hi)
+        reference = GraphArrays._from_pairs_argsort(n, lo, hi)
+        _assert_same_arrays(built, reference)
+
+    @pytest.mark.parametrize("builder", GRAPH_BUILDERS, ids=GRAPH_IDS)
+    def test_unsorted_input_falls_back_to_argsort_parity(self, builder):
+        import random
+
+        n, lo, hi = _distinct_pairs_of(builder())
+        idx = list(range(len(lo)))
+        random.Random(7).shuffle(idx)
+        lo, hi = lo[idx], hi[idx]
+        built = GraphArrays.from_distinct_pairs(n, lo, hi)
+        reference = GraphArrays._from_pairs_argsort(n, lo, hi)
+        _assert_same_arrays(built, reference)
+        _assert_csr_invariants(built)
+
+    def test_empty_graph(self):
+        ga = GraphArrays.from_distinct_pairs(7, [], [])
+        assert (len(ga.src), len(ga.dst), len(ga.grev)) == (0, 0, 0)
+        np.testing.assert_array_equal(ga.deg, np.zeros(7, dtype=np.int64))
+
+    def test_isolated_high_id_nodes(self):
+        """Trailing nodes past every edge keep zero-degree CSR rows."""
+        n = 5000
+        lo = np.arange(10, dtype=np.int64)
+        hi = lo + 1
+        ga = GraphArrays.from_distinct_pairs(n, lo, hi)
+        _assert_same_arrays(ga, GraphArrays._from_pairs_argsort(n, lo, hi))
+        assert (ga.deg[12:] == 0).all()
+        assert int(ga.deg.sum()) == 20
+
+    def test_ids_at_the_top_of_a_large_id_space(self):
+        """Node ids right under n at a multi-million-node n: the int64
+        composite keys and int32 slot arithmetic must stay exact."""
+        n = 1 << 24
+        hi = np.array([n - 1, n - 1, n - 2], dtype=np.int64)
+        lo = np.array([0, n - 3, n - 3], dtype=np.int64)
+        order = np.lexsort((lo, hi))
+        ga = GraphArrays.from_distinct_pairs(n, lo[order], hi[order])
+        reference = GraphArrays._from_pairs_argsort(n, lo[order], hi[order])
+        _assert_same_arrays(ga, reference)
+        _assert_csr_invariants(ga)
+
+    def test_composite_key_headroom_at_int32_id_bound(self):
+        """Document the arithmetic ceiling: even at the int32 id bound
+        (the format's hard limit -- src/dst/grev are int32), the (hi, lo)
+        composite key stays inside int64."""
+        n = 2**31 - 1
+        assert (n - 1) * n + (n - 2) < 2**63 - 1
+
+    def test_duplicate_pairs_violate_the_contract_identically(self):
+        """Duplicates break the strictly-increasing-key certificate, so
+        the fast path can never take them: they land on the argsort
+        reference and misbehave exactly as they always did."""
+        lo = np.array([0, 0, 1], dtype=np.int64)
+        hi = np.array([1, 1, 2], dtype=np.int64)
+        built = GraphArrays.from_distinct_pairs(4, lo, hi)
+        _assert_same_arrays(built, GraphArrays._from_pairs_argsort(4, lo, hi))
+
+    def test_bounds_and_orientation_still_checked(self):
+        with pytest.raises(ValueError, match=r"lie in \[0, 3\)"):
+            GraphArrays.from_distinct_pairs(3, [0], [3])
+        with pytest.raises(ValueError, match="lo < hi"):
+            GraphArrays.from_distinct_pairs(3, [2], [1])
+
+    def test_randomized_cross_check(self):
+        """Hypothesis-style sweep, deterministic: random sizes, densities
+        and input orders, every build pinned to the argsort reference."""
+        import random
+
+        pyrng = random.Random(0)
+        rng = np.random.default_rng(0)
+        for _ in range(25):
+            n = pyrng.randrange(2, 300)
+            m_want = pyrng.randrange(0, 2 * n)
+            u = rng.integers(0, n, size=m_want)
+            v = rng.integers(0, n, size=m_want)
+            lo, hi = np.minimum(u, v), np.maximum(u, v)
+            keep = lo != hi
+            key = np.unique(lo[keep] * np.int64(n) + hi[keep])
+            lo, hi = key // n, key % n
+            variants = [(lo, hi)]
+            order = np.lexsort((lo, hi))
+            variants.append((lo[order], hi[order]))
+            shuffled = rng.permutation(len(lo))
+            variants.append((lo[shuffled], hi[shuffled]))
+            for vlo, vhi in variants:
+                built = GraphArrays.from_distinct_pairs(n, vlo, vhi)
+                _assert_same_arrays(
+                    built, GraphArrays._from_pairs_argsort(n, vlo, vhi)
+                )
+                _assert_csr_invariants(built)
+
+
+class TestChunkedCsrBuild:
+    """`from_distinct_pair_chunks`: the two-pass streaming builder."""
+
+    @staticmethod
+    def _chunked(lo, hi, size):
+        def make():
+            for i in range(0, max(len(lo), 1), size):
+                yield lo[i : i + size], hi[i : i + size]
+
+        return make
+
+    @pytest.mark.parametrize("size", [1, 3, 7, 10_000])
+    def test_equals_one_shot_across_chunk_splits(self, size):
+        ga = gnp_arrays_v2(400, 0.05, seed=3, stream=False)
+        fwd = ga.src < ga.dst
+        lo64 = ga.src[fwd].astype(np.int64)
+        hi64 = ga.dst[fwd].astype(np.int64)
+        order = np.lexsort((lo64, hi64))  # the required (hi, lo) order
+        lo64, hi64 = lo64[order], hi64[order]
+        chunked = GraphArrays.from_distinct_pair_chunks(
+            400, self._chunked(lo64, hi64, size)
+        )
+        _assert_same_arrays(chunked, ga)
+        _assert_csr_invariants(chunked)
+
+    def test_empty_stream(self):
+        ga = GraphArrays.from_distinct_pair_chunks(5, lambda: iter(()))
+        assert len(ga.src) == 0
+        np.testing.assert_array_equal(ga.deg, np.zeros(5, dtype=np.int64))
+
+    def test_empty_chunks_are_skipped(self):
+        lo = np.array([0, 0], dtype=np.int64)
+        hi = np.array([1, 2], dtype=np.int64)
+
+        def make():
+            yield lo[:0], hi[:0]
+            yield lo[:1], hi[:1]
+            yield lo[:0], hi[:0]
+            yield lo[1:], hi[1:]
+
+        ga = GraphArrays.from_distinct_pair_chunks(3, make)
+        _assert_same_arrays(ga, GraphArrays.from_distinct_pairs(3, lo, hi))
+
+    def test_out_of_order_chunks_rejected(self):
+        lo = np.array([0, 0], dtype=np.int64)
+        hi = np.array([2, 1], dtype=np.int64)  # (hi, lo) keys decrease
+        with pytest.raises(ValueError, match="strictly increasing"):
+            GraphArrays.from_distinct_pair_chunks(3, self._chunked(lo, hi, 1))
+
+    def test_duplicate_pairs_rejected(self):
+        lo = np.array([0, 0], dtype=np.int64)
+        hi = np.array([1, 1], dtype=np.int64)
+        with pytest.raises(ValueError, match="strictly increasing"):
+            GraphArrays.from_distinct_pair_chunks(3, self._chunked(lo, hi, 2))
+
+    def test_contract_violations_rejected(self):
+        with pytest.raises(ValueError, match="lo < hi"):
+            GraphArrays.from_distinct_pair_chunks(
+                3,
+                self._chunked(
+                    np.array([2], dtype=np.int64),
+                    np.array([1], dtype=np.int64),
+                    1,
+                ),
+            )
+        with pytest.raises(ValueError, match=r"lie in \[0, 3\)"):
+            GraphArrays.from_distinct_pair_chunks(
+                3,
+                self._chunked(
+                    np.array([0], dtype=np.int64),
+                    np.array([5], dtype=np.int64),
+                    1,
+                ),
+            )
+
+    def test_non_replayable_factory_detected(self):
+        lo = np.array([0, 0], dtype=np.int64)
+        hi = np.array([1, 2], dtype=np.int64)
+        passes = iter([2, 1])  # second pass yields fewer pairs
+
+        def make():
+            k = next(passes)
+            yield lo[:k], hi[:k]
+
+        with pytest.raises(ValueError, match="not replayable"):
+            GraphArrays.from_distinct_pair_chunks(3, make)
+
+    def test_gnp_v2_stream_knob_is_not_part_of_the_format(self):
+        """Every stream mode samples the identical seeded graph."""
+        expected = gnp_arrays_v2(200, 0.1, seed=6, stream=False)
+        _assert_same_arrays(
+            expected, gnp_arrays_v2(200, 0.1, seed=6, stream=True)
+        )
+        _assert_same_arrays(
+            expected, gnp_arrays_v2(200, 0.1, seed=6, stream="auto")
+        )
+
+    def test_unknown_stream_mode_rejected(self):
+        with pytest.raises(ValueError, match="unknown stream mode"):
+            gnp_arrays_v2(10, 0.1, stream="yes")
