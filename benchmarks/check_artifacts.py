@@ -223,12 +223,76 @@ def check_artifacts(list_only: bool = False) -> int:
     return 1 if failed else 0
 
 
+def merge_sweep(directories: List[str], output: str = None) -> int:
+    """Merge-verify partial sweep result shards (``--merge-sweep``).
+
+    Each directory is a sweep frontier directory (or bare ``results/``
+    shard) written by :mod:`repro.sweeps`; overlapping trials must agree
+    bit-for-bit modulo the wall-clock/provenance keys this script already
+    ignores, and every embedded plan is re-validated against the current
+    registries -- the same discipline applied to committed
+    ``BENCH_*.json`` artifacts.
+    """
+    try:
+        from repro.sweeps.merge import TrialConflict, merge_shard_dirs
+    except ImportError:
+        sys.path.insert(0, str(REPO / "src"))
+        from repro.sweeps.merge import TrialConflict, merge_shard_dirs
+    from repro.plan import RunPlan
+    try:
+        merged = merge_shard_dirs(directories)
+    except TrialConflict as exc:
+        print(f"MERGE CONFLICT: {exc}", file=sys.stderr)
+        return 1
+    failed = False
+    for key, payload in sorted(merged.items()):
+        plan_data = payload.get("plan")
+        if plan_data is None:
+            failed = True
+            print(f"{key:32s} PLAN MISSING (artifact carries no plan)")
+            continue
+        try:
+            RunPlan.from_dict(plan_data)
+        except (TypeError, ValueError) as exc:
+            failed = True
+            print(f"{key:32s} PLAN INVALID: {exc}")
+    if failed:
+        return 1
+    print(
+        f"merged {len(merged)} trial(s) from {len(directories)} shard(s): "
+        f"no conflicts, all plans valid"
+    )
+    if output:
+        with open(output, "w") as handle:
+            json.dump(
+                {key: merged[key] for key in sorted(merged)},
+                handle, sort_keys=True, indent=1,
+            )
+            handle.write("\n")
+        print(f"canonical merged result set written to {output}")
+    return 0
+
+
 def main(argv=None) -> int:
     parser = argparse.ArgumentParser(description=__doc__)
     parser.add_argument(
         "--list", action="store_true", help="list the compared artifacts"
     )
+    parser.add_argument(
+        "--merge-sweep", nargs="+", metavar="DIR", default=None,
+        help=(
+            "merge-verify partial sweep result directories (frontier "
+            "dirs or bare results/ shards) instead of checking committed "
+            "benchmark artifacts; exit 1 on conflicting series"
+        ),
+    )
+    parser.add_argument(
+        "--output", default=None, metavar="PATH",
+        help="with --merge-sweep: write the canonical merged JSON here",
+    )
     args = parser.parse_args(argv)
+    if args.merge_sweep:
+        return merge_sweep(args.merge_sweep, output=args.output)
     return check_artifacts(list_only=args.list)
 
 

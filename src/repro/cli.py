@@ -134,6 +134,50 @@ def build_parser() -> argparse.ArgumentParser:
         "--measure", default="node_averaged_awake",
         help="which measure to summarize",
     )
+    sweep_p.add_argument(
+        "--manifest", default=None, metavar="PATH",
+        help=(
+            "run the trials of a sweep manifest JSON (see docs/sweeps.md) "
+            "instead of expanding --sizes/--trials in process"
+        ),
+    )
+    sweep_p.add_argument(
+        "--sweep-dir", default=None, metavar="DIR",
+        help=(
+            "disk-backed resumable mode: track every trial through a "
+            "frontier in DIR (claims, per-trial result artifacts, "
+            "crash-resume); required for --resume/--budget-s"
+        ),
+    )
+    sweep_p.add_argument(
+        "--resume", action="store_true",
+        help=(
+            "reattach to an existing frontier in --sweep-dir and finish "
+            "its pending/failed trials (completed trials are never "
+            "re-run); on a fresh directory this simply starts the sweep"
+        ),
+    )
+    sweep_p.add_argument(
+        "--budget-s", type=float, default=None, metavar="SECONDS",
+        help=(
+            "stop claiming new trials after this many seconds (in-flight "
+            "trials finish; resume later with --resume)"
+        ),
+    )
+    sweep_p.add_argument(
+        "--claim-ttl", type=float, default=None, metavar="SECONDS",
+        help=(
+            "seconds before a crashed worker's claim expires and its "
+            "trial is re-issued (default: 900)"
+        ),
+    )
+    sweep_p.add_argument(
+        "--emit-manifest", default=None, metavar="PATH",
+        help=(
+            "expand the sweep spec (flags or --manifest) to a manifest "
+            "JSON at PATH and exit without running any trial"
+        ),
+    )
 
     table_p = sub.add_parser("table1", help="reproduce the paper's Table 1")
     table_p.add_argument(
@@ -219,7 +263,122 @@ def _cmd_run(args: argparse.Namespace) -> int:
     return 0 if trial.valid else 1
 
 
+def _sweep_manifest(args: argparse.Namespace):
+    """The manifest behind a ``sweep`` invocation: loaded or expanded."""
+    from .sweeps import SweepManifest
+
+    if args.manifest is not None:
+        return SweepManifest.load(args.manifest)
+    return SweepManifest.expand(
+        plan_from_args(args).replace(n_jobs=None),
+        sizes=args.sizes, trials=args.trials, seed0=args.seed,
+    )
+
+
+def _print_trial_table(args: argparse.Namespace, rows) -> None:
+    summary = summarize(rows, args.measure)
+    algorithms = sorted({row.algorithm for row in rows})
+    families = sorted({row.family for row in rows})
+    table = Table(
+        title=(
+            f"{args.measure} of {', '.join(algorithms)} "
+            f"on {', '.join(families)}"
+        ),
+        headers=["n", "mean", "min", "max", "stdev"],
+    )
+    for n, row in summary.items():
+        table.add_row(
+            n, f"{row['mean']:.2f}", f"{row['min']:.2f}",
+            f"{row['max']:.2f}", f"{row['stdev']:.2f}",
+        )
+    print(table.to_text())
+
+
+def _cmd_sweep_frontier(args: argparse.Namespace) -> int:
+    """The resumable (disk-backed) path of the ``sweep`` subcommand."""
+    from .analysis.complexity import Trial
+    from .sweeps import (
+        DEFAULT_CLAIM_TTL, FrontierCorruption, TrialFrontier, run_sweep,
+        write_merged,
+    )
+
+    manifest = _sweep_manifest(args)
+    claim_ttl = (
+        DEFAULT_CLAIM_TTL if args.claim_ttl is None else args.claim_ttl
+    )
+    directory = args.sweep_dir
+    try:
+        if args.resume:
+            frontier = TrialFrontier.attach(
+                directory, manifest, claim_ttl=claim_ttl
+            )
+        else:
+            frontier = TrialFrontier.create(
+                directory, manifest, claim_ttl=claim_ttl
+            )
+    except FrontierCorruption as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 2
+    report = run_sweep(
+        frontier, n_jobs=args.jobs, budget_s=args.budget_s,
+    )
+    status = frontier.status()
+    print(
+        f"sweep {manifest.name!r}: {status['done']}/{status['total']} done, "
+        f"{status['failed']} failed, {status['pending']} pending "
+        f"(this run: {report.executed} executed, "
+        f"{report.skipped_done} already done, "
+        f"{report.reissued_failed} failures re-issued, "
+        f"{report.expired_claims} stale claims expired)"
+    )
+    for error in report.errors:
+        print(f"  failed {error}", file=sys.stderr)
+    if report.budget_exhausted and not report.all_done:
+        print(
+            f"budget exhausted after {report.wall_clock_s:.1f}s; resume "
+            f"with: repro-mis sweep --sweep-dir {directory} --resume"
+        )
+    if frontier.is_complete:
+        merged = write_merged(frontier)
+        print(f"merged result set: {merged}")
+        rows = [
+            Trial(**payload["row"])
+            for _, payload in frontier.iter_results()
+        ]
+        _print_trial_table(args, rows)
+    return 0 if report.failed == 0 else 1
+
+
 def _cmd_sweep(args: argparse.Namespace) -> int:
+    if args.emit_manifest is not None:
+        manifest = _sweep_manifest(args)
+        manifest.save(args.emit_manifest)
+        print(
+            f"wrote manifest {manifest.name!r}: {len(manifest)} trials, "
+            f"key {manifest.manifest_key()[:12]} -> {args.emit_manifest}"
+        )
+        return 0
+    if args.sweep_dir is not None:
+        return _cmd_sweep_frontier(args)
+    if args.resume or args.budget_s is not None:
+        print(
+            "error: --resume/--budget-s need a disk-backed frontier; "
+            "pass --sweep-dir DIR",
+            file=sys.stderr,
+        )
+        return 2
+    if args.manifest is not None:
+        from .sweeps import SweepManifest, execute_trial
+
+        from .analysis.complexity import Trial
+
+        manifest = SweepManifest.load(args.manifest)
+        rows = [
+            Trial(**execute_trial(spec.plan, spec.seed)["row"])
+            for spec in manifest
+        ]
+        _print_trial_table(args, rows)
+        return 0
     rows = sweep(
         sizes=args.sizes, plan=plan_from_args(args),
         trials=args.trials, seed0=args.seed,

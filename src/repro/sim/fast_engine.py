@@ -336,25 +336,25 @@ class GraphArrays:
     """
 
     __slots__ = (
-        "_adjacency", "node_ids", "n", "src", "dst", "grev", "deg",
+        "_adjacency", "_node_ids", "n", "src", "dst", "grev", "deg",
         "_id_bits", "_ids_are_range",
     )
 
     def __init__(self, graph: Any):
         self._adjacency = normalize_graph(graph)
-        self.node_ids: List[Any] = sorted(self._adjacency)
-        self.n = len(self.node_ids)
+        self._node_ids: Optional[List[Any]] = sorted(self._adjacency)
+        self.n = len(self._node_ids)
         self._ids_are_range = False
         adjacency = self._adjacency
-        index = {v: i for i, v in enumerate(self.node_ids)}
+        index = {v: i for i, v in enumerate(self._node_ids)}
         # Directed edge arrays, sorted by (src, dst): each undirected edge
         # appears once per direction.
         self.dst = np.fromiter(
-            (index[u] for v in self.node_ids for u in adjacency[v]),
+            (index[u] for v in self._node_ids for u in adjacency[v]),
             dtype=np.int32,
         )
         self.deg = np.fromiter(
-            (len(adjacency[v]) for v in self.node_ids),
+            (len(adjacency[v]) for v in self._node_ids),
             dtype=np.int64,
             count=self.n,
         )
@@ -396,11 +396,26 @@ class GraphArrays:
         """The empty array-native instance the pair builders fill in."""
         self = cls.__new__(cls)
         self._adjacency = None
-        self.node_ids = list(range(n))
+        self._node_ids = None  # ids are 0..n-1; node_ids serves a range
         self.n = n
         self._ids_are_range = True
         self._id_bits = None
         return self
+
+    @property
+    def node_ids(self) -> Any:
+        """Node labels in sorted order (column order of every engine).
+
+        Array-native graphs (``_ids_are_range``) never materialize the
+        list: their labels are exactly ``0..n-1``, so this serves a
+        ``range`` -- same iteration, indexing, and ``len`` behavior, zero
+        allocation (a materialized list is ~400 MB at n = 10^7, pinned by
+        ``tests/test_engine_memory.py``).  Graphs built from arbitrary
+        labels keep the real sorted list.
+        """
+        if self._node_ids is None:
+            return range(self.n)
+        return self._node_ids
 
     @classmethod
     def from_distinct_pairs(cls, n: int, lo: Any, hi: Any) -> "GraphArrays":

@@ -1,0 +1,83 @@
+"""Resumable fleet-scale sweep orchestration.
+
+The paper's statistical claims want 10^3..10^4 trials per configuration;
+at that scale the unit of scheduling must be one *trial*, not one
+``sweep()`` call.  This package provides the three layers:
+
+* :mod:`~repro.sweeps.manifest` -- the declarative trial list
+  (:class:`SweepManifest` of :class:`TrialSpec`, canonically serialized);
+* :mod:`~repro.sweeps.frontier` -- the disk-backed
+  ``pending -> claimed -> done/failed`` state machine
+  (:class:`TrialFrontier`) with atomic claims, append-only artifacts,
+  expiring leases, and crash-resume;
+* :mod:`~repro.sweeps.runner` -- the claim/execute/record driver loop
+  (:func:`run_sweep`) riding the same measurement path as
+  :func:`repro.analysis.complexity.sweep`, plus
+  :mod:`~repro.sweeps.merge` to merge-verify partial result shards into
+  one canonical (bit-comparable) result set.
+
+See ``docs/sweeps.md`` for the full design and the crash-consistency
+invariants.
+"""
+
+from .frontier import (
+    CLAIMED,
+    DEFAULT_CLAIM_TTL,
+    DONE,
+    FAILED,
+    PENDING,
+    STATES,
+    FrontierCorruption,
+    TrialFrontier,
+)
+from .manifest import (
+    MANIFEST_VERSION,
+    SweepManifest,
+    TrialSpec,
+    trial_key,
+)
+from .merge import (
+    TrialConflict,
+    merge_shard_dirs,
+    merge_trial_artifacts,
+    merged_json,
+    strip_volatile,
+)
+from .runner import (
+    FAULT_ENV,
+    SweepFaultInjected,
+    SweepReport,
+    execute_trial,
+    merged_result_json,
+    merged_rows,
+    run_sweep,
+    write_merged,
+)
+
+__all__ = [
+    "CLAIMED",
+    "DEFAULT_CLAIM_TTL",
+    "DONE",
+    "FAILED",
+    "FAULT_ENV",
+    "FrontierCorruption",
+    "MANIFEST_VERSION",
+    "PENDING",
+    "STATES",
+    "SweepFaultInjected",
+    "SweepManifest",
+    "SweepReport",
+    "TrialConflict",
+    "TrialFrontier",
+    "TrialSpec",
+    "execute_trial",
+    "merge_shard_dirs",
+    "merge_trial_artifacts",
+    "merged_json",
+    "merged_result_json",
+    "merged_rows",
+    "run_sweep",
+    "strip_volatile",
+    "trial_key",
+    "write_merged",
+]

@@ -1,0 +1,130 @@
+"""Merge-verify partial sweep artifacts into one canonical result set.
+
+Sweep workers land one artifact per trial (``results/<key>.json`` under
+the sweep directory -- see :mod:`repro.sweeps.frontier`), and interrupted
+or distributed sweeps can additionally produce overlapping *shards*
+(directories or files covering subsets of the same manifest, e.g. a CI
+frontier restored from cache next to a locally-run copy).  This module
+merges any number of such partial result sets with the same discipline
+``benchmarks/check_artifacts.py`` applies to committed ``BENCH_*.json``
+artifacts:
+
+* **wall-clock keys are ignored** -- any key ending in ``_s`` plus the
+  per-artifact ``worker``/``at`` provenance fields move between machines
+  even when the measured series are identical, so they are stripped
+  before comparison and absent from the merged output;
+* **overlap must agree** -- the same trial appearing in several shards is
+  fine exactly when the stripped payloads are byte-identical
+  (deterministic trials re-run anywhere produce the same series); a
+  conflict raises :class:`TrialConflict` loudly instead of picking a
+  winner;
+* the merged output is **canonical**: trials sorted by key, compact
+  sorted-key JSON, so "a resumed sweep equals an uninterrupted one" is a
+  byte comparison (:func:`merged_json`).
+"""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+from typing import Any, Dict, Iterable, Mapping, Tuple, Union
+
+
+class TrialConflict(ValueError):
+    """Two shards carry *different* series for one ``(cache_key, seed)``."""
+
+
+#: Exact artifact keys that are provenance, not series (stripped alongside
+#: the ``_s``-suffixed wall-clock keys).
+VOLATILE_KEYS = {"worker", "at", "pid", "hostname"}
+
+
+def strip_volatile(value: Any) -> Any:
+    """Drop wall-clock (``*_s``) and provenance keys, recursively.
+
+    Everything else -- plans, seeds, measured rows -- is kept verbatim;
+    this mirrors ``check_artifacts._strip_timing`` so "identical modulo
+    timing" means the same thing for sweep artifacts as for committed
+    benchmark artifacts.
+    """
+    if isinstance(value, dict):
+        return {
+            k: strip_volatile(v)
+            for k, v in value.items()
+            if not (k.endswith("_s") or k in VOLATILE_KEYS)
+        }
+    if isinstance(value, list):
+        return [strip_volatile(v) for v in value]
+    return value
+
+
+def _canonical(payload: Any) -> str:
+    return json.dumps(payload, sort_keys=True, separators=(",", ":"))
+
+
+def merge_trial_artifacts(
+    shards: Iterable[Tuple[str, Mapping[str, Any]]],
+) -> Dict[str, Dict[str, Any]]:
+    """Merge ``(trial_key, artifact)`` pairs from any number of shards.
+
+    Returns ``key -> stripped payload`` with overlapping entries
+    verified: duplicates whose stripped payloads match merge silently;
+    a mismatch raises :class:`TrialConflict` naming the trial and the
+    first divergent field.
+    """
+    merged: Dict[str, Dict[str, Any]] = {}
+    for key, payload in shards:
+        stripped = strip_volatile(dict(payload))
+        existing = merged.get(key)
+        if existing is None:
+            merged[key] = stripped
+            continue
+        if _canonical(existing) != _canonical(stripped):
+            divergent = sorted(
+                name
+                for name in set(existing) | set(stripped)
+                if existing.get(name) != stripped.get(name)
+            )
+            raise TrialConflict(
+                f"conflicting series for trial {key!r} across shards "
+                f"(first divergent field(s): {divergent[:3]}); "
+                f"deterministic trials must agree bit-for-bit modulo "
+                f"wall clocks -- this is an engine or environment bug"
+            )
+    return merged
+
+
+def iter_shard_dir(
+    directory: Union[str, Path],
+) -> Iterable[Tuple[str, Dict[str, Any]]]:
+    """``(key, artifact)`` pairs from a sweep ``results/`` directory.
+
+    Accepts either the sweep directory itself (reads its ``results/``
+    subdirectory) or a bare directory of ``<key>.json`` files.
+    """
+    directory = Path(directory)
+    if (directory / "results").is_dir():
+        directory = directory / "results"
+    for path in sorted(directory.glob("*.json")):
+        yield path.stem, json.loads(path.read_text())
+
+
+def merge_shard_dirs(
+    directories: Iterable[Union[str, Path]],
+) -> Dict[str, Dict[str, Any]]:
+    """Merge-verify several sweep result directories (see module docstring)."""
+    def _pairs():
+        for directory in directories:
+            yield from iter_shard_dir(directory)
+
+    return merge_trial_artifacts(_pairs())
+
+
+def merged_json(merged: Mapping[str, Mapping[str, Any]]) -> str:
+    """The canonical merged result set: trials sorted by key, compact JSON.
+
+    This string is the bit-identical comparison surface: an interrupted
+    sweep resumed to completion and the same sweep run uninterrupted
+    produce byte-equal output here (wall clocks are already stripped).
+    """
+    return _canonical({key: merged[key] for key in sorted(merged)})

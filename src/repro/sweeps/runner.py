@@ -1,0 +1,374 @@
+"""Drain a trial frontier: claim, execute, record -- resumably.
+
+:func:`run_sweep` is the worker/driver loop over a
+:class:`~repro.sweeps.frontier.TrialFrontier`: expire stale claims,
+re-issue failures, then claim -> execute -> ``done``/``fail`` until the
+frontier is drained, the time budget is spent, or ``max_trials`` is hit.
+Execution rides the exact measurement path of
+:func:`repro.analysis.complexity.sweep` -- the same
+:func:`~repro.graphs.arrays.make_family` graph factory, the same
+:func:`~repro.sim.batch.run_trials` batch runner, the same
+:func:`~repro.analysis.complexity.trial_from_result` flattening -- so a
+manifest sweep's merged rows are bit-identical to a plain ``sweep()``
+call over the same grid.
+
+Parallel execution (``n_jobs > 1``) fans claimed trials over a
+``concurrent.futures`` process pool with a bounded in-flight window, the
+same degrade-to-sequential story as :mod:`repro.sim.batch`: a pool that
+cannot start (sandboxes) or dies mid-flight (a SIGKILLed worker breaks
+the whole ``ProcessPoolExecutor``) releases the in-flight claims and
+falls back to in-process execution -- nothing is lost either way,
+because un-recorded claims simply expire and re-issue.
+
+Fault injection (for the crash-resume test harness and the CI
+kill/resume step) is driven by the ``REPRO_SWEEP_FAULT`` environment
+variable -- ``raise:<key substring>`` raises inside the matching trial,
+``sigkill:<key substring>`` SIGKILLs the executing process (a pool
+worker under ``n_jobs > 1``, the driver itself otherwise), and
+``driver-sigkill:<k>`` SIGKILLs the driver after ``k`` completions --
+plus an in-process ``fault_hook`` callable for tests that want a spy or
+a one-shot exception without touching the environment.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import signal
+import socket
+import time
+import warnings
+from collections import deque
+from dataclasses import asdict, dataclass, field
+from typing import Any, Callable, Dict, List, Optional, Tuple
+
+from ..plan import RunPlan
+from .frontier import TrialFrontier
+from .manifest import TrialSpec, trial_key
+from .merge import (
+    merge_trial_artifacts,
+    merged_json as _merged_json,
+)
+
+#: Environment hook for fault injection (see module docstring).
+FAULT_ENV = "REPRO_SWEEP_FAULT"
+
+
+class SweepFaultInjected(RuntimeError):
+    """The error raised by ``REPRO_SWEEP_FAULT=raise:...`` injection."""
+
+
+def _maybe_inject_fault(key: str) -> None:
+    """Apply the ``REPRO_SWEEP_FAULT`` trial-level hook, if armed."""
+    spec = os.environ.get(FAULT_ENV, "")
+    action, _, match = spec.partition(":")
+    if action not in ("raise", "sigkill") or match not in key:
+        return
+    if action == "raise":
+        raise SweepFaultInjected(
+            f"injected fault for trial {key!r} ({FAULT_ENV}={spec!r})"
+        )
+    os.kill(os.getpid(), signal.SIGKILL)  # pragma: no cover - dies here
+
+
+def execute_trial(plan: RunPlan, seed: int) -> Dict[str, Any]:
+    """Run one manifest trial; returns its result artifact payload.
+
+    The payload embeds the serialized plan and seed (so artifacts are
+    self-describing and ``check_artifacts.py`` can re-validate them),
+    the flattened :class:`~repro.analysis.complexity.Trial` row (the
+    measured series -- deterministic given ``(plan, seed)``), and the
+    wall clock (stripped from every comparison).
+    """
+    from ..analysis.complexity import trial_from_result
+    from ..graphs.arrays import make_family
+    from ..sim.batch import run_trials
+
+    key = trial_key(plan, seed)
+    _maybe_inject_fault(key)
+    exec_plan = plan if plan.n_jobs is None else plan.replace(n_jobs=None)
+    family, n = plan.family, plan.n
+    source = plan.resolved_graph_source
+    start = time.perf_counter()
+    [result] = run_trials(
+        lambda s: make_family(
+            family, n, seed=s, graph_source=source,
+            graph_rng=plan.graph_rng,
+        ),
+        seeds=[seed],
+        plan=exec_plan,
+    )
+    row = trial_from_result(result, plan.algorithm, family=family, seed=seed)
+    return {
+        "trial_key": key,
+        "plan": plan.to_dict(),
+        "seed": seed,
+        "row": asdict(row),
+        "wall_clock_s": time.perf_counter() - start,
+    }
+
+
+def _pool_execute(payload: Tuple[str, str, int]) -> Dict[str, Any]:
+    """Process-pool task: ``(key, plan_json, seed)`` -> result payload."""
+    _, plan_json, seed = payload
+    return execute_trial(RunPlan.from_json(plan_json), seed)
+
+
+@dataclass
+class SweepReport:
+    """What one :func:`run_sweep` call did (and what remains).
+
+    ``executed`` counts trials this call actually computed (the
+    zero-recompute guarantee: re-running a completed manifest reports
+    ``executed == 0``); ``skipped_done`` counts trials already done when
+    the call started.
+    """
+
+    total: int = 0
+    executed: int = 0
+    completed: int = 0
+    failed: int = 0
+    skipped_done: int = 0
+    reissued_failed: int = 0
+    expired_claims: int = 0
+    remaining: int = 0
+    budget_exhausted: bool = False
+    wall_clock_s: float = 0.0
+    errors: List[str] = field(default_factory=list)
+
+    @property
+    def all_done(self) -> bool:
+        return self.remaining == 0
+
+    def to_dict(self) -> Dict[str, Any]:
+        return asdict(self)
+
+
+def _driver_kill_threshold() -> Optional[int]:
+    spec = os.environ.get(FAULT_ENV, "")
+    action, _, arg = spec.partition(":")
+    if action == "driver-sigkill":
+        try:
+            return int(arg)
+        except ValueError:
+            raise ValueError(
+                f"{FAULT_ENV}={spec!r}: driver-sigkill needs an integer "
+                f"completion count, e.g. driver-sigkill:3"
+            ) from None
+    return None
+
+
+def run_sweep(
+    frontier: TrialFrontier,
+    *,
+    n_jobs: Optional[int] = None,
+    budget_s: Optional[float] = None,
+    max_trials: Optional[int] = None,
+    worker: Optional[str] = None,
+    retry_failed: bool = True,
+    fault_hook: Optional[Callable[[TrialSpec], None]] = None,
+) -> SweepReport:
+    """Drain ``frontier`` until done, out of budget, or out of trials.
+
+    Safe to call repeatedly and concurrently (several drivers on one
+    directory): claims are atomic, completions idempotent.  ``budget_s``
+    bounds *claiming*, not execution -- in-flight trials finish, so a
+    budgeted CI run leaves no dangling claims behind on a clean exit.
+    ``fault_hook`` runs in-process before each execution (tests use it
+    as a spy counter or a one-shot exception injector).
+    """
+    start = time.monotonic()
+    if worker is None:
+        worker = f"{socket.gethostname()}:{os.getpid()}"
+    if n_jobs is not None and n_jobs < 1:
+        raise ValueError(
+            f"n_jobs={n_jobs} is not a valid worker count: pass "
+            f"n_jobs=None (or 1) for in-process execution, or an "
+            f"explicit positive worker count"
+        )
+    report = SweepReport(total=len(frontier.manifest))
+    report.expired_claims = len(frontier.expire_stale())
+    if retry_failed:
+        report.reissued_failed = len(frontier.reissue_failed())
+    report.skipped_done = sum(
+        1 for key in frontier.manifest.keys()
+        if frontier._recorded.get(key) == "done"
+    )
+    kill_after = _driver_kill_threshold()
+
+    def out_of_budget() -> bool:
+        return (
+            budget_s is not None
+            and time.monotonic() - start >= budget_s
+        )
+
+    def out_of_trials() -> bool:
+        return max_trials is not None and report.executed >= max_trials
+
+    def record(key: str, payload: Dict[str, Any]) -> None:
+        frontier.done(key, payload, worker=worker)
+        report.completed += 1
+        if kill_after is not None and report.completed >= kill_after:
+            os.kill(os.getpid(), signal.SIGKILL)  # pragma: no cover
+
+    def record_failure(key: str, exc: BaseException) -> None:
+        message = f"{type(exc).__name__}: {exc}"
+        frontier.fail(key, message, worker=worker)
+        report.failed += 1
+        report.errors.append(f"{key}: {message}")
+
+    jobs = 1 if n_jobs is None else n_jobs
+    degraded = False
+    if jobs > 1:
+        degraded = not _run_parallel(
+            frontier, worker, jobs, report, fault_hook,
+            out_of_budget, out_of_trials, record, record_failure,
+        )
+    if jobs == 1 or degraded:
+        while not out_of_budget() and not out_of_trials():
+            spec = frontier.claim(worker)
+            if spec is None:
+                break
+            report.executed += 1
+            try:
+                if fault_hook is not None:
+                    fault_hook(spec)
+                payload = execute_trial(spec.plan, spec.seed)
+            except Exception as exc:
+                record_failure(spec.key, exc)
+            else:
+                record(spec.key, payload)
+    report.budget_exhausted = out_of_budget()
+    report.remaining = sum(
+        1 for key in frontier.manifest.keys()
+        if frontier._recorded.get(key) != "done"
+    )
+    report.wall_clock_s = time.monotonic() - start
+    return report
+
+
+def _run_parallel(
+    frontier: TrialFrontier,
+    worker: str,
+    jobs: int,
+    report: SweepReport,
+    fault_hook: Optional[Callable[[TrialSpec], None]],
+    out_of_budget: Callable[[], bool],
+    out_of_trials: Callable[[], bool],
+    record: Callable[[str, Dict[str, Any]], None],
+    record_failure: Callable[[str, BaseException], None],
+) -> bool:
+    """The bounded-window pool loop; ``False`` means "degrade to
+    sequential for whatever is still pending" (claims released)."""
+    try:
+        from concurrent.futures import ProcessPoolExecutor
+        from concurrent.futures.process import BrokenProcessPool
+    except ImportError as exc:  # pragma: no cover - stdlib always has it
+        warnings.warn(
+            f"process pool unavailable ({exc}); running sequentially",
+            RuntimeWarning,
+            stacklevel=3,
+        )
+        return False
+    pending: deque = deque()  # (key, future)
+
+    def drain_one() -> None:
+        key, future = pending.popleft()
+        try:
+            payload = future.result()
+        except BrokenProcessPool:
+            # Put the popped entry back so the outer handler releases
+            # this trial's claim along with the rest of the window.
+            pending.appendleft((key, future))
+            raise
+        except Exception as exc:
+            record_failure(key, exc)
+        else:
+            record(key, payload)
+
+    try:
+        with ProcessPoolExecutor(max_workers=jobs) as pool:
+            while True:
+                spec = None
+                if not out_of_budget() and not out_of_trials():
+                    spec = frontier.claim(worker)
+                if spec is None:
+                    if not pending:
+                        return True
+                    drain_one()
+                    continue
+                report.executed += 1
+                try:
+                    if fault_hook is not None:
+                        fault_hook(spec)
+                except Exception as exc:
+                    record_failure(spec.key, exc)
+                    continue
+                pending.append(
+                    (
+                        spec.key,
+                        pool.submit(
+                            _pool_execute,
+                            (spec.key, spec.plan.to_json(), spec.seed),
+                        ),
+                    )
+                )
+                while len(pending) >= jobs * 2:
+                    drain_one()
+    except (OSError, BrokenProcessPool) as exc:
+        # Pool could not start, or a worker was killed mid-trial (which
+        # breaks the whole executor).  Release the in-flight claims --
+        # their trials were not recorded, so they simply re-pend -- and
+        # let the caller fall back to in-process execution.
+        for key, _ in pending:
+            frontier.release(key)
+            report.executed -= 1
+        warnings.warn(
+            f"process pool died ({type(exc).__name__}: {exc}); released "
+            f"{len(pending)} in-flight claim(s) and degrading to "
+            f"sequential execution",
+            RuntimeWarning,
+            stacklevel=3,
+        )
+        return False
+
+
+def merged_rows(frontier: TrialFrontier) -> Dict[str, Dict[str, Any]]:
+    """Merge-verify every landed artifact: ``key -> stripped payload``."""
+    return merge_trial_artifacts(frontier.iter_results())
+
+
+def merged_result_json(frontier: TrialFrontier) -> str:
+    """The canonical merged result set (see :func:`repro.sweeps.merge.merged_json`).
+
+    Byte-identical between an interrupted-then-resumed sweep and an
+    uninterrupted one -- the comparison surface of the crash-resume
+    guarantee.
+    """
+    return _merged_json(merged_rows(frontier))
+
+
+def write_merged(frontier: TrialFrontier, path: Optional[str] = None) -> str:
+    """Write the canonical merged result set next to the frontier.
+
+    Returns the path written (default: ``<sweep_dir>/MERGED.json``).
+    Only meaningful once :attr:`~TrialFrontier.is_complete` for
+    publication, but callable any time for partial snapshots.
+    """
+    target = path or str(frontier.directory / "MERGED.json")
+    merged = merged_rows(frontier)
+    with open(target, "w") as handle:
+        json.dump(
+            {
+                "manifest_key": frontier.manifest.manifest_key(),
+                "name": frontier.manifest.name,
+                "done": len(merged),
+                "total": len(frontier.manifest),
+                "trials": {key: merged[key] for key in sorted(merged)},
+            },
+            handle,
+            sort_keys=True,
+            indent=1,
+        )
+        handle.write("\n")
+    return target

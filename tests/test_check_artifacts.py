@@ -1,0 +1,183 @@
+"""``benchmarks/check_artifacts.py``: merge-verify of partial sweep shards.
+
+The script's benchmark-drift path runs against git state, so it is CI
+territory; what tier-1 pins here is the ``--merge-sweep`` mode and the
+shared stripping discipline it rides on: overlapping shards merge
+cleanly, conflicting series for the same ``(cache_key, seed)`` fail
+loudly, and wall-clock/provenance keys never participate in either
+decision.
+"""
+
+import importlib.util
+import json
+from pathlib import Path
+
+import pytest
+
+from repro.plan import RunPlan
+from repro.sweeps import (
+    SweepManifest,
+    TrialConflict,
+    TrialFrontier,
+    merge_shard_dirs,
+    run_sweep,
+)
+
+REPO = Path(__file__).resolve().parents[1]
+
+
+def _load_script():
+    spec = importlib.util.spec_from_file_location(
+        "check_artifacts", REPO / "benchmarks" / "check_artifacts.py"
+    )
+    module = importlib.util.module_from_spec(spec)
+    spec.loader.exec_module(module)
+    return module
+
+
+@pytest.fixture(scope="module")
+def script():
+    return _load_script()
+
+
+@pytest.fixture(scope="module")
+def manifest():
+    return SweepManifest.expand(
+        RunPlan(
+            algorithm="luby", family="gnp-sparse", rng="batched",
+            graph_rng="batched", result="arrays",
+        ),
+        sizes=(24,), trials=3, name="merge-test",
+    )
+
+
+@pytest.fixture
+def completed_dir(manifest, tmp_path):
+    """A fully-swept frontier directory."""
+    frontier = TrialFrontier.create(tmp_path / "full", manifest)
+    assert run_sweep(frontier).all_done
+    return tmp_path / "full"
+
+
+def _partial_copy(source: Path, target: Path, keys):
+    """A shard holding only ``keys``' result artifacts."""
+    (target / "results").mkdir(parents=True)
+    for key in keys:
+        artifact = source / "results" / f"{key}.json"
+        (target / "results" / f"{key}.json").write_text(
+            artifact.read_text()
+        )
+
+
+class TestMergeSemantics:
+    def test_overlapping_shards_merge_cleanly(
+        self, manifest, completed_dir, tmp_path
+    ):
+        keys = manifest.keys()
+        a, b = tmp_path / "shard-a", tmp_path / "shard-b"
+        _partial_copy(completed_dir, a, keys[:2])
+        _partial_copy(completed_dir, b, keys[1:])  # keys[1] overlaps
+        merged = merge_shard_dirs([a, b])
+        assert sorted(merged) == sorted(keys)
+
+    def test_wall_clock_and_provenance_divergence_ignored(
+        self, manifest, completed_dir, tmp_path
+    ):
+        keys = manifest.keys()
+        a, b = tmp_path / "shard-a", tmp_path / "shard-b"
+        _partial_copy(completed_dir, a, keys)
+        _partial_copy(completed_dir, b, keys)
+        # Perturb every volatile field in shard b; the merge must not care.
+        for key in keys:
+            path = b / "results" / f"{key}.json"
+            payload = json.loads(path.read_text())
+            payload["wall_clock_s"] = 1e9
+            payload["worker"] = "mars-rover:1"
+            path.write_text(json.dumps(payload))
+        merged = merge_shard_dirs([a, b])
+        assert sorted(merged) == sorted(keys)
+        # ...and strips them from the merged output entirely.
+        for payload in merged.values():
+            assert "wall_clock_s" not in payload
+            assert "worker" not in payload
+
+    def test_conflicting_series_fail_loudly(
+        self, manifest, completed_dir, tmp_path
+    ):
+        keys = manifest.keys()
+        a, b = tmp_path / "shard-a", tmp_path / "shard-b"
+        _partial_copy(completed_dir, a, keys)
+        _partial_copy(completed_dir, b, keys[:1])
+        path = b / "results" / f"{keys[0]}.json"
+        payload = json.loads(path.read_text())
+        payload["row"]["node_averaged_awake"] = -1.0  # a measured series
+        path.write_text(json.dumps(payload))
+        with pytest.raises(TrialConflict, match="conflicting series"):
+            merge_shard_dirs([a, b])
+
+
+class TestMergeSweepCli:
+    def test_merge_sweep_ok(self, script, completed_dir, tmp_path, capsys):
+        out = tmp_path / "merged.json"
+        rc = script.main(
+            ["--merge-sweep", str(completed_dir), "--output", str(out)]
+        )
+        captured = capsys.readouterr().out
+        assert rc == 0
+        assert "no conflicts, all plans valid" in captured
+        merged = json.loads(out.read_text())
+        assert len(merged) == 3
+        for payload in merged.values():
+            RunPlan.from_dict(payload["plan"])  # embedded plans survive
+
+    def test_merge_sweep_conflict_exits_nonzero(
+        self, script, manifest, completed_dir, tmp_path, capsys
+    ):
+        keys = manifest.keys()
+        b = tmp_path / "shard-b"
+        _partial_copy(completed_dir, b, keys[:1])
+        path = b / "results" / f"{keys[0]}.json"
+        payload = json.loads(path.read_text())
+        payload["row"]["total_messages"] = 10**9
+        path.write_text(json.dumps(payload))
+        rc = script.main(["--merge-sweep", str(completed_dir), str(b)])
+        assert rc == 1
+        assert "MERGE CONFLICT" in capsys.readouterr().err
+
+    def test_merge_sweep_invalid_plan_fails(
+        self, script, completed_dir, capsys
+    ):
+        victim = next((completed_dir / "results").glob("*.json"))
+        payload = json.loads(victim.read_text())
+        payload["plan"]["algorithm"] = "no-such-algorithm"
+        victim.write_text(json.dumps(payload))
+        rc = script.main(["--merge-sweep", str(completed_dir)])
+        assert rc == 1
+        assert "PLAN INVALID" in capsys.readouterr().out
+
+    def test_merge_sweep_missing_plan_fails(
+        self, script, completed_dir, capsys
+    ):
+        victim = next((completed_dir / "results").glob("*.json"))
+        payload = json.loads(victim.read_text())
+        del payload["plan"]
+        victim.write_text(json.dumps(payload))
+        rc = script.main(["--merge-sweep", str(completed_dir)])
+        assert rc == 1
+        assert "PLAN MISSING" in capsys.readouterr().out
+
+
+class TestStrippingParity:
+    def test_script_and_sweep_stripping_agree(self, script):
+        """One discipline, two implementations: ``_strip_timing`` and
+        ``strip_volatile`` must drop the same wall-clock keys."""
+        from repro.sweeps import strip_volatile
+
+        payload = {
+            "wall_clock_s": 1.0, "legacy_pipeline_s": 2.0,
+            "rows": [{"calibration_s": 3.0, "mean": 4.5}],
+            "n": 100,
+        }
+        assert script._strip_timing(payload) == strip_volatile(payload) == {
+            "rows": [{"mean": 4.5}], "n": 100,
+        }

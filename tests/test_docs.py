@@ -25,6 +25,7 @@ DOC_FILES = (
     "docs/algorithms.md",
     "docs/api.md",
     "docs/performance.md",
+    "docs/sweeps.md",
 )
 
 

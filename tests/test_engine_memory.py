@@ -18,7 +18,7 @@ import pytest
 
 from repro.graphs.arrays import make_family_arrays
 from repro.sim.batch import iter_trials
-from repro.sim.fast_engine import EngineScratch, VectorizedEngine
+from repro.sim.fast_engine import EngineScratch, GraphArrays, VectorizedEngine
 from repro.sim.fast_phased import PhasedVectorizedEngine
 
 #: The scratch-borrowed per-node state buffers of the sleeping engine.
@@ -156,6 +156,61 @@ class TestTracedMemory:
         assert levels[-1] <= levels[1] + slack, (
             f"traced memory grew across trials: {levels}"
         )
+
+
+class TestLazyNodeIds:
+    def test_array_native_node_ids_is_a_range(self):
+        """Array-native graphs serve ``node_ids`` as a range, not a list."""
+        ga = make_family_arrays("gnp-sparse", 500, seed=1)
+        assert ga._ids_are_range
+        assert isinstance(ga.node_ids, range)
+        assert list(ga.node_ids) == list(range(500))
+        assert ga.node_ids[499] == 499 and len(ga.node_ids) == 500
+        # Graphs with arbitrary labels keep the real sorted list.
+        labeled = GraphArrays({"b": ("a",), "a": ("b",)})
+        assert not labeled._ids_are_range
+        assert labeled.node_ids == ["a", "b"]
+
+    def test_node_ids_not_materialized_at_scale(self):
+        """The legacy-compat id list must never be allocated eagerly.
+
+        At n = 10^7 a materialized ``list(range(n))`` costs ~400 MB --
+        roughly 5x the graph's own int64 degree array.  Pin the build of
+        an (edgeless) 10^6-node array-native graph to the ballpark of its
+        numpy buffers: the 8 MB ``deg`` array plus slack, an order of
+        magnitude below what any eager id list would add (~40 MB).
+        """
+        n = 10**6
+        gc.collect()
+        tracemalloc.start()
+        try:
+            ga = GraphArrays.from_distinct_pairs(n, [], [])
+            ids = ga.node_ids  # serving the view must stay allocation-free
+            assert len(ids) == n
+            current, peak = tracemalloc.get_traced_memory()
+        finally:
+            tracemalloc.stop()
+        deg_bytes = ga.deg.nbytes  # the one O(n) buffer this graph holds
+        assert deg_bytes == 8 * n
+        slack = 2 * 1024 * 1024
+        assert peak <= deg_bytes + slack, (
+            f"building a {n}-node array-native graph traced {peak} bytes "
+            f"(expected ~{deg_bytes}): node_ids is materialized again?"
+        )
+
+    def test_lazy_ids_survive_pickling(self):
+        """The pool wire format ships no id list for range-id graphs."""
+        import pickle
+
+        ga = make_family_arrays("gnp-sparse", 300, seed=4)
+        clone = pickle.loads(pickle.dumps(ga))
+        assert clone._node_ids is None and clone._ids_are_range
+        assert isinstance(clone.node_ids, range)
+        assert list(clone.node_ids) == list(ga.node_ids)
+        import numpy as np
+
+        for field in ("src", "dst", "grev", "deg"):
+            assert np.array_equal(getattr(clone, field), getattr(ga, field))
 
 
 class TestChunkedCsrBuild:

@@ -54,7 +54,7 @@ def assert_same_graph(arrays: GraphArrays, graph) -> None:
     """Edge-for-edge equality with a networkx-built reference."""
     reference = GraphArrays(graph)
     assert arrays.n == reference.n
-    assert arrays.node_ids == reference.node_ids
+    assert list(arrays.node_ids) == list(reference.node_ids)
     np.testing.assert_array_equal(arrays.src, reference.src)
     np.testing.assert_array_equal(arrays.dst, reference.dst)
     np.testing.assert_array_equal(arrays.deg, reference.deg)

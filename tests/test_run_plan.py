@@ -282,11 +282,14 @@ class TestCliMapping:
         "jobs": "n_jobs",
     }
 
-    #: Per-command dests that configure the *grid* or the *rendering*,
+    #: Per-command dests that configure the *grid*, the *rendering*, or
+    #: the sweep *orchestration* (manifest/frontier/resume flags schedule
+    #: which plans run where -- they never change what a trial measures),
     #: not the run -- deliberately outside the plan.
     NON_PLAN_DESTS = {
         "command", "sizes", "trials", "measure", "markdown", "max_depth",
-        "output",
+        "output", "manifest", "sweep_dir", "resume", "budget_s",
+        "claim_ttl", "emit_manifest",
     }
 
     def _subparsers(self):
