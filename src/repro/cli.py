@@ -7,6 +7,12 @@ Subcommands::
     repro-mis table1  --sizes 64,128,256 --trials 3
     repro-mis tree    --n 64 --algorithm sleeping --max-depth 4
     repro-mis energy  --n 256 --family geometric
+    repro-mis serve   --port 8765 --workers 2
+
+``run``/``sweep``/``table1`` accept ``--server URL`` to route through a
+running ``repro-mis serve`` instance (the thin-client mode: identical
+output, warm-cache latency); without a reachable server they warn and
+degrade to local execution unless ``--no-fallback`` is set.
 
 (Also runnable as ``python -m repro.cli``.)
 """
@@ -16,6 +22,25 @@ from __future__ import annotations
 import argparse
 import sys
 from typing import List, Optional
+
+#: Exit codes (documented in ``sweep --help``; stable for scripting).
+EXIT_OK = 0
+EXIT_TRIAL_FAILED = 1
+EXIT_CONFIG = 2
+EXIT_CORRUPT = 3
+EXIT_UNREACHABLE = 4
+
+_EXIT_CODE_HELP = """\
+exit codes:
+  0  success
+  1  trial failure (invalid MIS, failed sweep trials, server-side solve
+     error)
+  2  configuration error (bad flag combination, invalid plan/manifest,
+     unsupported knob combination)
+  3  sweep frontier corruption (--sweep-dir state failed integrity
+     checks; see docs/sweeps.md)
+  4  --server unreachable with --no-fallback set
+"""
 
 from .analysis.complexity import run_trial, summarize, sweep
 from .analysis.recursion_tree import build_tree, render_tree, tree_stats
@@ -114,14 +139,38 @@ def build_parser() -> argparse.ArgumentParser:
             ),
         )
 
+    def server_opt(p: argparse.ArgumentParser) -> None:
+        p.add_argument(
+            "--server", default=None, metavar="URL",
+            help=(
+                "route through a running repro-mis serve instance (e.g. "
+                "http://127.0.0.1:8765); identical output to local "
+                "execution, with the server's warm cache.  Unreachable "
+                "servers degrade to local execution with a warning"
+            ),
+        )
+        p.add_argument(
+            "--no-fallback", action="store_true",
+            help=(
+                "with --server: exit with code 4 instead of degrading "
+                "to local execution when the server is unreachable"
+            ),
+        )
+
     run_p = sub.add_parser("run", help="run once and print the measures")
     common(run_p)
     engine_opt(run_p, "generators")
+    server_opt(run_p)
     run_p.add_argument("--n", type=int, default=128, help="graph size")
 
-    sweep_p = sub.add_parser("sweep", help="measure across sizes")
+    sweep_p = sub.add_parser(
+        "sweep", help="measure across sizes",
+        epilog=_EXIT_CODE_HELP,
+        formatter_class=argparse.RawDescriptionHelpFormatter,
+    )
     common(sweep_p)
     engine_opt(sweep_p, "auto")
+    server_opt(sweep_p)
     sweep_p.add_argument(
         "--sizes", type=_parse_sizes, default=[64, 128, 256], help="e.g. 64,128,256"
     )
@@ -187,6 +236,7 @@ def build_parser() -> argparse.ArgumentParser:
     table_p.add_argument("--trials", type=int, default=3)
     table_p.add_argument("--seed", type=int, default=0)
     engine_opt(table_p, "auto")
+    server_opt(table_p)
     table_p.add_argument(
         "--jobs", type=int, default=None,
         help="worker processes for the batch runner (default: sequential)",
@@ -204,6 +254,35 @@ def build_parser() -> argparse.ArgumentParser:
     energy_p.add_argument("--n", type=int, default=256)
     energy_p.add_argument("--family", default="geometric", choices=family_names())
     energy_p.add_argument("--seed", type=int, default=0)
+
+    serve_p = sub.add_parser(
+        "serve",
+        help="run the MIS solve service (see docs/service.md)",
+    )
+    serve_p.add_argument("--host", default="127.0.0.1")
+    serve_p.add_argument("--port", type=int, default=8765)
+    serve_p.add_argument(
+        "--workers", type=int, default=1,
+        help="worker processes in the solve pool",
+    )
+    serve_p.add_argument(
+        "--max-queue", type=int, default=8,
+        help=(
+            "queued+running jobs past which new requests get 429 "
+            "backpressure"
+        ),
+    )
+    serve_p.add_argument(
+        "--cache-size", type=int, default=256,
+        help="entries in the plan-keyed LRU result cache",
+    )
+    serve_p.add_argument(
+        "--deadline-s", type=float, default=None,
+        help=(
+            "default per-request deadline; jobs past it are reaped "
+            "(requests can set their own via deadline_s)"
+        ),
+    )
 
     report_p = sub.add_parser(
         "report", help="regenerate the full reproduction report (markdown)"
@@ -246,21 +325,81 @@ def plan_from_args(args: argparse.Namespace) -> RunPlan:
     )
 
 
+def _with_server(args: argparse.Namespace, remote, local) -> int:
+    """Route through ``--server`` when set; degrade to ``local`` with a
+    warning when unreachable (or exit 4 under ``--no-fallback``).
+
+    Server-reported validation errors (bad plan/manifest/request) map to
+    the configuration exit code, everything else server-side to the
+    trial-failure code -- the same split the local paths use.
+    """
+    if getattr(args, "server", None) is None:
+        return local()
+    from .service.client import (
+        ServiceClient, ServiceError, ServiceUnreachable,
+    )
+
+    client = ServiceClient(args.server)
+    try:
+        return remote(client)
+    except ServiceUnreachable as exc:
+        if args.no_fallback:
+            print(f"error: {exc}", file=sys.stderr)
+            return EXIT_UNREACHABLE
+        print(
+            f"warning: {exc}; falling back to local execution",
+            file=sys.stderr,
+        )
+        return local()
+    except ServiceError as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        config_codes = (
+            "bad_request", "unknown_field", "unsupported_version",
+            "invalid_plan", "invalid_manifest",
+        )
+        return EXIT_CONFIG if exc.code in config_codes else EXIT_TRIAL_FAILED
+
+
+def _print_run(algorithm: str, family: str, n, mis_size, row) -> int:
+    """The ``run`` report, printed from a flattened trial row -- the one
+    formatter both the local path and the ``--server`` path feed, so
+    their outputs are byte-identical (test-enforced)."""
+    print(f"algorithm          : {algorithm}")
+    print(f"graph              : {family} n={n}")
+    print(f"MIS size           : {mis_size}")
+    print(f"valid MIS          : {row['valid']}")
+    print(f"node-avg awake     : {row['node_averaged_awake']:.2f}")
+    print(f"worst-case awake   : {row['worst_case_awake']}")
+    print(f"node-avg rounds    : {row['node_averaged_rounds']:.1f}")
+    print(f"worst-case rounds  : {row['worst_case_rounds']}")
+    print(
+        f"messages / bits    : {row['total_messages']} / {row['total_bits']}"
+    )
+    print(f"total energy       : {row['total_energy']:.1f}")
+    return EXIT_OK if row["valid"] else EXIT_TRIAL_FAILED
+
+
 def _cmd_run(args: argparse.Namespace) -> int:
+    from dataclasses import asdict
+
     plan = plan_from_args(args)
-    graph = plan.build_graph()
-    result, trial = run_trial(graph, plan=plan, family=args.family)
-    print(f"algorithm          : {args.algorithm}")
-    print(f"graph              : {args.family} n={result.n}")
-    print(f"MIS size           : {len(result.mis)}")
-    print(f"valid MIS          : {trial.valid}")
-    print(f"node-avg awake     : {trial.node_averaged_awake:.2f}")
-    print(f"worst-case awake   : {trial.worst_case_awake}")
-    print(f"node-avg rounds    : {trial.node_averaged_rounds:.1f}")
-    print(f"worst-case rounds  : {trial.worst_case_rounds}")
-    print(f"messages / bits    : {trial.total_messages} / {trial.total_bits}")
-    print(f"total energy       : {trial.total_energy:.1f}")
-    return 0 if trial.valid else 1
+
+    def local() -> int:
+        graph = plan.build_graph()
+        result, trial = run_trial(graph, plan=plan, family=args.family)
+        return _print_run(
+            args.algorithm, args.family, result.n,
+            len(result.mis), asdict(trial),
+        )
+
+    def remote(client) -> int:
+        response = client.solve(plan.to_dict(), seed=args.seed)
+        return _print_run(
+            args.algorithm, args.family, response.row["n"],
+            response.mis_size, response.row,
+        )
+
+    return _with_server(args, remote, local)
 
 
 def _sweep_manifest(args: argparse.Namespace):
@@ -318,7 +457,7 @@ def _cmd_sweep_frontier(args: argparse.Namespace) -> int:
             )
     except FrontierCorruption as exc:
         print(f"error: {exc}", file=sys.stderr)
-        return 2
+        return EXIT_CORRUPT
     report = run_sweep(
         frontier, n_jobs=args.jobs, budget_s=args.budget_s,
     )
@@ -358,6 +497,31 @@ def _cmd_sweep(args: argparse.Namespace) -> int:
             f"key {manifest.manifest_key()[:12]} -> {args.emit_manifest}"
         )
         return 0
+    if args.server is not None and (
+        args.sweep_dir is not None or args.resume or args.budget_s is not None
+    ):
+        print(
+            "error: --server runs trials remotely and cannot drive a "
+            "local disk-backed frontier; drop --server, or drop "
+            "--sweep-dir/--resume/--budget-s",
+            file=sys.stderr,
+        )
+        return EXIT_CONFIG
+    if args.server is not None:
+        from .analysis.complexity import Trial
+
+        def remote(client) -> int:
+            manifest = _sweep_manifest(args)
+            response = client.sweep(manifest.to_dict())
+            rows = [Trial(**row) for row in response.rows]
+            _print_trial_table(args, rows)
+            return EXIT_OK
+
+        return _with_server(args, remote, lambda: _cmd_sweep_local(args))
+    return _cmd_sweep_local(args)
+
+
+def _cmd_sweep_local(args: argparse.Namespace) -> int:
     if args.sweep_dir is not None:
         return _cmd_sweep_frontier(args)
     if args.resume or args.budget_s is not None:
@@ -366,7 +530,7 @@ def _cmd_sweep(args: argparse.Namespace) -> int:
             "pass --sweep-dir DIR",
             file=sys.stderr,
         )
-        return 2
+        return EXIT_CONFIG
     if args.manifest is not None:
         from .sweeps import SweepManifest, execute_trial
 
@@ -398,12 +562,30 @@ def _cmd_sweep(args: argparse.Namespace) -> int:
 
 
 def _cmd_table1(args: argparse.Namespace) -> int:
-    table = build_table1(
-        sizes=args.sizes, plan=plan_from_args(args),
-        trials=args.trials, seed0=args.seed,
-    )
-    print(table.to_markdown() if args.markdown else table.to_text())
-    return 0
+    plan = plan_from_args(args)
+
+    def local() -> int:
+        table = build_table1(
+            sizes=args.sizes, plan=plan,
+            trials=args.trials, seed0=args.seed,
+        )
+        print(table.to_markdown() if args.markdown else table.to_text())
+        return EXIT_OK
+
+    def remote(client) -> int:
+        response = client.table1(
+            plan.to_dict(), sizes=args.sizes,
+            trials=args.trials, seed0=args.seed,
+        )
+        table = Table(
+            title=response.title,
+            headers=list(response.headers),
+            rows=[list(row) for row in response.rows],
+        )
+        print(table.to_markdown() if args.markdown else table.to_text())
+        return EXIT_OK
+
+    return _with_server(args, remote, local)
 
 
 def _cmd_tree(args: argparse.Namespace) -> int:
@@ -464,6 +646,20 @@ def _cmd_report(args: argparse.Namespace) -> int:
     return 0
 
 
+def _cmd_serve(args: argparse.Namespace) -> int:
+    from .service import serve
+
+    serve(
+        host=args.host,
+        port=args.port,
+        workers=args.workers,
+        max_queue=args.max_queue,
+        cache_size=args.cache_size,
+        default_deadline_s=args.deadline_s,
+    )
+    return 0
+
+
 def main(argv: Optional[List[str]] = None) -> int:
     args = build_parser().parse_args(argv)
     handlers = {
@@ -472,6 +668,7 @@ def main(argv: Optional[List[str]] = None) -> int:
         "table1": _cmd_table1,
         "tree": _cmd_tree,
         "energy": _cmd_energy,
+        "serve": _cmd_serve,
         "report": _cmd_report,
     }
     try:
@@ -479,7 +676,7 @@ def main(argv: Optional[List[str]] = None) -> int:
     except ValueError as exc:
         # e.g. --engine vectorized with an algorithm it cannot run.
         print(f"error: {exc}", file=sys.stderr)
-        return 2
+        return EXIT_CONFIG
 
 
 if __name__ == "__main__":

@@ -31,7 +31,8 @@ validated dataclass:
   round-trips it, and :meth:`cache_key` hashes it.  The serialized plan
   is the ``config.plan`` block of every committed ``BENCH_*.json``
   artifact (validated by ``benchmarks/check_artifacts.py``) and the
-  future service-layer cache key: every run is deterministic given
+  service-layer cache key (:mod:`repro.service` keys its result cache on
+  ``cache_key()`` + seed): every run is deterministic given
   ``(plan, seed)``.
 
 Argument-order convention (all entry points)

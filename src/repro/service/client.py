@@ -1,0 +1,201 @@
+"""The stdlib HTTP client behind the CLI's ``--server`` thin-client mode.
+
+``urllib.request`` only -- the client must not grow dependencies the
+server avoided.  Two exception classes split the two failure worlds the
+CLI treats differently:
+
+* :class:`ServiceUnreachable` -- no server answered (connection refused,
+  DNS, timeout).  The CLI degrades to the local path with a warning, or
+  exits with its dedicated code under ``--no-fallback``.
+* :class:`ServiceError` -- the server answered with an
+  :class:`~repro.service.schema.ErrorEnvelope`; ``code`` carries the
+  stable machine-readable cause (``backpressure``,
+  ``deadline_exceeded``, ...).
+"""
+
+from __future__ import annotations
+
+import json
+import time
+import urllib.error
+import urllib.request
+from typing import Any, Dict, Mapping, Optional
+
+from .schema import (
+    ErrorEnvelope,
+    JobStatus,
+    SchemaError,
+    SolveRequest,
+    SolveResponse,
+    SweepRequest,
+    SweepResponse,
+    Table1Request,
+    Table1Response,
+)
+
+
+class ServiceUnreachable(ConnectionError):
+    """No server answered at the configured URL."""
+
+
+class ServiceError(RuntimeError):
+    """The server answered with an error envelope."""
+
+    def __init__(self, status: int, envelope: ErrorEnvelope) -> None:
+        super().__init__(
+            f"[{envelope.code}] {envelope.message}"
+            + (f" ({envelope.detail})" if envelope.detail else "")
+        )
+        self.status = status
+        self.code = envelope.code
+        self.envelope = envelope
+
+
+class ServiceClient:
+    """A thin, synchronous client for the ``/v1`` API."""
+
+    def __init__(self, base_url: str, *, timeout: float = 300.0) -> None:
+        self.base_url = base_url.rstrip("/")
+        self.timeout = timeout
+
+    # -- transport -----------------------------------------------------
+
+    def _request(
+        self, method: str, path: str, body: Optional[bytes] = None
+    ) -> Dict[str, Any]:
+        request = urllib.request.Request(
+            self.base_url + path,
+            data=body,
+            method=method,
+            headers={"Content-Type": "application/json"},
+        )
+        try:
+            with urllib.request.urlopen(
+                request, timeout=self.timeout
+            ) as response:
+                return json.loads(response.read().decode("utf-8"))
+        except urllib.error.HTTPError as exc:
+            raw = exc.read().decode("utf-8", errors="replace")
+            try:
+                envelope = ErrorEnvelope.from_dict(json.loads(raw))
+            except (json.JSONDecodeError, SchemaError, ValueError):
+                envelope = ErrorEnvelope(
+                    code="internal",
+                    message=f"HTTP {exc.code} with unparseable body",
+                    detail=raw[:200],
+                )
+            raise ServiceError(exc.code, envelope) from None
+        except urllib.error.URLError as exc:
+            raise ServiceUnreachable(
+                f"no repro service reachable at {self.base_url} "
+                f"({exc.reason})"
+            ) from None
+        except (ConnectionError, TimeoutError, OSError) as exc:
+            raise ServiceUnreachable(
+                f"no repro service reachable at {self.base_url} ({exc})"
+            ) from None
+
+    def _post(self, path: str, payload: Mapping[str, Any]) -> Dict[str, Any]:
+        return self._request(
+            "POST", path, json.dumps(payload).encode("utf-8")
+        )
+
+    # -- endpoints -----------------------------------------------------
+
+    def health(self) -> Dict[str, Any]:
+        return self._request("GET", "/v1/health")
+
+    def solve(
+        self,
+        plan: Mapping[str, Any],
+        *,
+        seed: Optional[int] = None,
+        deadline_s: Optional[float] = None,
+    ) -> SolveResponse:
+        """One synchronous solve; returns the validated response."""
+        request = SolveRequest(plan=plan, seed=seed, deadline_s=deadline_s)
+        return SolveResponse.from_dict(
+            self._post("/v1/solve", request.to_dict())
+        )
+
+    def table1(
+        self,
+        plan: Mapping[str, Any],
+        *,
+        sizes,
+        trials: int = 3,
+        seed0: int = 0,
+        deadline_s: Optional[float] = None,
+    ) -> Table1Response:
+        request = Table1Request(
+            plan=plan,
+            sizes=tuple(sizes),
+            trials=trials,
+            seed0=seed0,
+            deadline_s=deadline_s,
+        )
+        return Table1Response.from_dict(
+            self._post("/v1/table1", request.to_dict())
+        )
+
+    def submit_sweep(
+        self,
+        manifest: Mapping[str, Any],
+        *,
+        deadline_s: Optional[float] = None,
+    ) -> JobStatus:
+        """Submit a sweep; returns the job to poll (always async)."""
+        request = SweepRequest(manifest=manifest, deadline_s=deadline_s)
+        return JobStatus.from_dict(
+            self._post("/v1/sweep", request.to_dict())
+        )
+
+    def job(self, job_id: str) -> JobStatus:
+        return JobStatus.from_dict(self._request("GET", f"/v1/jobs/{job_id}"))
+
+    def wait_job(
+        self,
+        job_id: str,
+        *,
+        poll_s: float = 0.1,
+        timeout: Optional[float] = None,
+    ) -> JobStatus:
+        """Poll ``job_id`` until done/failed; raise on job failure.
+
+        A failed job re-raises its recorded envelope as
+        :class:`ServiceError` so callers handle sync and async failures
+        identically.
+        """
+        deadline = None if timeout is None else time.monotonic() + timeout
+        while True:
+            status = self.job(job_id)
+            if status.state == "done":
+                return status
+            if status.state == "failed":
+                envelope = ErrorEnvelope.from_dict(
+                    status.error
+                    if status.error is not None
+                    else {"error": {"code": "internal",
+                                    "message": "job failed without detail"}}
+                )
+                raise ServiceError(0, envelope)
+            if deadline is not None and time.monotonic() >= deadline:
+                raise TimeoutError(
+                    f"job {job_id} still {status.state!r} after {timeout}s"
+                )
+            time.sleep(poll_s)
+
+    def sweep(
+        self,
+        manifest: Mapping[str, Any],
+        *,
+        deadline_s: Optional[float] = None,
+        poll_s: float = 0.1,
+        timeout: Optional[float] = None,
+    ) -> SweepResponse:
+        """Submit a sweep and block until its rows come back."""
+        submitted = self.submit_sweep(manifest, deadline_s=deadline_s)
+        finished = self.wait_job(
+            submitted.job_id, poll_s=poll_s, timeout=timeout
+        )
+        return SweepResponse.from_dict(finished.result)

@@ -1,0 +1,395 @@
+"""The bounded process-pool worker tier.
+
+Solves run in worker *processes* (not threads: a SIGKILLed or wedged
+solve must never take the server down with it), each paired with a
+parent-side serving thread that feeds it jobs over a pipe:
+
+* **bounded queue + backpressure** -- :meth:`WorkerPool.submit` counts
+  queued-plus-running jobs against ``max_queue`` and raises
+  :class:`PoolSaturated` past it; the HTTP layer maps that to a 429 so
+  overload sheds load at the edge instead of growing an unbounded
+  backlog.
+* **kill isolation + respawn** -- a worker that dies mid-job (SIGKILL,
+  OOM, a segfaulting extension) fails *that one job* with a stable error
+  code; the serving thread respawns the worker and keeps draining the
+  queue.  This is the property ``concurrent.futures`` lacks: a
+  ``BrokenProcessPool`` condemns every in-flight job.
+* **warm workers** -- worker processes persist across requests, so the
+  executor's per-worker scratch and graph caches
+  (:mod:`repro.service.executor`) actually pay off.
+* **deadline hooks** -- every job carries ``deadline_at``; jobs that
+  expire while still queued fail without ever executing, and the reaper
+  (:mod:`repro.service.reaper`) calls :meth:`WorkerPool.request_kill` on
+  running jobs past their deadline.
+
+The pool is synchronous (threads + pipes); :meth:`submit_async` bridges
+completions onto an ``asyncio`` loop via ``call_soon_threadsafe``.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import itertools
+import multiprocessing as mp
+import os
+import queue
+import signal
+import threading
+import time
+import traceback
+from typing import Any, Dict, List, Optional, Tuple
+
+
+class PoolSaturated(RuntimeError):
+    """Queue depth hit ``max_queue``; the caller should shed load (429)."""
+
+
+class PoolJob:
+    """One unit of pool work and its eventual outcome.
+
+    ``outcome`` is ``("ok", payload)`` or ``("error", code, message)``
+    with ``code`` drawn from :data:`repro.service.schema.ERROR_CODES`;
+    ``state`` walks ``queued -> running -> done``.  ``wait()`` blocks a
+    synchronous caller; async callers get a future from
+    :meth:`WorkerPool.submit_async`.
+    """
+
+    def __init__(
+        self,
+        job_id: str,
+        kind: str,
+        task: Dict[str, Any],
+        deadline_s: Optional[float],
+    ) -> None:
+        self.job_id = job_id
+        self.kind = kind
+        self.task = task
+        self.deadline_s = deadline_s
+        self.deadline_at = (
+            None if deadline_s is None else time.monotonic() + deadline_s
+        )
+        self.state = "queued"
+        self.kill_reason: Optional[str] = None
+        self.worker: Optional["_Worker"] = None
+        self.outcome: Optional[Tuple] = None
+        self._done = threading.Event()
+        self._cb_lock = threading.Lock()
+        self._callbacks: List[Any] = []
+
+    def expired(self, now: Optional[float] = None) -> bool:
+        if self.deadline_at is None:
+            return False
+        return (time.monotonic() if now is None else now) >= self.deadline_at
+
+    def add_done_callback(self, callback) -> None:
+        """``callback(job)`` on completion (already-done jobs fire now)."""
+        with self._cb_lock:
+            if not self._done.is_set():
+                self._callbacks.append(callback)
+                return
+        callback(self)
+
+    def wait(self, timeout: Optional[float] = None) -> Tuple:
+        if not self._done.wait(timeout):
+            raise TimeoutError(
+                f"job {self.job_id} did not finish within {timeout}s"
+            )
+        return self.outcome
+
+    def _finish(self, outcome: Tuple) -> None:
+        with self._cb_lock:
+            self.state = "done"
+            self.outcome = outcome
+            callbacks, self._callbacks = self._callbacks, []
+            self._done.set()
+        for callback in callbacks:
+            callback(self)
+
+
+def _worker_main(conn) -> None:  # pragma: no cover - child process
+    """Worker-process loop: ``(kind, task) -> ("ok", payload) | ("error", ...)``.
+
+    Import of the executor happens here, inside the child, so a fork
+    carries warm module state forward and a spawn still works.
+    """
+    from .executor import run_task
+
+    while True:
+        try:
+            message = conn.recv()
+        except (EOFError, OSError):
+            return
+        if message is None:
+            return
+        kind, task = message
+        try:
+            payload = run_task(kind, task)
+        except Exception as exc:
+            conn.send(
+                ("error", "solve_failed", f"{type(exc).__name__}: {exc}",
+                 traceback.format_exc())
+            )
+        else:
+            conn.send(("ok", payload))
+
+
+class _Worker:
+    """One worker process plus its parent-side pipe end."""
+
+    def __init__(self, ctx) -> None:
+        self.conn, child_conn = ctx.Pipe()
+        self.process = ctx.Process(
+            target=_worker_main, args=(child_conn,), daemon=True
+        )
+        self.process.start()
+        child_conn.close()
+
+    def alive(self) -> bool:
+        return self.process.is_alive()
+
+    def kill(self) -> None:
+        if self.process.is_alive():
+            try:
+                os.kill(self.process.pid, signal.SIGKILL)
+            except (OSError, ProcessLookupError):  # pragma: no cover
+                pass
+
+    def close(self) -> None:
+        try:
+            self.conn.send(None)
+        except (OSError, BrokenPipeError):
+            pass
+        self.process.join(timeout=1.0)
+        if self.process.is_alive():  # pragma: no cover - stubborn worker
+            self.kill()
+            self.process.join(timeout=1.0)
+        self.conn.close()
+
+
+class WorkerPool:
+    """``workers`` persistent worker processes behind a bounded queue."""
+
+    def __init__(self, workers: int = 1, max_queue: int = 8) -> None:
+        if workers < 1:
+            raise ValueError(f"workers must be >= 1, got {workers}")
+        if max_queue < 1:
+            raise ValueError(f"max_queue must be >= 1, got {max_queue}")
+        self.max_queue = max_queue
+        self._ctx = mp.get_context()
+        self._queue: "queue.Queue[Optional[PoolJob]]" = queue.Queue()
+        self._lock = threading.Lock()
+        self._depth = 0  # queued + running
+        self._ids = itertools.count(1)
+        self._closed = False
+        # Counters (health + the zero-recompute spy): ``executed`` counts
+        # jobs actually sent to a worker -- a cache hit never moves it.
+        self.executed = 0
+        self.completed = 0
+        self.killed = 0
+        self.respawns = 0
+        self._workers: List[_Worker] = []
+        self._threads: List[threading.Thread] = []
+        self._running: Dict[str, PoolJob] = {}
+        for index in range(workers):
+            worker = _Worker(self._ctx)
+            self._workers.append(worker)
+            thread = threading.Thread(
+                target=self._serve, args=(index,), daemon=True,
+                name=f"repro-pool-{index}",
+            )
+            self._threads.append(thread)
+            thread.start()
+
+    # -- submission ----------------------------------------------------
+
+    def submit(
+        self,
+        kind: str,
+        task: Dict[str, Any],
+        *,
+        deadline_s: Optional[float] = None,
+    ) -> PoolJob:
+        """Enqueue one job; :class:`PoolSaturated` when the queue is full."""
+        if self._closed:
+            raise RuntimeError("pool is closed")
+        with self._lock:
+            if self._depth >= self.max_queue:
+                raise PoolSaturated(
+                    f"worker queue is full ({self._depth}/{self.max_queue} "
+                    f"jobs in flight); retry later"
+                )
+            self._depth += 1
+        job = PoolJob(f"j{next(self._ids)}", kind, task, deadline_s)
+        self._queue.put(job)
+        return job
+
+    async def submit_async(
+        self,
+        kind: str,
+        task: Dict[str, Any],
+        *,
+        deadline_s: Optional[float] = None,
+    ) -> Tuple:
+        """``submit`` + await the outcome on the calling asyncio loop."""
+        loop = asyncio.get_running_loop()
+        future: "asyncio.Future[Tuple]" = loop.create_future()
+        job = self.submit(kind, task, deadline_s=deadline_s)
+
+        def on_done(finished: PoolJob) -> None:
+            loop.call_soon_threadsafe(
+                lambda: future.done() or future.set_result(finished.outcome)
+            )
+
+        job.add_done_callback(on_done)
+        return await future
+
+    # -- introspection / control ---------------------------------------
+
+    @property
+    def queue_depth(self) -> int:
+        with self._lock:
+            return self._depth
+
+    def running_jobs(self) -> List[PoolJob]:
+        with self._lock:
+            return list(self._running.values())
+
+    def alive_workers(self) -> int:
+        return sum(1 for worker in self._workers if worker.alive())
+
+    def request_kill(self, job: PoolJob, reason: str) -> bool:
+        """Kill the worker executing ``job`` (reaper entry point).
+
+        Records ``reason`` as the job's failure code first, so the
+        serving thread reports ``deadline_exceeded`` rather than the
+        generic ``worker_killed`` when the death was deliberate.
+        """
+        with self._lock:
+            if job.job_id not in self._running or job.kill_reason is not None:
+                return False
+            job.kill_reason = reason
+            worker = job.worker
+        if worker is not None:
+            worker.kill()
+        return True
+
+    def counters(self) -> Dict[str, int]:
+        with self._lock:
+            return {
+                "executed": self.executed,
+                "completed": self.completed,
+                "killed": self.killed,
+                "respawns": self.respawns,
+                "queue_depth": self._depth,
+                "workers": len(self._workers),
+                "alive_workers": self.alive_workers(),
+            }
+
+    def close(self) -> None:
+        if self._closed:
+            return
+        self._closed = True
+        for _ in self._threads:
+            self._queue.put(None)
+        for thread in self._threads:
+            thread.join(timeout=2.0)
+        for worker in self._workers:
+            worker.close()
+
+    # -- the per-worker serving loop -----------------------------------
+
+    def _serve(self, index: int) -> None:
+        while True:
+            job = self._queue.get()
+            if job is None:
+                return
+            if job.expired():
+                # Never executed: fail from the queue without burning a
+                # worker on a request whose client already gave up.
+                self._finish(
+                    job,
+                    (
+                        "error",
+                        "deadline_exceeded",
+                        f"job {job.job_id} spent its {job.deadline_s}s "
+                        f"deadline queued (queue depth "
+                        f"{self.queue_depth}); retry with a longer "
+                        f"deadline or when the queue drains",
+                    ),
+                )
+                continue
+            worker = self._workers[index]
+            if not worker.alive():
+                worker = self._respawn(index)
+            with self._lock:
+                job.state = "running"
+                job.worker = worker
+                self._running[job.job_id] = job
+                self.executed += 1
+            try:
+                worker.conn.send((job.kind, job.task))
+                outcome = self._await_worker(job, worker)
+            except (OSError, BrokenPipeError, EOFError):
+                outcome = None  # died between send and first poll
+            if outcome is None:
+                reason = job.kill_reason or "worker_killed"
+                with self._lock:
+                    self.killed += 1
+                self._respawn(index)
+                outcome = (
+                    "error",
+                    reason,
+                    (
+                        f"job {job.job_id} exceeded its "
+                        f"{job.deadline_s}s deadline and was reaped"
+                        if reason == "deadline_exceeded"
+                        else f"worker executing job {job.job_id} died "
+                        f"mid-solve; it was respawned and the server "
+                        f"keeps serving -- retry the request"
+                    ),
+                )
+            with self._lock:
+                self._running.pop(job.job_id, None)
+            self._finish(job, outcome)
+
+    def _await_worker(self, job: PoolJob, worker: _Worker) -> Optional[Tuple]:
+        """Poll for the worker's answer; ``None`` means the worker died."""
+        while True:
+            if worker.conn.poll(0.02):
+                try:
+                    message = worker.conn.recv()
+                except (EOFError, OSError):
+                    return None
+                if message[0] == "ok":
+                    return ("ok", message[1])
+                return ("error", message[1], message[2])
+            if not worker.alive():
+                # Drain any answer that raced the death.
+                try:
+                    if worker.conn.poll(0):
+                        message = worker.conn.recv()
+                        if message[0] == "ok":
+                            return ("ok", message[1])
+                        return ("error", message[1], message[2])
+                except (EOFError, OSError):
+                    pass
+                return None
+
+    def _respawn(self, index: int) -> _Worker:
+        old = self._workers[index]
+        try:
+            old.conn.close()
+        except OSError:  # pragma: no cover
+            pass
+        worker = _Worker(self._ctx)
+        with self._lock:
+            self._workers[index] = worker
+            self.respawns += 1
+        return worker
+
+    def _finish(self, job: PoolJob, outcome: Tuple) -> None:
+        with self._lock:
+            self._depth -= 1
+            if outcome[0] == "ok":
+                self.completed += 1
+        job._finish(outcome)

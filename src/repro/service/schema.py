@@ -1,0 +1,457 @@
+"""The versioned wire schema of the ``/v1`` service API.
+
+Every request and response crossing the HTTP boundary is one of the
+frozen dataclasses below, mirroring the :class:`repro.plan.RunPlan`
+serialization discipline:
+
+* **canonical JSON** -- :meth:`to_json` emits compact, sorted-key JSON
+  (pinned by golden tests), so equal payloads are byte-identical across
+  processes and sessions.  Response bytes are therefore cacheable
+  verbatim: a cache hit returns the stored bytes, and clients cannot
+  tell a hit from a recompute by the body alone (the ``X-Repro-Cache``
+  header says which it was).
+* **versioned** -- requests carry ``request_version``, responses
+  ``service_version``, both pinned to :data:`SERVICE_VERSION`.
+  :meth:`from_dict` rejects unknown versions and unknown fields with
+  errors naming the fix, instead of guessing.
+* **stable error codes** -- every error body is an
+  :class:`ErrorEnvelope` whose ``code`` is one of :data:`ERROR_CODES`;
+  scripts branch on the code, humans read the message.
+
+The plan inside a :class:`SolveRequest` is the *serialized* dict form
+(:meth:`RunPlan.to_dict`); the server re-validates it via
+:meth:`RunPlan.from_dict` against its own registries, so an
+unconstructible plan fails with ``invalid_plan`` before touching the
+worker pool.
+"""
+
+from __future__ import annotations
+
+import json
+from dataclasses import dataclass, fields
+from typing import Any, Dict, Mapping, Optional, Tuple, Type, TypeVar
+
+#: Version of the wire schema.  Bump only on a breaking change to the
+#: canonical request/response forms; servers reject unknown request
+#: versions, clients can check ``service_version`` in every response.
+SERVICE_VERSION = 1
+
+#: Stable machine-readable error codes (the ``code`` of every
+#: :class:`ErrorEnvelope`).  Scripts branch on these; the HTTP status
+#: carries the coarse class, the code the precise cause.
+ERROR_CODES = (
+    "bad_request",  # malformed JSON, wrong types, missing fields
+    "unknown_field",  # request carries a field this schema does not know
+    "unsupported_version",  # request_version this build does not speak
+    "invalid_plan",  # RunPlan.from_dict rejected the embedded plan
+    "invalid_manifest",  # SweepManifest.from_dict rejected the manifest
+    "not_found",  # unknown route or job id
+    "backpressure",  # worker queue full; retry later (HTTP 429)
+    "deadline_exceeded",  # the reaper killed the job at its deadline
+    "worker_killed",  # the executing worker died mid-job (not reaped)
+    "solve_failed",  # the solve itself raised
+    "internal",  # anything else; a bug, not a client error
+)
+
+S = TypeVar("S", bound="_Wire")
+
+
+class SchemaError(ValueError):
+    """A request that does not fit the wire schema.
+
+    Carries the stable error ``code`` (``bad_request``,
+    ``unknown_field``, or ``unsupported_version``) so the HTTP layer can
+    build the matching :class:`ErrorEnvelope` without string-matching
+    the message.
+    """
+
+    def __init__(self, code: str, message: str) -> None:
+        super().__init__(message)
+        self.code = code
+
+
+@dataclass(frozen=True)
+class _Wire:
+    """Shared canonical-serialization machinery (iterates dataclass
+    fields, so subclasses serialize without overriding anything)."""
+
+    #: The name of the version field each side carries.
+    _VERSION_FIELD = "service_version"
+
+    def to_dict(self) -> Dict[str, Any]:
+        data: Dict[str, Any] = {}
+        for field in fields(self):
+            value = getattr(self, field.name)
+            if isinstance(value, tuple):
+                value = list(value)
+            data[field.name] = value
+        return data
+
+    def to_json(self) -> str:
+        """The canonical form: compact, sorted-key JSON (golden-pinned)."""
+        return json.dumps(self.to_dict(), sort_keys=True, separators=(",", ":"))
+
+    @classmethod
+    def from_dict(cls: Type[S], data: Mapping[str, Any]) -> S:
+        """Rebuild from :meth:`to_dict` output, rejecting unknown
+        versions and unknown fields with errors naming the fix."""
+        if not isinstance(data, Mapping):
+            raise SchemaError(
+                "bad_request",
+                f"{cls.__name__} body must be a JSON object, got "
+                f"{type(data).__name__}",
+            )
+        payload = dict(data)
+        version = payload.pop(cls._VERSION_FIELD, SERVICE_VERSION)
+        if version != SERVICE_VERSION:
+            raise SchemaError(
+                "unsupported_version",
+                f"unsupported {cls._VERSION_FIELD} {version!r} (this build "
+                f"speaks version {SERVICE_VERSION}; re-serialize the "
+                f"{cls.__name__} with a matching client)",
+            )
+        known = {field.name for field in fields(cls)}
+        unknown = sorted(set(payload) - known)
+        if unknown:
+            raise SchemaError(
+                "unknown_field",
+                f"{cls.__name__} carries unknown field(s) {unknown} "
+                f"(known: {sorted(known - {cls._VERSION_FIELD})}; drop "
+                f"them or upgrade the server)",
+            )
+        try:
+            return cls(**payload)
+        except (TypeError, ValueError) as exc:
+            raise SchemaError("bad_request", f"{cls.__name__}: {exc}") from None
+
+    @classmethod
+    def from_json(cls: Type[S], text: str) -> S:
+        return cls.from_dict(json.loads(text))
+
+
+def _require(condition: bool, message: str) -> None:
+    if not condition:
+        raise ValueError(message)
+
+
+# -- requests ----------------------------------------------------------
+
+
+@dataclass(frozen=True)
+class SolveRequest(_Wire):
+    """``POST /v1/solve``: one ``(plan, seed)`` solve.
+
+    ``plan`` is the serialized :class:`repro.plan.RunPlan` dict (it must
+    carry ``family`` and ``n`` -- the server builds the graph); ``seed``
+    defaults to the plan's own seed.  ``deadline_s`` bounds the whole
+    request (queue wait included); the reaper kills jobs that exceed it.
+    ``mode="async"`` returns a job id immediately instead of waiting.
+    """
+
+    _VERSION_FIELD = "request_version"
+
+    plan: Mapping[str, Any] = None  # type: ignore[assignment]
+    seed: Optional[int] = None
+    deadline_s: Optional[float] = None
+    mode: str = "sync"
+    request_version: int = SERVICE_VERSION
+
+    def __post_init__(self) -> None:
+        _require(
+            isinstance(self.plan, Mapping),
+            "plan must be a serialized RunPlan object "
+            "(RunPlan.to_dict() output)",
+        )
+        object.__setattr__(self, "plan", dict(self.plan))
+        _require(
+            self.seed is None
+            or (isinstance(self.seed, int) and not isinstance(self.seed, bool)),
+            f"seed must be an int or null, got {self.seed!r}",
+        )
+        _require(
+            self.deadline_s is None
+            or (
+                isinstance(self.deadline_s, (int, float))
+                and not isinstance(self.deadline_s, bool)
+                and self.deadline_s > 0
+            ),
+            f"deadline_s must be a positive number or null, got "
+            f"{self.deadline_s!r}",
+        )
+        _require(
+            self.mode in ("sync", "async"),
+            f"mode must be 'sync' or 'async', got {self.mode!r}",
+        )
+
+
+@dataclass(frozen=True)
+class SweepRequest(_Wire):
+    """``POST /v1/sweep``: run every trial of a sweep manifest.
+
+    ``manifest`` is the serialized :class:`repro.sweeps.SweepManifest`
+    dict (``SweepManifest.to_dict()`` / ``--emit-manifest`` output); the
+    server re-validates every embedded plan.  Always asynchronous: the
+    response is a job id to poll via ``GET /v1/jobs/{id}``.
+    ``deadline_s`` applies per trial, not to the whole sweep.
+    """
+
+    _VERSION_FIELD = "request_version"
+
+    manifest: Mapping[str, Any] = None  # type: ignore[assignment]
+    deadline_s: Optional[float] = None
+    request_version: int = SERVICE_VERSION
+
+    def __post_init__(self) -> None:
+        _require(
+            isinstance(self.manifest, Mapping),
+            "manifest must be a serialized SweepManifest object "
+            "(SweepManifest.to_dict() output)",
+        )
+        object.__setattr__(self, "manifest", dict(self.manifest))
+        _require(
+            self.deadline_s is None
+            or (
+                isinstance(self.deadline_s, (int, float))
+                and not isinstance(self.deadline_s, bool)
+                and self.deadline_s > 0
+            ),
+            f"deadline_s must be a positive number or null, got "
+            f"{self.deadline_s!r}",
+        )
+
+
+@dataclass(frozen=True)
+class Table1Request(_Wire):
+    """``POST /v1/table1``: the measured Table 1 for one base plan.
+
+    Mirrors :func:`repro.analysis.tables.build_table1`: the plan carries
+    the family and knob configuration, ``sizes``/``trials``/``seed0``
+    are the measurement grid.
+    """
+
+    _VERSION_FIELD = "request_version"
+
+    plan: Mapping[str, Any] = None  # type: ignore[assignment]
+    sizes: Tuple[int, ...] = (64, 128, 256)
+    trials: int = 3
+    seed0: int = 0
+    deadline_s: Optional[float] = None
+    mode: str = "sync"
+    request_version: int = SERVICE_VERSION
+
+    def __post_init__(self) -> None:
+        _require(
+            isinstance(self.plan, Mapping),
+            "plan must be a serialized RunPlan object "
+            "(RunPlan.to_dict() output)",
+        )
+        object.__setattr__(self, "plan", dict(self.plan))
+        _require(
+            isinstance(self.sizes, (list, tuple))
+            and len(self.sizes) > 0
+            and all(
+                isinstance(n, int) and not isinstance(n, bool) and n >= 0
+                for n in self.sizes
+            ),
+            f"sizes must be a non-empty list of ints, got {self.sizes!r}",
+        )
+        object.__setattr__(self, "sizes", tuple(self.sizes))
+        _require(
+            isinstance(self.trials, int)
+            and not isinstance(self.trials, bool)
+            and self.trials >= 1,
+            f"trials must be an int >= 1, got {self.trials!r}",
+        )
+        _require(
+            isinstance(self.seed0, int) and not isinstance(self.seed0, bool),
+            f"seed0 must be an int, got {self.seed0!r}",
+        )
+        _require(
+            self.deadline_s is None
+            or (
+                isinstance(self.deadline_s, (int, float))
+                and not isinstance(self.deadline_s, bool)
+                and self.deadline_s > 0
+            ),
+            f"deadline_s must be a positive number or null, got "
+            f"{self.deadline_s!r}",
+        )
+        _require(
+            self.mode in ("sync", "async"),
+            f"mode must be 'sync' or 'async', got {self.mode!r}",
+        )
+
+
+# -- responses ---------------------------------------------------------
+
+
+@dataclass(frozen=True)
+class SolveResponse(_Wire):
+    """The solve result: deterministic given ``(plan, seed)``.
+
+    Contains no per-request state (no wall clocks, no cache flags), so
+    the canonical bytes are the cache value and a hit is byte-identical
+    to the original computation.  ``row`` is the flattened
+    :class:`repro.analysis.complexity.Trial` (``dataclasses.asdict``
+    form), exactly what a local :func:`repro.sweeps.execute_trial`
+    produces for the same ``(plan, seed)``.
+    """
+
+    plan: Mapping[str, Any] = None  # type: ignore[assignment]
+    seed: int = 0
+    trial_key: str = ""
+    mis_size: int = 0
+    row: Mapping[str, Any] = None  # type: ignore[assignment]
+    service_version: int = SERVICE_VERSION
+
+    def __post_init__(self) -> None:
+        _require(isinstance(self.plan, Mapping), "plan must be an object")
+        object.__setattr__(self, "plan", dict(self.plan))
+        _require(isinstance(self.row, Mapping), "row must be an object")
+        object.__setattr__(self, "row", dict(self.row))
+
+
+@dataclass(frozen=True)
+class SweepResponse(_Wire):
+    """The finished sweep: one row per manifest trial, in manifest order."""
+
+    manifest_key: str = ""
+    name: str = ""
+    trial_keys: Tuple[str, ...] = ()
+    rows: Tuple[Mapping[str, Any], ...] = ()
+    service_version: int = SERVICE_VERSION
+
+    def __post_init__(self) -> None:
+        object.__setattr__(self, "trial_keys", tuple(self.trial_keys))
+        object.__setattr__(
+            self, "rows", tuple(dict(row) for row in self.rows)
+        )
+        _require(
+            len(self.rows) == len(self.trial_keys),
+            f"rows/trial_keys length mismatch "
+            f"({len(self.rows)} != {len(self.trial_keys)})",
+        )
+
+
+@dataclass(frozen=True)
+class Table1Response(_Wire):
+    """The measured Table 1, as renderable cells.
+
+    ``title``/``headers``/``rows`` rebuild a
+    :class:`repro.analysis.tables.Table` verbatim, so a thin client's
+    ``to_text()``/``to_markdown()`` output is byte-identical to a local
+    :func:`build_table1` call with the same arguments.
+    """
+
+    plan: Mapping[str, Any] = None  # type: ignore[assignment]
+    sizes: Tuple[int, ...] = ()
+    trials: int = 3
+    seed0: int = 0
+    title: str = ""
+    headers: Tuple[str, ...] = ()
+    rows: Tuple[Tuple[str, ...], ...] = ()
+    service_version: int = SERVICE_VERSION
+
+    def __post_init__(self) -> None:
+        _require(isinstance(self.plan, Mapping), "plan must be an object")
+        object.__setattr__(self, "plan", dict(self.plan))
+        object.__setattr__(self, "sizes", tuple(self.sizes))
+        object.__setattr__(self, "headers", tuple(self.headers))
+        object.__setattr__(
+            self, "rows", tuple(tuple(row) for row in self.rows)
+        )
+
+    def to_dict(self) -> Dict[str, Any]:
+        data = super().to_dict()
+        data["rows"] = [list(row) for row in self.rows]
+        return data
+
+
+@dataclass(frozen=True)
+class JobStatus(_Wire):
+    """``GET /v1/jobs/{id}`` (and every 202 submission response).
+
+    ``state`` walks ``queued -> running -> done | failed``; ``result``
+    is the finished response object when done, ``error`` the
+    :class:`ErrorEnvelope` dict when failed, both ``null`` otherwise.
+    """
+
+    job_id: str = ""
+    kind: str = ""  # solve | sweep | table1
+    state: str = "queued"
+    result: Optional[Mapping[str, Any]] = None
+    error: Optional[Mapping[str, Any]] = None
+    service_version: int = SERVICE_VERSION
+
+    def __post_init__(self) -> None:
+        _require(
+            self.state in ("queued", "running", "done", "failed"),
+            f"unknown job state {self.state!r}",
+        )
+
+
+@dataclass(frozen=True)
+class ErrorEnvelope(_Wire):
+    """Every non-2xx body: a stable ``code`` plus a human message.
+
+    The wire form nests the fields under ``"error"`` so clients can
+    distinguish an envelope from a result at a glance::
+
+        {"error": {"code": "backpressure", "message": "...",
+                   "detail": null}, "service_version": 1}
+    """
+
+    code: str = "internal"
+    message: str = ""
+    detail: Optional[str] = None
+    service_version: int = SERVICE_VERSION
+
+    def __post_init__(self) -> None:
+        _require(
+            self.code in ERROR_CODES,
+            f"unknown error code {self.code!r}; known: {ERROR_CODES}",
+        )
+
+    def to_dict(self) -> Dict[str, Any]:
+        return {
+            "error": {
+                "code": self.code,
+                "message": self.message,
+                "detail": self.detail,
+            },
+            "service_version": self.service_version,
+        }
+
+    @classmethod
+    def from_dict(cls, data: Mapping[str, Any]) -> "ErrorEnvelope":
+        if not isinstance(data, Mapping) or "error" not in data:
+            raise SchemaError(
+                "bad_request",
+                "ErrorEnvelope body must be {'error': {...}, "
+                "'service_version': N}",
+            )
+        error = data["error"]
+        if not isinstance(error, Mapping):
+            raise SchemaError("bad_request", "'error' must be an object")
+        version = data.get("service_version", SERVICE_VERSION)
+        if version != SERVICE_VERSION:
+            raise SchemaError(
+                "unsupported_version",
+                f"unsupported service_version {version!r} (this build "
+                f"speaks version {SERVICE_VERSION})",
+            )
+        unknown = sorted(set(error) - {"code", "message", "detail"})
+        if unknown:
+            raise SchemaError(
+                "unknown_field",
+                f"ErrorEnvelope carries unknown field(s) {unknown}",
+            )
+        try:
+            return cls(
+                code=error.get("code", "internal"),
+                message=error.get("message", ""),
+                detail=error.get("detail"),
+                service_version=version,
+            )
+        except ValueError as exc:
+            raise SchemaError("bad_request", str(exc)) from None

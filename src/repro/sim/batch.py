@@ -186,6 +186,43 @@ def _run_one(
     return run
 
 
+def run_planned_trial(
+    graph: Any,
+    plan: "RunPlan",
+    seed: Optional[int],
+    *,
+    scratch: Optional[EngineScratch] = None,
+) -> ResultLike:
+    """One trial of ``plan`` on ``graph`` with ``seed``, reusing ``scratch``.
+
+    The single-trial primitive the service worker tier rides: unlike
+    :func:`run_trials` it takes a concrete graph (possibly a prebuilt
+    :class:`GraphArrays`) plus a caller-owned :class:`EngineScratch`, so
+    a long-running worker amortizes both graph normalization and state
+    arrays across requests instead of per process-pool chunk.
+    """
+    resolved = plan.resolved_engine
+    if isinstance(graph, GraphArrays):
+        adjacency: Optional[Dict[Any, Tuple[Any, ...]]] = None
+        arrays: Optional[GraphArrays] = graph
+    else:
+        adjacency = normalize_graph(graph)
+        arrays = GraphArrays(adjacency) if resolved == "vectorized" else None
+    return _run_one(
+        adjacency,
+        arrays,
+        plan.algorithm,
+        seed,
+        resolved,
+        plan.max_rounds,
+        plan.congest_bit_limit,
+        plan.protocol_dict(),
+        plan.rng,
+        scratch if resolved == "vectorized" else None,
+        plan.result,
+    )
+
+
 def _run_chunk(payload: Tuple) -> List[ResultLike]:
     """Process-pool task: one graph, a chunk of seeds.
 

@@ -26,6 +26,7 @@ DOC_FILES = (
     "docs/api.md",
     "docs/performance.md",
     "docs/sweeps.md",
+    "docs/service.md",
 )
 
 

@@ -282,14 +282,16 @@ class TestCliMapping:
         "jobs": "n_jobs",
     }
 
-    #: Per-command dests that configure the *grid*, the *rendering*, or
-    #: the sweep *orchestration* (manifest/frontier/resume flags schedule
-    #: which plans run where -- they never change what a trial measures),
-    #: not the run -- deliberately outside the plan.
+    #: Per-command dests that configure the *grid*, the *rendering*, the
+    #: sweep *orchestration* (manifest/frontier/resume flags schedule
+    #: which plans run where), or the *transport* (--server routing and
+    #: the serve subcommand's pool/cache knobs) -- they never change what
+    #: a trial measures, so they stay deliberately outside the plan.
     NON_PLAN_DESTS = {
         "command", "sizes", "trials", "measure", "markdown", "max_depth",
         "output", "manifest", "sweep_dir", "resume", "budget_s",
-        "claim_ttl", "emit_manifest",
+        "claim_ttl", "emit_manifest", "server", "no_fallback",
+        "host", "port", "workers", "max_queue", "cache_size", "deadline_s",
     }
 
     def _subparsers(self):

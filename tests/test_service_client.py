@@ -1,0 +1,191 @@
+"""The CLI as a thin client: ``--server`` routing, fallback, exit codes.
+
+The redesign's contract: ``run``/``sweep``/``table1`` behind ``--server``
+print **byte-identical** output to their local paths (same rows, same
+rendering -- the server is a transparent accelerator, not a different
+tool), unreachable servers degrade to local execution with a warning
+(or exit 4 under ``--no-fallback``), and the sweep error paths return
+distinct, documented exit codes so the client mode is scriptable:
+0 success, 1 trial failure, 2 configuration error, 3 frontier
+corruption, 4 server unreachable.
+"""
+
+import io
+from contextlib import redirect_stderr, redirect_stdout
+
+import pytest
+
+from repro.cli import (
+    EXIT_CONFIG,
+    EXIT_CORRUPT,
+    EXIT_OK,
+    EXIT_UNREACHABLE,
+    build_parser,
+    main,
+)
+from repro.service import start_service_thread
+
+#: A port nothing listens on (port 1 needs root to bind).
+DEAD_URL = "http://127.0.0.1:1"
+
+
+def run_cli(argv):
+    out, err = io.StringIO(), io.StringIO()
+    with redirect_stdout(out), redirect_stderr(err):
+        code = main(argv)
+    return code, out.getvalue(), err.getvalue()
+
+
+@pytest.fixture(scope="module")
+def server():
+    handle = start_service_thread(workers=1, max_queue=16, cache_size=64)
+    yield handle
+    handle.stop()
+
+
+class TestByteIdentity:
+    """Local and remote output compare as bytes, not just semantics."""
+
+    def test_run(self, server):
+        argv = [
+            "run", "--algorithm", "fast-sleeping", "--family", "gnp-sparse",
+            "--n", "200", "--seed", "3", "--engine", "auto",
+        ]
+        local = run_cli(argv)
+        remote = run_cli(argv + ["--server", server.base_url])
+        assert local[0] == remote[0] == EXIT_OK
+        assert local[1] == remote[1]
+
+    def test_sweep(self, server):
+        argv = [
+            "sweep", "--algorithm", "fast-sleeping", "--family",
+            "gnp-sparse", "--sizes", "24,32", "--trials", "2",
+        ]
+        local = run_cli(argv)
+        remote = run_cli(argv + ["--server", server.base_url])
+        assert local[0] == remote[0] == EXIT_OK
+        assert local[1] == remote[1]
+
+    def test_sweep_from_manifest(self, server, tmp_path):
+        path = str(tmp_path / "m.json")
+        code, _, _ = run_cli(
+            ["sweep", "--sizes", "16,24", "--trials", "1",
+             "--emit-manifest", path]
+        )
+        assert code == EXIT_OK
+        argv = ["sweep", "--manifest", path]
+        local = run_cli(argv)
+        remote = run_cli(argv + ["--server", server.base_url])
+        assert local[0] == remote[0] == EXIT_OK
+        assert local[1] == remote[1]
+
+    def test_table1_text_and_markdown(self, server):
+        for extra in ([], ["--markdown"]):
+            argv = ["table1", "--sizes", "16,24", "--trials", "1"] + extra
+            local = run_cli(argv)
+            remote = run_cli(argv + ["--server", server.base_url])
+            assert local[0] == remote[0] == EXIT_OK
+            assert local[1] == remote[1]
+
+    def test_remote_run_hits_the_cache(self, server):
+        argv = [
+            "run", "--family", "gnp-sparse", "--n", "180", "--seed", "11",
+            "--engine", "auto", "--server", server.base_url,
+        ]
+        first = run_cli(argv)
+        executed = server.service.pool.executed
+        second = run_cli(argv)
+        assert first[1] == second[1]
+        assert server.service.pool.executed == executed  # warm: no solve
+
+
+class TestFallback:
+    def test_unreachable_warns_and_runs_locally(self):
+        code, out, err = run_cli(
+            ["run", "--family", "gnp-sparse", "--n", "64",
+             "--engine", "auto", "--server", DEAD_URL]
+        )
+        assert code == EXIT_OK
+        assert "MIS size" in out  # the local path actually ran
+        assert "falling back to local execution" in err
+
+    def test_no_fallback_exits_4(self):
+        code, out, err = run_cli(
+            ["run", "--family", "gnp-sparse", "--n", "64",
+             "--server", DEAD_URL, "--no-fallback"]
+        )
+        assert code == EXIT_UNREACHABLE
+        assert out == ""
+        assert "no repro service reachable" in err
+
+    def test_fallback_output_matches_pure_local(self):
+        argv = ["run", "--family", "gnp-sparse", "--n", "64",
+                "--engine", "auto"]
+        local = run_cli(argv)
+        degraded = run_cli(argv + ["--server", DEAD_URL])
+        assert local[1] == degraded[1]
+
+    def test_server_side_config_error_exits_2(self, server):
+        # tree has no --server flag; send a plan the server must reject
+        # (family-less) through the client API instead.
+        from repro.plan import RunPlan
+        from repro.service import ServiceClient, ServiceError
+
+        client = ServiceClient(server.base_url)
+        with pytest.raises(ServiceError) as info:
+            client.solve(RunPlan(algorithm="luby").to_dict(), seed=0)
+        assert info.value.code == "invalid_plan"
+
+
+class TestSweepExitCodes:
+    def test_server_conflicts_with_frontier_flags(self, server, tmp_path):
+        for extra in (
+            ["--sweep-dir", str(tmp_path / "d")],
+            ["--resume", "--sweep-dir", str(tmp_path / "d")],
+            ["--budget-s", "5", "--sweep-dir", str(tmp_path / "d")],
+        ):
+            code, _, err = run_cli(
+                ["sweep", "--server", server.base_url] + extra
+            )
+            assert code == EXIT_CONFIG
+            assert "--server" in err
+
+    def test_frontier_corruption_exits_3(self, tmp_path):
+        sweep_dir = str(tmp_path / "s")
+        code, _, _ = run_cli(
+            ["sweep", "--sizes", "16", "--trials", "1",
+             "--sweep-dir", sweep_dir]
+        )
+        assert code == EXIT_OK
+        # A result artifact no manifest trial owns: integrity checks trip.
+        (tmp_path / "s" / "results" / "deadbeef-7.json").write_text("{}\n")
+        code, _, err = run_cli(
+            ["sweep", "--sizes", "16", "--trials", "1",
+             "--sweep-dir", sweep_dir, "--resume"]
+        )
+        assert code == EXIT_CORRUPT
+        assert "error:" in err
+
+    def test_config_error_exits_2(self):
+        code, _, err = run_cli(["sweep", "--resume"])
+        assert code == EXIT_CONFIG
+        assert "--sweep-dir" in err
+
+    def test_exit_codes_documented_in_help(self):
+        parser = build_parser()
+        sweep_parser = parser._subparsers._group_actions[0].choices["sweep"]
+        text = sweep_parser.format_help()
+        assert "exit codes:" in text
+        for line in (
+            "0  success",
+            "1  trial failure",
+            "2  configuration error",
+            "3  sweep frontier corruption",
+            "4  --server unreachable",
+        ):
+            assert line in text, f"sweep --help must document: {line}"
+
+    def test_exit_code_constants_are_distinct(self):
+        codes = [EXIT_OK, 1, EXIT_CONFIG, EXIT_CORRUPT, EXIT_UNREACHABLE]
+        assert len(set(codes)) == len(codes)
+        assert codes == [0, 1, 2, 3, 4]

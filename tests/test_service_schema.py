@@ -1,0 +1,190 @@
+"""The service wire schema: canonical JSON, versioning, stable errors.
+
+Mirrors ``test_run_plan.py``'s serialization discipline for the HTTP
+boundary: the canonical request/response JSON is golden-pinned (these
+bytes are what the result cache stores and what clients parse -- moving
+them silently invalidates both), unknown fields and versions are
+rejected with errors naming the fix, and every error code the server
+can emit is a member of the published ``ERROR_CODES`` tuple.
+"""
+
+import json
+
+import pytest
+
+from repro.plan import RunPlan
+from repro.service import (
+    ERROR_CODES,
+    SERVICE_VERSION,
+    ErrorEnvelope,
+    JobStatus,
+    SchemaError,
+    SolveRequest,
+    SolveResponse,
+    SweepRequest,
+    SweepResponse,
+    Table1Request,
+    Table1Response,
+)
+from repro.service.routes import CODE_STATUS
+
+PLAN = RunPlan(
+    algorithm="fast-sleeping", family="gnp-sparse", n=64, seed=1
+)
+
+#: Pinned canonical forms.  If one of these strings moves, every byte
+#: stored in a service cache and every client parser silently breaks --
+#: bump SERVICE_VERSION instead of editing the expectation.
+GOLDEN_SOLVE_REQUEST = SolveRequest(plan=PLAN.to_dict(), seed=7)
+GOLDEN_SOLVE_REQUEST_JSON = (
+    '{"deadline_s":null,"mode":"sync","plan":' + PLAN.to_json() + ","
+    '"request_version":1,"seed":7}'
+)
+GOLDEN_SOLVE_RESPONSE = SolveResponse(
+    plan=PLAN.to_dict(),
+    seed=7,
+    trial_key="abc123-7",
+    mis_size=20,
+    row={"algorithm": "fast-sleeping", "valid": True},
+)
+GOLDEN_SOLVE_RESPONSE_JSON = (
+    '{"mis_size":20,"plan":' + PLAN.to_json() + ',"row":'
+    '{"algorithm":"fast-sleeping","valid":true},"seed":7,'
+    '"service_version":1,"trial_key":"abc123-7"}'
+)
+GOLDEN_ERROR = ErrorEnvelope(
+    code="backpressure", message="worker queue is full"
+)
+GOLDEN_ERROR_JSON = (
+    '{"error":{"code":"backpressure","detail":null,'
+    '"message":"worker queue is full"},"service_version":1}'
+)
+
+
+class TestCanonicalJson:
+    def test_solve_request_golden(self):
+        assert GOLDEN_SOLVE_REQUEST.to_json() == GOLDEN_SOLVE_REQUEST_JSON
+
+    def test_solve_response_golden(self):
+        assert GOLDEN_SOLVE_RESPONSE.to_json() == GOLDEN_SOLVE_RESPONSE_JSON
+
+    def test_error_envelope_golden(self):
+        assert GOLDEN_ERROR.to_json() == GOLDEN_ERROR_JSON
+
+    def test_canonical_form_is_sorted_and_compact(self):
+        for obj in (
+            GOLDEN_SOLVE_REQUEST, GOLDEN_SOLVE_RESPONSE, GOLDEN_ERROR,
+        ):
+            text = obj.to_json()
+            assert text == json.dumps(
+                json.loads(text), sort_keys=True, separators=(",", ":")
+            )
+
+    @pytest.mark.parametrize(
+        "obj",
+        [
+            GOLDEN_SOLVE_REQUEST,
+            GOLDEN_SOLVE_RESPONSE,
+            GOLDEN_ERROR,
+            SweepRequest(manifest={"manifest_version": 1}),
+            SweepResponse(
+                manifest_key="k", name="s", trial_keys=("a-1",),
+                rows=({"n": 8},),
+            ),
+            Table1Request(plan=PLAN.to_dict(), sizes=(16, 32), trials=2),
+            Table1Response(
+                plan=PLAN.to_dict(), sizes=(16,), trials=1, seed0=0,
+                title="T", headers=("a", "b"), rows=(("1", "2"),),
+            ),
+            JobStatus(job_id="job-1", kind="solve", state="queued"),
+        ],
+    )
+    def test_round_trip(self, obj):
+        rebuilt = type(obj).from_json(obj.to_json())
+        assert rebuilt == obj
+        assert rebuilt.to_json() == obj.to_json()
+
+    def test_equal_payloads_are_byte_identical(self):
+        a = SolveRequest(plan=PLAN.to_dict(), seed=7)
+        b = SolveRequest(plan=dict(reversed(PLAN.to_dict().items())), seed=7)
+        assert a.to_json() == b.to_json()
+
+
+class TestRejection:
+    """Unknown versions and fields fail loudly, naming the fix."""
+
+    def test_unknown_request_version(self):
+        data = GOLDEN_SOLVE_REQUEST.to_dict()
+        data["request_version"] = 99
+        with pytest.raises(SchemaError, match="version 99") as info:
+            SolveRequest.from_dict(data)
+        assert info.value.code == "unsupported_version"
+
+    def test_unknown_response_version(self):
+        data = GOLDEN_SOLVE_RESPONSE.to_dict()
+        data["service_version"] = 2
+        with pytest.raises(SchemaError) as info:
+            SolveResponse.from_dict(data)
+        assert info.value.code == "unsupported_version"
+
+    def test_unknown_field_rejected_naming_known_fields(self):
+        data = GOLDEN_SOLVE_REQUEST.to_dict()
+        data["timeout"] = 5
+        with pytest.raises(SchemaError, match=r"\['timeout'\]") as info:
+            SolveRequest.from_dict(data)
+        assert info.value.code == "unknown_field"
+        assert "deadline_s" in str(info.value)  # the fix is discoverable
+
+    def test_non_object_body(self):
+        with pytest.raises(SchemaError) as info:
+            SolveRequest.from_dict([1, 2])
+        assert info.value.code == "bad_request"
+
+    @pytest.mark.parametrize(
+        "kwargs, match",
+        [
+            (dict(plan="not-a-dict"), "serialized RunPlan"),
+            (dict(plan={}, seed="x"), "seed must be an int"),
+            (dict(plan={}, deadline_s=-1), "deadline_s must be"),
+            (dict(plan={}, mode="later"), "mode must be"),
+        ],
+    )
+    def test_solve_request_validation(self, kwargs, match):
+        with pytest.raises((SchemaError, ValueError), match=match):
+            SolveRequest(**kwargs)
+
+    def test_table1_request_validation(self):
+        with pytest.raises(ValueError, match="sizes"):
+            Table1Request(plan={}, sizes=())
+        with pytest.raises(ValueError, match="trials"):
+            Table1Request(plan={}, sizes=(8,), trials=0)
+
+    def test_unknown_error_code_rejected(self):
+        with pytest.raises(ValueError, match="unknown error code"):
+            ErrorEnvelope(code="oops", message="x")
+
+    def test_error_envelope_requires_error_key(self):
+        with pytest.raises(SchemaError):
+            ErrorEnvelope.from_dict({"code": "internal"})
+
+
+class TestErrorCodes:
+    def test_every_code_has_an_http_status(self):
+        assert set(CODE_STATUS) == set(ERROR_CODES)
+
+    def test_code_status_classes(self):
+        # Client errors are 4xx, service-side failures 5xx.
+        assert CODE_STATUS["backpressure"] == 429
+        assert CODE_STATUS["deadline_exceeded"] == 504
+        assert CODE_STATUS["worker_killed"] == 502
+        assert CODE_STATUS["not_found"] == 404
+        for code in (
+            "bad_request", "unknown_field", "unsupported_version",
+            "invalid_plan", "invalid_manifest",
+        ):
+            assert CODE_STATUS[code] == 400
+
+    def test_service_version_is_one(self):
+        # Bumping the wire version is a breaking change; this pin makes
+        # it a deliberate one.
+        assert SERVICE_VERSION == 1
