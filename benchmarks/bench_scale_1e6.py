@@ -27,6 +27,7 @@ from conftest import record, timed_once, write_artifact
 from repro.analysis.complexity import sweep
 from repro.graphs.arrays import make_family_arrays
 from repro.plan import RunPlan
+from repro.profiling import profile_phases
 
 N = 1_000_000
 SEED0 = 11
@@ -41,11 +42,13 @@ SPEEDUP_FLOOR = 2.0
 
 def test_gnp_1e6_sampler_smoke(benchmark):
     def measure():
-        return make_family_arrays(
-            "gnp-sparse", N, seed=SEED0, graph_rng="batched"
-        )
+        with profile_phases(trace=True) as prof:
+            ga = make_family_arrays(
+                "gnp-sparse", N, seed=SEED0, graph_rng="batched"
+            )
+        return ga, prof
 
-    ga, elapsed = timed_once(benchmark, measure)
+    (ga, prof), elapsed = timed_once(benchmark, measure)
 
     assert ga.n == N
     assert (ga.src[ga.grev] == ga.dst).all()
@@ -69,6 +72,7 @@ def test_gnp_1e6_sampler_smoke(benchmark):
         ),
         wall_clock_s=elapsed,
         directed_edges=ga.m,
+        phases=prof.report(),
     )
 
 

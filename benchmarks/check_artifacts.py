@@ -32,6 +32,11 @@ else is:
 * any key ending in ``_s`` -- raw wall-clock seconds, wherever they
   appear (``wall_clock_s``, ``legacy_pipeline_s``,
   ``batched_sampler_pipeline_s``, ``calibration_s``, ...);
+* any key ending in ``_mb`` -- measured memory peaks
+  (``peak_traced_mb``, ``peak_rss_mb``, the per-phase peaks inside a
+  ``phases`` block): allocator behaviour and interpreter version move
+  them between machines even though the series they sit beside are
+  deterministic;
 * the wall-clock *ratio* keys named in :data:`TIMING_KEYS`
   (``speedup``, ``speedup_batched``) -- ratios of two wall clocks move
   with the machine even though each side is measured honestly (the
@@ -79,7 +84,12 @@ BENCH_TIMING_KEYS = {"perf_smoke": {"measurements"}}
 
 
 def _is_timing_key(key: str, extra: frozenset) -> bool:
-    return key in TIMING_KEYS or key in extra or key.endswith("_s")
+    return (
+        key in TIMING_KEYS
+        or key in extra
+        or key.endswith("_s")
+        or key.endswith("_mb")
+    )
 
 
 def _strip_timing(value: Any, extra: frozenset = frozenset()) -> Any:
@@ -128,6 +138,54 @@ def _plan_errors(artifact: Any) -> List[str]:
             RunPlan.from_dict(data)
         except (TypeError, ValueError) as exc:
             errors.append(f"{label}: {exc}")
+    return errors
+
+
+def _phases_errors(artifact: Any) -> List[str]:
+    """Validate an artifact's ``phases`` block, when it carries one.
+
+    The block is written by :class:`repro.profiling.PhaseProfiler`
+    (``report()``): one entry per profiled phase with a deterministic
+    positive-int ``calls`` (the compared series), a ``wall_s`` float,
+    and optionally a ``peak_traced_mb`` float (both stripped before the
+    drift comparison).  A malformed block means a benchmark bypassed
+    the profiler and hand-rolled the dict -- fail it here rather than
+    committing an artifact the drift check silently half-ignores.
+    """
+    phases = artifact.get("phases") if isinstance(artifact, dict) else None
+    if phases is None:
+        return []
+    if not isinstance(phases, dict) or not phases:
+        return ["phases: must be a non-empty {phase: entry} object"]
+    errors = []
+    for name, entry in sorted(phases.items()):
+        if not isinstance(entry, dict):
+            errors.append(f"phases.{name}: entry is not an object")
+            continue
+        calls = entry.get("calls")
+        if not isinstance(calls, int) or isinstance(calls, bool) or calls < 1:
+            errors.append(
+                f"phases.{name}.calls: expected a positive int, "
+                f"got {calls!r}"
+            )
+        wall = entry.get("wall_s")
+        if not isinstance(wall, (int, float)) or isinstance(wall, bool):
+            errors.append(
+                f"phases.{name}.wall_s: expected a number, got {wall!r}"
+            )
+        peak = entry.get("peak_traced_mb")
+        if peak is not None and (
+            not isinstance(peak, (int, float)) or isinstance(peak, bool)
+        ):
+            errors.append(
+                f"phases.{name}.peak_traced_mb: expected a number, "
+                f"got {peak!r}"
+            )
+        unknown = set(entry) - {"calls", "wall_s", "peak_traced_mb"}
+        if unknown:
+            errors.append(
+                f"phases.{name}: unknown key(s) {sorted(unknown)}"
+            )
     return errors
 
 
@@ -187,6 +245,13 @@ def check_artifacts(list_only: bool = False) -> int:
             failed = True
             print(f"{name:40s} PLAN INVALID")
             for err in plan_errors:
+                print(f"    {err}")
+            continue
+        phases_errors = _phases_errors(regenerated)
+        if phases_errors:
+            failed = True
+            print(f"{name:40s} PHASES INVALID")
+            for err in phases_errors:
                 print(f"    {err}")
             continue
         committed = _committed(path)

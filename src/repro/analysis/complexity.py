@@ -162,7 +162,7 @@ def run_trial(
     if resolved == "vectorized":
         run = make_vectorized_engine(
             graph, algorithm, seed=plan.seed, rng=plan.rng,
-            result=result_kind, **protocol_kwargs,
+            result=result_kind, dtype=plan.dtype, **protocol_kwargs,
         ).run()
     else:
         factory = make_protocol_factory(algorithm, **protocol_kwargs)
@@ -171,7 +171,7 @@ def run_trial(
             congest_bit_limit=plan.congest_bit_limit, rng=plan.rng,
         ).run()
         if result_kind == "arrays":
-            run = ArrayRunResult.from_run_result(run)
+            run = ArrayRunResult.from_run_result(run, plan.dtype)
     trial = trial_from_result(
         run, algorithm, family=family, seed=plan.seed,
         energy_model=energy_model,

@@ -105,6 +105,7 @@ def solve_mis(
     engine: str = "generators",
     rng: str = DEFAULT_STREAM,
     result: str = "legacy",
+    dtype: str = "default",
     **protocol_kwargs: Any,
 ) -> Union[RunResult, ArrayRunResult]:
     """Compute an MIS of ``graph`` with the named distributed algorithm.
@@ -148,6 +149,11 @@ def solve_mis(
         struct-of-arrays :class:`repro.sim.array_result.ArrayRunResult`
         (same measures, integer-exact, with a lazy legacy view);
         ``"auto"`` picks arrays exactly when a vectorized engine runs.
+    dtype:
+        Result column-dtype policy: ``"default"`` keeps the historical
+        int64/float64 columns bit for bit; ``"narrow"`` stores each
+        array-result column in the smallest dtype representing it exactly
+        (see :data:`repro.sim.array_result.DTYPE_KINDS`).
     protocol_kwargs:
         Forwarded to the protocol constructor (e.g. ``coin_bias=0.4``,
         ``greedy_constant=12``, ``max_phases=50``).
@@ -173,6 +179,7 @@ def solve_mis(
             engine=engine,
             rng=rng,
             result=result,
+            dtype=dtype,
             protocol_kwargs=protocol_kwargs,
         ),
         defaults=dict(
@@ -183,6 +190,7 @@ def solve_mis(
             engine="generators",
             rng=DEFAULT_STREAM,
             result="legacy",
+            dtype="default",
             protocol_kwargs={},
         ),
     )
@@ -206,6 +214,7 @@ def solve_mis(
             max_rounds=plan.max_rounds,
             rng=plan.rng,
             result=result_kind,
+            dtype=plan.dtype,
             **protocol_kwargs,
         ).run()
     factory = make_protocol_factory(plan.algorithm, **protocol_kwargs)
@@ -220,5 +229,5 @@ def solve_mis(
     )
     run = simulator.run()
     if result_kind == "arrays":
-        return ArrayRunResult.from_run_result(run)
+        return ArrayRunResult.from_run_result(run, plan.dtype)
     return run

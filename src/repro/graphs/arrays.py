@@ -67,6 +67,7 @@ from typing import Callable, Dict, List
 import numpy as np
 
 from .._registry import unknown_name_error
+from ..profiling import phase
 from ..sim.fast_engine import GraphArrays
 from ..sim.rng import graph_stream_key, mix64_array, u64_to_unit_float
 from .generators import FAMILIES, GNP_FAST_THRESHOLD
@@ -98,16 +99,17 @@ def validate_graph_rng(graph_rng: str) -> str:
 
 def _from_pairs(n: int, pairs: List[tuple]) -> GraphArrays:
     """Edge-pair list -> :class:`GraphArrays` (the samplers' common exit)."""
-    if not pairs:
+    with phase("csr_build"):
+        if not pairs:
+            return GraphArrays.from_edges(
+                n, np.empty(0, dtype=np.int64), np.empty(0, dtype=np.int64)
+            )
+        u, v = zip(*pairs)
         return GraphArrays.from_edges(
-            n, np.empty(0, dtype=np.int64), np.empty(0, dtype=np.int64)
+            n,
+            np.fromiter(u, dtype=np.int64, count=len(pairs)),
+            np.fromiter(v, dtype=np.int64, count=len(pairs)),
         )
-    u, v = zip(*pairs)
-    return GraphArrays.from_edges(
-        n,
-        np.fromiter(u, dtype=np.int64, count=len(pairs)),
-        np.fromiter(v, dtype=np.int64, count=len(pairs)),
-    )
 
 
 def gnp_arrays(n: int, p: float, seed: int = 0) -> GraphArrays:
@@ -131,23 +133,25 @@ def gnp_arrays(n: int, p: float, seed: int = 0) -> GraphArrays:
     if n > GNP_FAST_THRESHOLD and p < 0.25:
         # Geometric skips over the (v, w) pair enumeration, exactly as
         # networkx.fast_gnp_random_graph walks it.
-        lp = math.log(1.0 - p)
-        rand, log = rng.random, math.log
-        v, w = 1, -1
-        while v < n:
-            lr = log(1.0 - rand())
-            w = w + 1 + int(lr / lp)
-            while w >= v and v < n:
-                w = w - v
-                v = v + 1
-            if v < n:
-                pairs.append((v, w))
+        with phase("sample"):
+            lp = math.log(1.0 - p)
+            rand, log = rng.random, math.log
+            v, w = 1, -1
+            while v < n:
+                lr = log(1.0 - rand())
+                w = w + 1 + int(lr / lp)
+                while w >= v and v < n:
+                    w = w - v
+                    v = v + 1
+                if v < n:
+                    pairs.append((v, w))
         return _from_pairs(n, pairs)
-    rand = rng.random
-    for u in range(n):  # networkx.gnp_random_graph's combinations order
-        for v in range(u + 1, n):
-            if rand() < p:
-                pairs.append((u, v))
+    with phase("sample"):
+        rand = rng.random
+        for u in range(n):  # networkx.gnp_random_graph's combinations order
+            for v in range(u + 1, n):
+                if rand() < p:
+                    pairs.append((u, v))
     return _from_pairs(n, pairs)
 
 
@@ -274,14 +278,16 @@ def gnp_arrays_v2(
         )
     parts_w: List[np.ndarray] = []
     parts_v: List[np.ndarray] = []
-    for w, v in _gnp_v2_pair_chunks(n, p, key, GNP_V2_CHUNK):
-        parts_w.append(w)
-        parts_v.append(v)
+    with phase("sample"):
+        for w, v in _gnp_v2_pair_chunks(n, p, key, GNP_V2_CHUNK):
+            parts_w.append(w)
+            parts_v.append(v)
     if not parts_v:
         return _from_pairs(n, [])
-    hi = np.concatenate(parts_v)
-    lo = np.concatenate(parts_w)
-    return GraphArrays.from_distinct_pairs(n, lo, hi)
+    with phase("csr_build"):
+        hi = np.concatenate(parts_v)
+        lo = np.concatenate(parts_w)
+        return GraphArrays.from_distinct_pairs(n, lo, hi)
 
 
 def ring_arrays(n: int) -> GraphArrays:

@@ -56,7 +56,11 @@ from typing import Any, Dict, Mapping, Optional, Tuple, Type, TypeVar
 
 from ._registry import unknown_name_error
 from .graphs.arrays import DEFAULT_GRAPH_RNG, make_family, resolve_graph_source
-from .sim.array_result import resolve_result_kind, validate_result_kind
+from .sim.array_result import (
+    resolve_dtype_kind,
+    resolve_result_kind,
+    validate_result_kind,
+)
 from .sim.batch import resolve_engine
 from .sim.rng import DEFAULT_STREAM, validate_stream
 
@@ -93,6 +97,7 @@ class RunPlan:
     graph_rng: str = DEFAULT_GRAPH_RNG
     graph_source: str = "auto"
     result: str = "auto"
+    dtype: str = "default"
     n_jobs: Optional[int] = None
     max_rounds: Optional[int] = None
     congest_bit_limit: Optional[int] = None
@@ -121,6 +126,7 @@ class RunPlan:
             raise unknown_name_error("algorithm", self.algorithm, registry)
         validate_stream(self.rng)
         validate_result_kind(self.result)
+        resolve_dtype_kind(self.dtype)
         for name, value in (
             ("n", self.n),
             ("seed", self.seed),
@@ -253,10 +259,22 @@ class RunPlan:
 
         Iterates ``dataclasses.fields``, so subclasses with extra knobs
         serialize without overriding anything.
+
+        Fields added after version 1 shipped (currently: ``dtype``) are
+        **elided at their default value** -- the canonical JSON, hence
+        ``cache_key()`` and every committed artifact's ``config.plan``
+        block, is byte-identical to what earlier releases produced unless
+        the new knob is actually exercised.  That is the version-stable
+        evolution rule: a new knob only changes serialized identity for
+        plans that use it (``from_dict`` fills absent fields from the
+        dataclass defaults), so no ``plan_version`` bump or artifact
+        regeneration is needed.
         """
         data: Dict[str, Any] = {"plan_version": PLAN_VERSION}
         for field in fields(self):
             value = getattr(self, field.name)
+            if field.name == "dtype" and value == "default":
+                continue
             if field.name == "protocol_kwargs":
                 value = dict(value)
             data[field.name] = value

@@ -1,0 +1,283 @@
+"""Phase profiling: where a trial's wall time and peak memory actually go.
+
+The scale series (``BENCH_scale_*.json``) answered "how fast" one decade
+at a time but never "where": the 10^7 trial's ~40 s was known only as a
+total.  This module is the measurement layer behind the ``phases`` block
+those artifacts now carry -- a stopwatch over the named stages of the
+sampler -> CSR build -> engine -> result build pipeline, with optional
+``tracemalloc`` peak tracking per phase and the process-wide
+``ru_maxrss`` high-water mark, all from the stdlib.
+
+Design constraints, in order:
+
+* **zero cost when disabled** -- the hot paths call the module-level
+  :func:`phase` context-manager factory; with no active profiler it
+  returns one shared null object (no allocation, two attribute loads per
+  call site), so tier-1 equivalence and perf gates run the exact same
+  code whether or not anyone is measuring.
+* **self-time attribution** -- phases nest (the streaming CSR build pulls
+  sampler chunks from *inside* its build loop), and a stopwatch that
+  double-counted nested spans could not answer "where does the time go".
+  Entering an inner phase pauses the enclosing one, so the reported
+  wall-clock totals partition the measured window.
+* **peaks are per-window** -- with ``trace=True`` each phase records the
+  ``tracemalloc`` peak between its start and end; entering a nested
+  phase resets the peak window, so a phase's figure reflects its own
+  allocations (innermost-window semantics), while ``ru_maxrss`` reports
+  the whole process high-water mark.
+
+Activate with :func:`profile_phases` (benchmarks, the ``--profile-phases``
+CLI flag); instrumented code never checks whether profiling is on::
+
+    with profile_phases(trace=True) as prof:
+        run_the_pipeline()
+    print(prof.summary())
+"""
+
+from __future__ import annotations
+
+import sys
+import time
+import tracemalloc
+from contextlib import contextmanager
+from typing import Any, Dict, Iterable, Iterator, List, Optional
+
+#: The canonical pipeline phases, in execution order.  Instrumented code
+#: may introduce additional names (they sort after these in reports);
+#: these four are what every ``BENCH_scale_*`` phases block carries.
+PIPELINE_PHASES = ("sample", "csr_build", "engine", "result_build")
+
+_ACTIVE: Optional["PhaseProfiler"] = None
+
+
+class PhaseProfiler:
+    """Per-phase self wall time, call counts, and optional traced peaks.
+
+    Not constructed directly by instrumented code -- use
+    :func:`profile_phases` to activate one for a block and the module
+    level :func:`phase` to attribute spans to it.
+    """
+
+    def __init__(self, *, trace: bool = False):
+        self.trace = trace
+        self.wall_s: Dict[str, float] = {}
+        self.calls: Dict[str, int] = {}
+        self.peak_bytes: Dict[str, int] = {}
+        # Frames are mutable [name, span_start] pairs: entering a nested
+        # phase flushes and re-bases the parent's span, so accumulated
+        # wall clocks are self times and partition the measured window.
+        self._stack: List[List[Any]] = []
+
+    # -- span bookkeeping (driven by the module-level phase()) ---------
+
+    def _flush_top(self, now: float) -> None:
+        frame = self._stack[-1]
+        name = frame[0]
+        self.wall_s[name] = self.wall_s.get(name, 0.0) + (now - frame[1])
+        frame[1] = now
+
+    def start_phase(self, name: str) -> None:
+        now = time.perf_counter()
+        if self._stack:
+            self._flush_top(now)
+        self.calls[name] = self.calls.get(name, 0) + 1
+        self._stack.append([name, now])
+        if self.trace and tracemalloc.is_tracing():
+            tracemalloc.reset_peak()
+
+    def end_phase(self, name: str) -> None:
+        now = time.perf_counter()
+        if not self._stack or self._stack[-1][0] != name:
+            raise RuntimeError(
+                f"phase {name!r} ended out of order (stack: "
+                f"{[f[0] for f in self._stack]})"
+            )
+        self._flush_top(now)
+        self._stack.pop()
+        if self.trace and tracemalloc.is_tracing():
+            _, peak = tracemalloc.get_traced_memory()
+            self.peak_bytes[name] = max(self.peak_bytes.get(name, 0), peak)
+            tracemalloc.reset_peak()
+        if self._stack:
+            self._stack[-1][1] = now  # resume the enclosing span
+
+    # -- reporting -----------------------------------------------------
+
+    def phase_names(self) -> List[str]:
+        """Measured phase names, pipeline order first, then extras."""
+        known = [n for n in PIPELINE_PHASES if n in self.calls]
+        return known + sorted(set(self.calls) - set(PIPELINE_PHASES))
+
+    def report(self) -> Dict[str, Dict[str, Any]]:
+        """``{phase: {"calls", "wall_s"[, "peak_traced_mb"]}}``.
+
+        This is the ``phases`` block committed into ``BENCH_scale_*``
+        artifacts: ``wall_s`` and ``peak_traced_mb`` are machine-varying
+        (``check_artifacts.py`` strips ``_s``/``_mb``-suffixed keys from
+        series comparison but validates the block's shape); ``calls`` is
+        deterministic for a fixed plan and is compared.
+        """
+        out: Dict[str, Dict[str, Any]] = {}
+        for name in self.phase_names():
+            entry: Dict[str, Any] = {
+                "calls": self.calls[name],
+                "wall_s": round(self.wall_s.get(name, 0.0), 6),
+            }
+            if name in self.peak_bytes:
+                entry["peak_traced_mb"] = round(
+                    self.peak_bytes[name] / 1e6, 3
+                )
+            out[name] = entry
+        return out
+
+    def summary(self) -> Dict[str, Any]:
+        """The report plus process-level totals (RSS high-water mark)."""
+        out: Dict[str, Any] = {
+            "phases": self.report(),
+            "profiled_wall_s": round(sum(self.wall_s.values()), 6),
+        }
+        rss = peak_rss_mb()
+        if rss is not None:
+            out["peak_rss_mb"] = rss
+        return out
+
+    def format(self) -> str:
+        """A fixed-width table for human eyes (the CLI's rendering)."""
+        lines = [
+            f"{'phase':<14} {'calls':>7} {'wall_s':>10} {'peak_mb':>10}"
+        ]
+        for name in self.phase_names():
+            peak = (
+                f"{self.peak_bytes[name] / 1e6:>10.1f}"
+                if name in self.peak_bytes
+                else f"{'-':>10}"
+            )
+            lines.append(
+                f"{name:<14} {self.calls[name]:>7} "
+                f"{self.wall_s.get(name, 0.0):>10.3f} {peak}"
+            )
+        total = sum(self.wall_s.values())
+        rss = peak_rss_mb()
+        tail = f"{'total':<14} {'':>7} {total:>10.3f}"
+        if rss is not None:
+            tail += f"  peak_rss_mb={rss}"
+        lines.append(tail)
+        return "\n".join(lines)
+
+
+class _NullPhase:
+    """The shared do-nothing span served while no profiler is active."""
+
+    __slots__ = ()
+
+    def __enter__(self) -> None:
+        return None
+
+    def __exit__(self, *exc: Any) -> bool:
+        return False
+
+
+_NULL_PHASE = _NullPhase()
+
+
+class _Phase:
+    __slots__ = ("_profiler", "_name")
+
+    def __init__(self, profiler: PhaseProfiler, name: str):
+        self._profiler = profiler
+        self._name = name
+
+    def __enter__(self) -> None:
+        self._profiler.start_phase(self._name)
+
+    def __exit__(self, *exc: Any) -> bool:
+        self._profiler.end_phase(self._name)
+        return False
+
+
+def active() -> Optional[PhaseProfiler]:
+    """The profiler currently collecting, or ``None``."""
+    return _ACTIVE
+
+
+def phase(name: str):
+    """A context manager attributing the enclosed span to ``name``.
+
+    The instrumentation entry point: hot paths call this unconditionally;
+    without an active profiler it returns one preallocated null object,
+    so the disabled cost is a global load and an identity check.
+    """
+    profiler = _ACTIVE
+    if profiler is None:
+        return _NULL_PHASE
+    return _Phase(profiler, name)
+
+
+def profiled_pulls(name: str, iterable: Iterable[Any]) -> Iterable[Any]:
+    """Attribute time spent *pulling* from ``iterable`` to ``name``.
+
+    The streaming CSR build iterates sampler chunks from inside its own
+    ``csr_build`` phase; wrapping the chunk iterable here books the
+    generator's production time to ``sample`` (self-time attribution
+    pauses the enclosing phase per pull).  Returns ``iterable`` unchanged
+    when no profiler is active, so the disabled path adds no generator
+    frame.
+    """
+    if _ACTIVE is None:
+        return iterable
+    return _pull_profiled(name, iterable)
+
+
+def _pull_profiled(name: str, iterable: Iterable[Any]) -> Iterator[Any]:
+    iterator = iter(iterable)
+    while True:
+        with phase(name):
+            try:
+                item = next(iterator)
+            except StopIteration:
+                return
+        yield item
+
+
+@contextmanager
+def profile_phases(*, trace: bool = False) -> Iterator[PhaseProfiler]:
+    """Activate a fresh :class:`PhaseProfiler` for the enclosed block.
+
+    ``trace=True`` additionally records per-phase ``tracemalloc`` peaks
+    (starting the tracer if needed, stopping it again if started here).
+    Profiling is process-global and deliberately single-level: nesting
+    activations is an error, not a silent re-scope.
+    """
+    global _ACTIVE
+    if _ACTIVE is not None:
+        raise RuntimeError(
+            "phase profiling is already active; profile_phases() does not "
+            "nest -- share the active profiler instead"
+        )
+    profiler = PhaseProfiler(trace=trace)
+    started_tracer = False
+    if trace and not tracemalloc.is_tracing():
+        tracemalloc.start()
+        started_tracer = True
+    _ACTIVE = profiler
+    try:
+        yield profiler
+    finally:
+        _ACTIVE = None
+        if started_tracer:
+            tracemalloc.stop()
+
+
+def peak_rss_mb() -> Optional[float]:
+    """The process RSS high-water mark in MB (``None`` off-POSIX).
+
+    ``ru_maxrss`` is kilobytes on Linux and bytes on macOS; normalized
+    here so artifacts carry one unit.
+    """
+    try:
+        import resource
+    except ImportError:  # pragma: no cover - non-POSIX platforms
+        return None
+    raw = resource.getrusage(resource.RUSAGE_SELF).ru_maxrss
+    kb = raw / 1024.0 if sys.platform == "darwin" else float(raw)
+    return round(kb / 1024.0, 1)

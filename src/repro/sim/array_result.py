@@ -40,6 +40,15 @@ from .metrics import RunResult
 #: Result-type choices accepted by ``result=`` throughout the package.
 RESULT_KINDS = ("auto", "legacy", "arrays")
 
+#: Column-dtype choices accepted by ``dtype=`` throughout the package.
+#: ``"default"`` keeps the engines' native int64/float64 columns --
+#: bit-for-bit identical to every earlier release.  ``"narrow"`` stores
+#: each result column in the smallest dtype that represents its values
+#: *exactly* (int64 -> int32 when the range fits; float64 -> float32 only
+#: inside float32's exact-integer range), halving result memory at 10^8
+#: nodes.
+DTYPE_KINDS = ("default", "narrow")
+
 
 def exact_sum(arr: np.ndarray) -> int:
     """Arbitrary-precision integer sum of an int column.
@@ -65,6 +74,61 @@ def validate_result_kind(result: str) -> str:
             f"unknown result kind {result!r}; known: {RESULT_KINDS}"
         )
     return result
+
+
+def resolve_dtype_kind(dtype: str) -> str:
+    """Return ``dtype`` if it names a known dtype kind, else raise."""
+    if dtype not in DTYPE_KINDS:
+        raise ValueError(
+            f"unknown result dtype {dtype!r}; known: {DTYPE_KINDS}"
+        )
+    return dtype
+
+
+def narrow_column(column: np.ndarray) -> np.ndarray:
+    """A copy of ``column`` in the smallest dtype holding it exactly.
+
+    The narrowing ladder mirrors the promotion ladder the engines climb
+    (int64 round labels promote to float64 past 2^63-1, see
+    ``tests/test_array_result.py``): an int64 column narrows to int32 when
+    its value range fits, and a float64 column narrows to float32 only
+    when every value survives the round trip *and* lies inside float32's
+    contiguous exact-integer range (|v| <= 2^24).  The range clause keeps
+    the rule deterministic: overflow-promoted round labels can land on
+    values like 3*2^62 that happen to round-trip through float32, but
+    whether they do depends on per-run values, so promoted columns
+    always stay float64.  Never lossy: when no narrower exact
+    representation exists the column is returned as a plain copy.
+    """
+    dt = column.dtype
+    if dt == np.int64:
+        info = np.iinfo(np.int32)
+        if column.size == 0 or (
+            info.min <= int(column.min()) and int(column.max()) <= info.max
+        ):
+            return column.astype(np.int32)
+        return column.copy()
+    if dt == np.float64:
+        cast = column.astype(np.float32)
+        if np.array_equal(cast.astype(np.float64), column) and (
+            column.size == 0 or float(np.abs(column).max()) <= float(1 << 24)
+        ):
+            return cast
+        return column.copy()
+    return column.copy()
+
+
+def result_column(column: np.ndarray, *, narrow: bool = False) -> np.ndarray:
+    """A caller-owned copy of an engine state column.
+
+    The engines' columns live in pooled :class:`EngineScratch` buffers
+    that the next run will overwrite, so result assembly always copies;
+    ``narrow=True`` additionally applies :func:`narrow_column`'s exact
+    narrowing while it does.
+    """
+    if not narrow:
+        return column.copy()
+    return narrow_column(column)
 
 
 def resolve_result_kind(result: str, resolved_engine: str) -> str:
@@ -306,13 +370,18 @@ class ArrayRunResult:
     # ------------------------------------------------------------------
 
     @classmethod
-    def from_run_result(cls, result: RunResult) -> "ArrayRunResult":
+    def from_run_result(
+        cls, result: RunResult, dtype: str = "default"
+    ) -> "ArrayRunResult":
         """Pack a legacy :class:`RunResult` into the array view.
 
         Used when ``result="arrays"`` is requested but the trial ran on
         the generator engine.  The original result is kept as the cached
         legacy view, so converting is lossless and round-trip free.
+        ``dtype="narrow"`` applies the same exact column narrowing the
+        vectorized engines apply (:func:`narrow_column`).
         """
+        narrow = resolve_dtype_kind(dtype) == "narrow"
         node_ids = sorted(result.node_stats)
         cols: Dict[str, list] = {name: [] for name in _STAT_COLUMNS}
         in_mis = []
@@ -347,7 +416,11 @@ class ArrayRunResult:
             _adjacency=result.adjacency,
             _legacy=result,
             **{
-                name: np.asarray(col, dtype=np.int64)
+                name: (
+                    narrow_column(np.asarray(col, dtype=np.int64))
+                    if narrow
+                    else np.asarray(col, dtype=np.int64)
+                )
                 for name, col in cols.items()
             },
         )

@@ -54,6 +54,7 @@ from typing import (
     Union,
 )
 
+from ..profiling import phase
 from . import fast_engine
 from .array_result import ArrayRunResult, resolve_result_kind
 from .fast_engine import (
@@ -116,6 +117,7 @@ def make_vectorized_engine(
     rng: str = DEFAULT_STREAM,
     scratch: Optional[EngineScratch] = None,
     result: str = "legacy",
+    dtype: str = "default",
     **protocol_kwargs: Any,
 ):
     """The vectorized engine instance for ``algorithm`` (sleeping or phased).
@@ -123,23 +125,29 @@ def make_vectorized_engine(
     ``graph`` may be a prebuilt :class:`GraphArrays`; ``scratch`` an
     :class:`EngineScratch` shared across sequential constructions;
     ``result`` the result kind (:data:`repro.sim.array_result.RESULT_KINDS`)
-    the engine's ``run()`` will build.
+    the engine's ``run()`` will build; ``dtype`` its column-dtype policy
+    (:data:`repro.sim.array_result.DTYPE_KINDS`).
+
+    Construction (per-node RNG seeding, eager coin matrices on the v1
+    stream) is attributed to the ``engine`` phase under active profiling.
     """
     cls = (
         PhasedVectorizedEngine
         if algorithm in PHASED_ALGORITHMS
         else VectorizedEngine
     )
-    return cls(
-        graph,
-        algorithm,
-        seed=seed,
-        max_rounds=max_rounds,
-        rng=rng,
-        scratch=scratch,
-        result=result,
-        **protocol_kwargs,
-    )
+    with phase("engine"):
+        return cls(
+            graph,
+            algorithm,
+            seed=seed,
+            max_rounds=max_rounds,
+            rng=rng,
+            scratch=scratch,
+            result=result,
+            dtype=dtype,
+            **protocol_kwargs,
+        )
 
 
 def _run_one(
@@ -154,6 +162,7 @@ def _run_one(
     rng: str = DEFAULT_STREAM,
     scratch: Optional[EngineScratch] = None,
     result: str = "legacy",
+    dtype: str = "default",
 ) -> ResultLike:
     """One trial.  ``adjacency`` may be ``None`` for array-native graphs
     headed to a vectorized engine (the dict view stays unbuilt); the
@@ -167,6 +176,7 @@ def _run_one(
             rng=rng,
             scratch=scratch,
             result=result,
+            dtype=dtype,
             **protocol_kwargs,
         ).run()
     from ..api import make_protocol_factory  # local: avoid import cycle
@@ -182,7 +192,7 @@ def _run_one(
         rng=rng,
     ).run()
     if resolve_result_kind(result, engine) == "arrays":
-        return ArrayRunResult.from_run_result(run)
+        return ArrayRunResult.from_run_result(run, dtype)
     return run
 
 
@@ -220,6 +230,7 @@ def run_planned_trial(
         plan.rng,
         scratch if resolved == "vectorized" else None,
         plan.result,
+        plan.dtype,
     )
 
 
@@ -232,7 +243,7 @@ def _run_chunk(payload: Tuple) -> List[ResultLike]:
     arrival (no per-worker re-normalization)."""
     (
         graph, algorithm, seeds, engine, max_rounds,
-        congest_bit_limit, protocol_kwargs, rng, result,
+        congest_bit_limit, protocol_kwargs, rng, result, dtype,
     ) = payload
     if isinstance(graph, GraphArrays):
         adjacency, arrays = None, graph
@@ -243,7 +254,7 @@ def _run_chunk(payload: Tuple) -> List[ResultLike]:
     return [
         _run_one(
             adjacency, arrays, algorithm, seed, engine, max_rounds,
-            congest_bit_limit, protocol_kwargs, rng, scratch, result,
+            congest_bit_limit, protocol_kwargs, rng, scratch, result, dtype,
         )
         for seed in seeds
     ]
@@ -298,6 +309,7 @@ def iter_trials(
     engine: str = "auto",
     rng: str = DEFAULT_STREAM,
     result: str = "legacy",
+    dtype: str = "default",
     max_rounds: Optional[int] = None,
     congest_bit_limit: Optional[int] = None,
     **protocol_kwargs: Any,
@@ -339,6 +351,10 @@ def iter_trials(
         yields :class:`repro.sim.array_result.ArrayRunResult` (converted
         from the legacy result on the generator engine); ``"auto"`` picks
         arrays exactly on the vectorized engine.
+    dtype:
+        Result column-dtype policy: ``"default"`` (bit-identical int64
+        columns) or ``"narrow"`` (smallest exact dtype per column); see
+        :data:`repro.sim.array_result.DTYPE_KINDS`.
     protocol_kwargs:
         Forwarded to the protocol (``coin_bias=``, ``greedy_constant=``,
         ``depth=``, ``max_phases=``).
@@ -354,6 +370,7 @@ def iter_trials(
             engine=engine,
             rng=rng,
             result=result,
+            dtype=dtype,
             max_rounds=max_rounds,
             congest_bit_limit=congest_bit_limit,
             protocol_kwargs=protocol_kwargs,
@@ -364,6 +381,7 @@ def iter_trials(
             engine="auto",
             rng=DEFAULT_STREAM,
             result="legacy",
+            dtype="default",
             max_rounds=None,
             congest_bit_limit=None,
             protocol_kwargs={},
@@ -386,6 +404,7 @@ def _iter_trials_planned(
     congest_bit_limit = plan.congest_bit_limit
     rng = plan.rng
     result = plan.result
+    dtype = plan.dtype
     protocol_kwargs = plan.protocol_dict()
     seed_list = list(seeds)
     if not seed_list:
@@ -400,7 +419,7 @@ def _iter_trials_planned(
             chunks = _iter_chunks(
                 _iter_graphs(graph_factory, seed_list), algorithm,
                 resolved, max_rounds, congest_bit_limit, protocol_kwargs,
-                rng, result,
+                rng, result, dtype,
                 target=max(1, len(seed_list) // (jobs * 4) or 1),
             )
             for one in _iter_parallel(chunks, jobs):
@@ -434,7 +453,7 @@ def _iter_trials_planned(
             arrays if (resolved == "vectorized" or prebuilt is not None)
             else None,
             algorithm, seed, resolved, max_rounds,
-            congest_bit_limit, protocol_kwargs, rng, scratch, result,
+            congest_bit_limit, protocol_kwargs, rng, scratch, result, dtype,
         )
 
 
@@ -448,6 +467,7 @@ def run_trials(
     engine: str = "auto",
     rng: str = DEFAULT_STREAM,
     result: str = "legacy",
+    dtype: str = "default",
     max_rounds: Optional[int] = None,
     congest_bit_limit: Optional[int] = None,
     **protocol_kwargs: Any,
@@ -461,7 +481,7 @@ def run_trials(
         iter_trials(
             graph_factory, algorithm, seeds=seeds, plan=plan,
             n_jobs=n_jobs, engine=engine, rng=rng, result=result,
-            max_rounds=max_rounds,
+            dtype=dtype, max_rounds=max_rounds,
             congest_bit_limit=congest_bit_limit, **protocol_kwargs,
         )
     )
@@ -491,6 +511,7 @@ def _iter_chunks(
     protocol_kwargs: Dict[str, Any],
     rng: str,
     result: str,
+    dtype: str,
     target: int,
 ) -> Iterator[Tuple]:
     """Chunk runs of consecutive seeds that share a graph, so workers
@@ -508,17 +529,26 @@ def _iter_chunks(
             graph is not chunk_graph or len(chunk_seeds) >= target
         ):
             yield (
-                chunk_graph, algorithm, chunk_seeds, engine,
-                max_rounds, congest_bit_limit, protocol_kwargs, rng, result,
+                chunk_graph, algorithm, chunk_seeds, engine, max_rounds,
+                congest_bit_limit, protocol_kwargs, rng, result, dtype,
             )
             chunk_seeds = []
         chunk_graph = graph
         chunk_seeds.append(seed)
     if chunk_seeds:
         yield (
-            chunk_graph, algorithm, chunk_seeds, engine,
-            max_rounds, congest_bit_limit, protocol_kwargs, rng, result,
+            chunk_graph, algorithm, chunk_seeds, engine, max_rounds,
+            congest_bit_limit, protocol_kwargs, rng, result, dtype,
         )
+
+
+#: In-flight chunks per worker in the bounded submission window.  Two per
+#: worker keeps every worker fed (one running, one queued) while bounding
+#: driver-side memory to ``2 * jobs`` pending chunk results; the
+#: ``BENCH_sweep_scaling.json`` measurement showed no throughput gain from
+#: deeper windows (trial wall time dominates submission latency), so the
+#: minimum that avoids worker starvation is the default.
+INFLIGHT_CHUNKS_PER_WORKER = 2
 
 
 def _iter_parallel(chunks: Iterator[Tuple], jobs: int) -> Iterator[ResultLike]:
@@ -530,7 +560,7 @@ def _iter_parallel(chunks: Iterator[Tuple], jobs: int) -> Iterator[ResultLike]:
         pending: deque = deque()
         for chunk in chunks:
             pending.append(pool.submit(_run_chunk, chunk))
-            while len(pending) >= jobs * 2:
+            while len(pending) >= jobs * INFLIGHT_CHUNKS_PER_WORKER:
                 for result in pending.popleft().result():
                     yield result
         while pending:

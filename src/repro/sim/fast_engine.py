@@ -572,32 +572,44 @@ class GraphArrays:
         :meth:`_from_sorted_pairs`; the forward direction's global rank
         splits into a per-node carry (``occF``, pairs seen in earlier
         chunks) plus a within-chunk cumcount from one bounded argsort.
+        The int64 pass-1 accumulators are freed before pass 2, so the
+        pass-2 peak is the persistent CSR plus four int32 node arrays --
+        at 10^8 nodes that is ~2.4 GB less than keeping them alive (see
+        ``docs/performance.md``, "Scaling to 10^8").
         """
+        from ..profiling import phase, profiled_pulls
+
         degF = np.zeros(n, dtype=np.int64)
         degB = np.zeros(n, dtype=np.int64)
         m = 0
         last_key = np.int64(-1)
         nn = np.int64(n)
-        for lo, hi in chunks():
-            lo = np.asarray(lo, dtype=np.int64)
-            hi = np.asarray(hi, dtype=np.int64)
-            c = len(lo)
-            if not c:
-                continue
-            if lo.min() < 0 or hi.max() >= n:
-                raise ValueError(f"edge endpoints must lie in [0, {n})")
-            if not (lo < hi).all():
-                raise ValueError("pairs must satisfy lo < hi")
-            key = hi * nn + lo
-            if key[0] <= last_key or not bool((key[1:] > key[:-1]).all()):
-                raise ValueError(
-                    "chunked pairs must arrive distinct and in strictly "
-                    "increasing (hi, lo)-lex order"
-                )
-            last_key = key[-1]
-            degF += np.bincount(lo, minlength=n)
-            degB += np.bincount(hi, minlength=n)
-            m += c
+        first_pass = chunks()
+        with phase("csr_build"):
+            for lo, hi in profiled_pulls("sample", first_pass):
+                lo = np.asarray(lo, dtype=np.int64)
+                hi = np.asarray(hi, dtype=np.int64)
+                c = len(lo)
+                if not c:
+                    continue
+                if lo.min() < 0 or hi.max() >= n:
+                    raise ValueError(
+                        f"edge endpoints must lie in [0, {n})"
+                    )
+                if not (lo < hi).all():
+                    raise ValueError("pairs must satisfy lo < hi")
+                key = hi * nn + lo
+                if key[0] <= last_key or not bool(
+                    (key[1:] > key[:-1]).all()
+                ):
+                    raise ValueError(
+                        "chunked pairs must arrive distinct and in "
+                        "strictly increasing (hi, lo)-lex order"
+                    )
+                last_key = key[-1]
+                degF += np.bincount(lo, minlength=n)
+                degB += np.bincount(hi, minlength=n)
+                m += c
         self = cls._pair_shell(n)
         deg = degF + degB
         if not m:
@@ -606,44 +618,77 @@ class GraphArrays:
             self.grev = np.empty(0, dtype=np.int32)
             self.deg = deg
             return self
-        csum = np.cumsum(deg)
-        startB = (csum - deg).astype(np.int32)
-        startF = (csum - degF).astype(np.int32)
-        cumB = (np.cumsum(degB) - degB).astype(np.int32)
-        occF = np.zeros(n, dtype=np.int32)  # forward pairs in prior chunks
-        # src never needs a scatter: row s holds deg[s] copies of s.
-        src = np.repeat(np.arange(n, dtype=np.int32), deg)
-        dst = np.empty(2 * m, dtype=np.int32)
-        grev = np.empty(2 * m, dtype=np.int32)
-        base = 0
-        for lo, hi in chunks():
-            lo = np.asarray(lo, dtype=np.int64)
-            hi = np.asarray(hi, dtype=np.int64)
-            c = len(lo)
-            if not c:
-                continue
-            idx = np.arange(c, dtype=np.int32)
-            back = startB[hi] + (base + idx - cumB[hi])
-            # Within a chunk, equal-lo pairs are already hi-ascending (a
-            # consequence of the global (hi, lo) order), so a (lo, hi)
-            # sort groups them without reordering inside groups.
-            order = np.argsort(lo * nn + hi)
-            lo_s = lo[order]
-            run = np.empty(c, dtype=bool)
-            run[0] = True
-            np.not_equal(lo_s[1:], lo_s[:-1], out=run[1:])
-            starts = np.flatnonzero(run).astype(np.int32)
-            lens = np.diff(np.append(starts, np.int32(c)))
-            fwd = np.empty(c, dtype=np.int32)
-            fwd[order] = (
-                startF[lo_s] + occF[lo_s] + (idx - np.repeat(starts, lens))
+        second_pass = chunks()
+        if second_pass is first_pass and iter(second_pass) is second_pass:
+            # A re-iterable (a list of chunks) may legitimately be the
+            # same object twice; the same *iterator* object cannot -- it
+            # was consumed by pass 1 and pass 2 would silently see an
+            # empty stream.
+            raise ValueError(
+                "chunk factory is not replayable: it returned the same "
+                "(already consumed) iterator for both passes -- the "
+                "factory must build a fresh chunk iterable per call "
+                "(e.g. `lambda: make_chunks(...)`), not close over one "
+                "generator object"
             )
-            occF[lo_s[starts]] += lens  # run heads are unique node ids
-            dst[back] = lo
-            dst[fwd] = hi
-            grev[back] = fwd
-            grev[fwd] = back
-            base += c
+        with phase("csr_build"):
+            csum = np.cumsum(deg)
+            startB = (csum - deg).astype(np.int32)
+            startF = (csum - degF).astype(np.int32)
+            cumB = (np.cumsum(degB) - degB).astype(np.int32)
+            # Pass 2 needs only the int32 start/carry arrays built above:
+            # drop the int64 accumulators (3 x 8n bytes) before the big
+            # CSR allocations so they never coexist with the edge arrays.
+            del csum, degF, degB
+            occF = np.zeros(n, dtype=np.int32)  # forward pairs in prior chunks
+            # src never needs a scatter: row s holds deg[s] copies of s.
+            src = np.repeat(np.arange(n, dtype=np.int32), deg)
+            dst = np.empty(2 * m, dtype=np.int32)
+            grev = np.empty(2 * m, dtype=np.int32)
+        base = 0
+        with phase("csr_build"):
+            for lo, hi in profiled_pulls("sample", second_pass):
+                lo = np.asarray(lo, dtype=np.int64)
+                hi = np.asarray(hi, dtype=np.int64)
+                c = len(lo)
+                if not c:
+                    continue
+                idx = np.arange(c, dtype=np.int32)
+                back = startB[hi] + (base + idx - cumB[hi])
+                # Within a chunk, equal-lo pairs are already hi-ascending
+                # (a consequence of the global (hi, lo) order), so a
+                # (lo, hi) sort groups them without reordering inside
+                # groups.
+                order = np.argsort(lo * nn + hi)
+                lo_s = lo[order]
+                run = np.empty(c, dtype=bool)
+                run[0] = True
+                np.not_equal(lo_s[1:], lo_s[:-1], out=run[1:])
+                starts = np.flatnonzero(run).astype(np.int32)
+                lens = np.diff(np.append(starts, np.int32(c)))
+                fwd = np.empty(c, dtype=np.int32)
+                fwd[order] = (
+                    startF[lo_s] + occF[lo_s]
+                    + (idx - np.repeat(starts, lens))
+                )
+                occF[lo_s[starts]] += lens  # run heads are unique node ids
+                dst[back] = lo
+                dst[fwd] = hi
+                grev[back] = fwd
+                grev[fwd] = back
+                base += c
+        if not base:
+            # An empty second pass is the signature of a factory that
+            # hands back fresh-but-drained generators (it consumed its
+            # underlying source on pass 1): name the fix instead of
+            # reporting a bare count mismatch.
+            raise ValueError(
+                f"chunk factory is not replayable: pass 2 yielded no "
+                f"pairs where pass 1 saw {m} -- the factory consumed its "
+                f"underlying stream on the first pass; it must re-produce "
+                f"the identical chunks on every call (counter-based "
+                f"samplers re-sample for free)"
+            )
         if base != m:
             raise ValueError(
                 f"chunk factory is not replayable: pass 1 saw {m} pairs, "
@@ -805,8 +850,9 @@ class VectorizedEngine:
         rng: str = DEFAULT_STREAM,
         scratch: Optional[EngineScratch] = None,
         result: str = "legacy",
+        dtype: str = "default",
     ):
-        from .array_result import resolve_result_kind
+        from .array_result import resolve_dtype_kind, resolve_result_kind
 
         if algorithm not in SLEEPING_ALGORITHMS:
             raise ValueError(
@@ -822,6 +868,7 @@ class VectorizedEngine:
         self.max_rounds = max_rounds
         self.rng_stream = rng
         self.result_kind = resolve_result_kind(result, "vectorized")
+        self.dtype_kind = resolve_dtype_kind(dtype)
 
         arrays = graph if isinstance(graph, GraphArrays) else GraphArrays(graph)
         self.arrays = arrays
@@ -955,17 +1002,25 @@ class VectorizedEngine:
         return self.arrays.adjacency
 
     def run(self) -> RunResult:
-        """Replay the full execution and return the generator-equal result."""
-        if self.n == 0:
-            return self._build_result(0)
-        total_rounds = self._duration(self.depth)
-        if self.max_rounds is not None and total_rounds > self.max_rounds:
-            raise MaxRoundsExceededError(self.max_rounds, self.n)
+        """Replay the full execution and return the generator-equal result.
 
-        everyone = np.arange(self.n, dtype=np.int64)
-        all_edges = np.arange(len(self.src), dtype=np.int64)
-        self._recurse(everyone, all_edges, self.depth, 0)
-        return self._build_result(total_rounds)
+        The recursion is attributed to the ``engine`` profiling phase and
+        the result assembly to ``result_build`` (self-time: the nested
+        build span pauses the engine span) -- see :mod:`repro.profiling`.
+        """
+        from ..profiling import phase
+
+        with phase("engine"):
+            if self.n == 0:
+                return self._build_result(0)
+            total_rounds = self._duration(self.depth)
+            if self.max_rounds is not None and total_rounds > self.max_rounds:
+                raise MaxRoundsExceededError(self.max_rounds, self.n)
+
+            everyone = np.arange(self.n, dtype=np.int64)
+            all_edges = np.arange(len(self.src), dtype=np.int64)
+            self._recurse(everyone, all_edges, self.depth, 0)
+            return self._build_result(total_rounds)
 
     # ------------------------------------------------------------------
     # The recursion (SleepingMISRecursive, Parts 2-6).
@@ -1306,65 +1361,73 @@ class VectorizedEngine:
         # received-message column: edge e delivered one message to dst[e]
         # per broadcast round it participated in.  float64 weights are
         # exact here (per-node totals stay far below 2^53).
-        if self.arrays.m:
-            self.mrecv += np.bincount(
-                self.dst, weights=self._edge_rounds, minlength=self.n
-            ).astype(np.int64)
-        if self.result_kind == "arrays":
-            from .array_result import ArrayRunResult
+        from ..profiling import phase
 
-            n = self.n
-            return ArrayRunResult(
-                n=n,
+        with phase("result_build"):
+            if self.arrays.m:
+                self.mrecv += np.bincount(
+                    self.dst, weights=self._edge_rounds, minlength=self.n
+                ).astype(np.int64)
+            if self.result_kind == "arrays":
+                from .array_result import ArrayRunResult, result_column
+
+                n = self.n
+                narrow = self.dtype_kind == "narrow"
+                if rounds <= np.iinfo(np.int64).max:
+                    finish_dtype: Any = (
+                        np.int32
+                        if narrow and rounds <= np.iinfo(np.int32).max
+                        else np.int64
+                    )
+                else:
+                    finish_dtype = np.float64
+
+                def col(column: np.ndarray) -> np.ndarray:
+                    return result_column(column, narrow=narrow)
+
+                return ArrayRunResult(
+                    n=n,
+                    rounds=rounds,
+                    seed=self.seed,
+                    node_ids=self.node_ids,
+                    in_mis=self.in_mis.copy(),
+                    awake_rounds=col(self.awake),
+                    sleep_rounds=col(self.sleep),
+                    tx_rounds=col(self.tx),
+                    rx_rounds=col(self.rx),
+                    idle_rounds=col(self.idle),
+                    messages_sent=col(self.msent),
+                    bits_sent=col(self.bits),
+                    messages_received=col(self.mrecv),
+                    decision_round=col(self.decision_round),
+                    awake_at_decision=col(self.awake_at_decision),
+                    finish_round=np.full(n, rounds, dtype=finish_dtype),
+                    arrays=self.arrays,
+                )
+            if self.n == 0:
+                return RunResult(
+                    n=0, rounds=0, seed=self.seed, node_stats={}, outputs={},
+                    protocols={}, adjacency=self.adjacency,
+                )
+            return assemble_result(
+                n=self.n,
                 rounds=rounds,
                 seed=self.seed,
+                adjacency=self.adjacency,
                 node_ids=self.node_ids,
-                in_mis=self.in_mis.copy(),
-                awake_rounds=self.awake.copy(),
-                sleep_rounds=self.sleep.copy(),
-                tx_rounds=self.tx.copy(),
-                rx_rounds=self.rx.copy(),
-                idle_rounds=self.idle.copy(),
-                messages_sent=self.msent.copy(),
-                bits_sent=self.bits.copy(),
-                messages_received=self.mrecv.copy(),
-                decision_round=self.decision_round.copy(),
-                awake_at_decision=self.awake_at_decision.copy(),
-                finish_round=np.full(
-                    n,
-                    rounds,
-                    dtype=(
-                        np.int64
-                        if rounds <= np.iinfo(np.int64).max
-                        else np.float64
-                    ),
-                ),
-                arrays=self.arrays,
+                awake=self.awake.tolist(),
+                sleep=self.sleep.tolist(),
+                tx=self.tx.tolist(),
+                rx=self.rx.tolist(),
+                idle=self.idle.tolist(),
+                msent=self.msent.tolist(),
+                bits=self.bits.tolist(),
+                mrecv=self.mrecv.tolist(),
+                decision_round=self.decision_round.tolist(),
+                awake_at_decision=self.awake_at_decision.tolist(),
+                finish=repeat(rounds),
+                in_mis=self.in_mis.tolist(),
             )
-        if self.n == 0:
-            return RunResult(
-                n=0, rounds=0, seed=self.seed, node_stats={}, outputs={},
-                protocols={}, adjacency=self.adjacency,
-            )
-        return assemble_result(
-            n=self.n,
-            rounds=rounds,
-            seed=self.seed,
-            adjacency=self.adjacency,
-            node_ids=self.node_ids,
-            awake=self.awake.tolist(),
-            sleep=self.sleep.tolist(),
-            tx=self.tx.tolist(),
-            rx=self.rx.tolist(),
-            idle=self.idle.tolist(),
-            msent=self.msent.tolist(),
-            bits=self.bits.tolist(),
-            mrecv=self.mrecv.tolist(),
-            decision_round=self.decision_round.tolist(),
-            awake_at_decision=self.awake_at_decision.tolist(),
-            finish=repeat(rounds),
-            in_mis=self.in_mis.tolist(),
-        )
 
 
 def simulate_vectorized(

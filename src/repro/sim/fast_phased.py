@@ -108,8 +108,9 @@ class PhasedVectorizedEngine:
         rng: str = DEFAULT_STREAM,
         scratch: Optional[EngineScratch] = None,
         result: str = "legacy",
+        dtype: str = "default",
     ):
-        from .array_result import resolve_result_kind
+        from .array_result import resolve_dtype_kind, resolve_result_kind
 
         if algorithm not in PHASED_ALGORITHMS:
             raise ValueError(
@@ -125,6 +126,7 @@ class PhasedVectorizedEngine:
         self.max_rounds = max_rounds
         self.rng_stream = rng
         self.result_kind = resolve_result_kind(result, "vectorized")
+        self.dtype_kind = resolve_dtype_kind(dtype)
 
         arrays = graph if isinstance(graph, GraphArrays) else GraphArrays(graph)
         self.arrays = arrays
@@ -353,7 +355,17 @@ class PhasedVectorizedEngine:
         sized slices of scratch buffers.  Because ``U`` stays ascending,
         every draw happens at exactly the stream position the historical
         full-scan loop used -- bit-for-bit equivalence is preserved.
+
+        Under active phase profiling the replay is attributed to the
+        ``engine`` phase and result assembly to ``result_build``
+        (self-time: the nested build span pauses the engine span).
         """
+        from ..profiling import phase
+
+        with phase("engine"):
+            return self._run()
+
+    def _run(self) -> RunResult:
         n = self.n
         if n == 0:
             return self._build_result()
@@ -507,6 +519,12 @@ class PhasedVectorizedEngine:
     # ------------------------------------------------------------------
 
     def _build_result(self) -> RunResult:
+        from ..profiling import phase
+
+        with phase("result_build"):
+            return self._build_result_inner()
+
+    def _build_result_inner(self) -> RunResult:
         # Phased nodes never sleep (constant ``sleep`` column) but finish
         # at per-node rounds as they terminate phase by phase.
         if self.arrays.m:
@@ -516,26 +534,33 @@ class PhasedVectorizedEngine:
                 self.arrays.dst, weights=self._edge_rounds, minlength=self.n
             ).astype(np.int64)
         if self.result_kind == "arrays":
-            from .array_result import ArrayRunResult
+            from .array_result import ArrayRunResult, result_column
 
             n = self.n
+            narrow = self.dtype_kind == "narrow"
+
+            def col(column: np.ndarray) -> np.ndarray:
+                return result_column(column, narrow=narrow)
+
             return ArrayRunResult(
                 n=n,
                 rounds=int(self.finish.max()) if n else 0,
                 seed=self.seed,
                 node_ids=self.node_ids,
                 in_mis=self.in_mis.copy(),
-                awake_rounds=self.awake.copy(),
-                sleep_rounds=np.zeros(n, dtype=np.int64),
-                tx_rounds=self.tx.copy(),
-                rx_rounds=self.rx.copy(),
-                idle_rounds=self.idle.copy(),
-                messages_sent=self.msent.copy(),
-                bits_sent=self.bits.copy(),
-                messages_received=self.mrecv.copy(),
-                decision_round=self.decision_round.copy(),
-                awake_at_decision=self.awake_at_decision.copy(),
-                finish_round=self.finish.copy(),
+                awake_rounds=col(self.awake),
+                sleep_rounds=np.zeros(
+                    n, dtype=np.int32 if narrow else np.int64
+                ),
+                tx_rounds=col(self.tx),
+                rx_rounds=col(self.rx),
+                idle_rounds=col(self.idle),
+                messages_sent=col(self.msent),
+                bits_sent=col(self.bits),
+                messages_received=col(self.mrecv),
+                decision_round=col(self.decision_round),
+                awake_at_decision=col(self.awake_at_decision),
+                finish_round=col(self.finish),
                 arrays=self.arrays,
             )
         if self.n == 0:

@@ -104,6 +104,19 @@ def node_rng_factory(seed: Optional[int]) -> Callable[[Any], random.Random]:
     return lambda node_id: random.Random(prefix + str(node_id))
 
 
+#: Upper bound on the node count :func:`node_rng_bulk` will seed.  The v1
+#: ``"pernode"`` format is inherently per-node Python work -- one SHA-512
+#: and one Mersenne--Twister init each, ~2.5 us/node even bulk-seeded --
+#: so seeding alone would cost minutes at 10^8 nodes and the stream list
+#: would hold ~10^8 live objects (~25 GB).  Past this threshold the run
+#: belongs on the v2 counter-based stream (``rng="batched"``), whose
+#: coins are drawn as whole arrays with no per-node state at all; the
+#: bound refuses the footgun loudly instead of hanging.  Sized one decade
+#: above the largest measured pernode run (10^7, ``BENCH_scale_1e7``) and
+#: below the 10^8 decade that motivated it.
+PERNODE_SEED_MAX_NODES = 50_000_000
+
+
 def node_rng_bulk(seed: Optional[int], node_ids: Any) -> List[Any]:
     """Every node's v1 stream at once, bit-for-bit equal to :func:`node_rng`.
 
@@ -132,6 +145,20 @@ def node_rng_bulk(seed: Optional[int], node_ids: Any) -> List[Any]:
     ``Random.randrange(bound)`` exactly.  Consumers needing the full
     interface (the generator engine) keep :func:`make_node_rng`.
     """
+    try:
+        count = len(node_ids)
+    except TypeError:
+        count = None
+    if count is not None and count > PERNODE_SEED_MAX_NODES:
+        raise ValueError(
+            f"rng='pernode' (v1) cannot scale to n={count}: bulk-seeding "
+            f"one stream per node is bounded at "
+            f"PERNODE_SEED_MAX_NODES={PERNODE_SEED_MAX_NODES} nodes "
+            f"(per-node SHA-512 seeding time and ~250 bytes of stream "
+            f"state per node) -- run this size on the v2 counter-based "
+            f"stream with rng='batched', which draws coins as whole "
+            f"arrays with no per-node state"
+        )
     prefix = f"repro|{seed}|".encode()
     sha512 = hashlib.sha512
     from_bytes = int.from_bytes

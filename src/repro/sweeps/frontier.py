@@ -67,6 +67,11 @@ STATES = (PENDING, CLAIMED, DONE, FAILED)
 #: How long a claim lives before any worker may break it (seconds).
 #: Generous by default: expiring a *live* worker's claim costs only a
 #: duplicated (idempotent) trial, but thrashing claims costs throughput.
+#: The ``BENCH_sweep_scaling.json`` measurement sizes the margin: the
+#: lease machinery itself is ~0.3 ms per claim cycle, so at 15 minutes
+#: expiry can only ever fire on a worker that is genuinely gone (or on
+#: a single trial running >= 6 orders of magnitude longer than the
+#: bookkeeping) -- never on the frontier's own latency.
 DEFAULT_CLAIM_TTL = 15 * 60.0
 
 #: Journal event types.  ``done``/``failed``/``reissue`` rebuild state;

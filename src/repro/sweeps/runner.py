@@ -247,6 +247,16 @@ def run_sweep(
     return report
 
 
+#: In-flight claims per worker in the bounded submission window.  Each
+#: pending entry is a *claimed* trial, so the window also bounds how many
+#: leases a dying driver can leave behind.  Sized from the
+#: ``BENCH_sweep_scaling.json`` measurement: trial execution dominates
+#: claim/submit latency (a claim cycle is ~0.3 ms of disk bookkeeping),
+#: so two per worker -- one running, one queued -- already keeps every
+#: worker fed, and deeper windows only add orphanable leases.
+CLAIM_WINDOW_PER_WORKER = 2
+
+
 def _run_parallel(
     frontier: TrialFrontier,
     worker: str,
@@ -313,7 +323,7 @@ def _run_parallel(
                         ),
                     )
                 )
-                while len(pending) >= jobs * 2:
+                while len(pending) >= jobs * CLAIM_WINDOW_PER_WORKER:
                     drain_one()
     except (OSError, BrokenProcessPool) as exc:
         # Pool could not start, or a worker was killed mid-trial (which

@@ -20,9 +20,13 @@ from repro.api import solve_mis
 from repro.graphs.arrays import make_family_arrays
 from repro.graphs.generators import make_family_graph
 from repro.sim.array_result import (
+    DTYPE_KINDS,
     RESULT_KINDS,
     ArrayRunResult,
+    narrow_column,
+    resolve_dtype_kind,
     resolve_result_kind,
+    result_column,
     validate_result_kind,
 )
 from repro.sim.batch import run_trials
@@ -305,6 +309,150 @@ class TestExactSummation:
         assert scaled.node_averaged_round_complexity == float(1 << 52)
         energy = DEFAULT_MODEL.total_energy(scaled)
         assert energy > 0  # and finite/positive despite huge sleep columns
+
+
+class TestNarrowColumns:
+    """The ``dtype="narrow"`` opt-in and its exactness guarantees."""
+
+    def test_dtype_kind_validation(self):
+        assert DTYPE_KINDS == ("default", "narrow")
+        for kind in DTYPE_KINDS:
+            assert resolve_dtype_kind(kind) == kind
+        with pytest.raises(ValueError, match="unknown result dtype"):
+            resolve_dtype_kind("float16")
+
+    def test_narrow_column_ladder(self):
+        # int64 in int32 range -> int32; out of range -> int64 copy.
+        small = np.array([0, -5, 2**31 - 1], dtype=np.int64)
+        assert narrow_column(small).dtype == np.int32
+        np.testing.assert_array_equal(narrow_column(small), small)
+        big = np.array([0, 2**31], dtype=np.int64)
+        assert narrow_column(big).dtype == np.int64
+        # float64 narrows only inside float32's exact-integer range.
+        exact = np.array([0.0, 0.5, 1024.0], dtype=np.float64)
+        assert narrow_column(exact).dtype == np.float32
+        # Overflow-promoted round labels stay float64 even when they land
+        # on float32-representable values (3*2^62 round-trips exactly).
+        promoted = np.array([float(3 * (2**62 - 1))], dtype=np.float64)
+        assert narrow_column(promoted).dtype == np.float64
+        inexact = np.array([0.1], dtype=np.float64)
+        assert narrow_column(inexact).dtype == np.float64
+        # Other dtypes (the int8 tri-state in_mis) pass through as copies.
+        tri = np.array([-1, 0, 1], dtype=np.int8)
+        assert narrow_column(tri).dtype == np.int8
+        # Empty columns take the narrowest dtype trivially.
+        assert narrow_column(np.empty(0, dtype=np.int64)).dtype == np.int32
+
+    def test_result_column_always_copies(self):
+        src = np.arange(10, dtype=np.int64)
+        for narrow in (False, True):
+            out = result_column(src, narrow=narrow)
+            assert out is not src and not np.shares_memory(out, src)
+        assert result_column(src, narrow=False).dtype == np.int64
+        assert result_column(src, narrow=True).dtype == np.int32
+
+    @pytest.mark.parametrize("algorithm", ALGORITHMS)
+    def test_narrow_measures_equal_default(self, algorithm):
+        graph = make_family_arrays("gnp-sparse", 120, seed=11)
+        default = solve_mis(
+            graph, algorithm, seed=11, engine="vectorized", result="arrays"
+        )
+        narrow = solve_mis(
+            graph, algorithm, seed=11, engine="vectorized", result="arrays",
+            dtype="narrow",
+        )
+        assert narrow.awake_rounds.dtype == np.int32  # actually narrowed
+        assert narrow.summary() == default.summary()
+        assert narrow.mis == default.mis
+        for measure in MEASURES:
+            assert getattr(narrow, measure) == getattr(default, measure)
+        for v in default.node_stats:
+            assert asdict(narrow.node_stats[v]) == asdict(
+                default.node_stats[v]
+            ), v
+
+    def test_from_run_result_narrow(self):
+        graph = make_family_graph("gnp-sparse", 60, seed=4)
+        legacy = solve_mis(graph, "ghaffari", seed=4, engine="generators")
+        narrow = ArrayRunResult.from_run_result(legacy, "narrow")
+        assert narrow.awake_rounds.dtype == np.int32
+        assert_results_agree(legacy, narrow)
+
+    def test_default_stays_bit_identical(self):
+        """dtype='default' must be byte-for-byte the historical columns."""
+        graph = make_family_arrays("gnp-sparse", 100, seed=2)
+        explicit = solve_mis(
+            graph, "fast-sleeping", seed=2, engine="vectorized",
+            result="arrays", dtype="default",
+        )
+        implicit = solve_mis(
+            graph, "fast-sleeping", seed=2, engine="vectorized",
+            result="arrays",
+        )
+        for field in (
+            "awake_rounds", "sleep_rounds", "finish_round", "bits_sent"
+        ):
+            a, b = getattr(explicit, field), getattr(implicit, field)
+            assert a.dtype == b.dtype == (
+                np.int64 if field != "in_mis" else np.int8
+            )
+            np.testing.assert_array_equal(a, b)
+
+
+class TestDtypePromotionBoundaries:
+    """Pin the exact recursion depth at which each round-label column
+    climbs the promotion ladder (int32 -> int64 -> float64).
+
+    Algorithm 1's round labels grow like ``T(K) = 3(2^K - 1)``:
+    ``T(29) = 1_610_612_733`` is the last duration inside int32 range,
+    ``T(61) = 6_917_529_027_641_081_853`` the last inside int64 --
+    ``T(62)`` passes ``2^63 - 1`` and forces the engines' float64
+    promotion (PR 7), which ``dtype="narrow"`` generalizes downward:
+    columns take int32 exactly when their values fit, never sooner.
+    """
+
+    #: (depth, dtype knob, expected round-label column dtype).
+    CASES = [
+        (29, "narrow", np.int32),
+        (30, "narrow", np.int64),  # T(30) = 3_221_225_469 > 2^31 - 1
+        (29, "default", np.int64),
+        (30, "default", np.int64),
+        (61, "narrow", np.int64),
+        (61, "default", np.int64),
+        (62, "narrow", np.float64),  # T(62) > 2^63 - 1: promotion wins
+        (62, "default", np.float64),
+    ]
+
+    @pytest.mark.parametrize("depth,dtype,expected", CASES)
+    def test_round_label_columns_promote_at_the_pinned_depth(
+        self, depth, dtype, expected
+    ):
+        graph = make_family_graph("gnp-sparse", 16, seed=1)
+        result = solve_mis(
+            graph, "sleeping", seed=1, engine="vectorized",
+            result="arrays", dtype=dtype, depth=depth,
+        )
+        assert result.sleep_rounds.dtype == expected
+        assert result.finish_round.dtype == expected
+        # Count columns never promote: exact int64 (int32 under narrow)
+        # at every depth -- the paper's awake measure stays exact.
+        count_dtype = np.int32 if dtype == "narrow" else np.int64
+        assert result.awake_rounds.dtype == count_dtype
+        assert result.bits_sent.dtype == count_dtype
+
+    def test_narrow_agrees_with_default_across_the_boundary(self):
+        graph = make_family_graph("gnp-sparse", 16, seed=1)
+        for depth in (29, 30, 62):
+            default = solve_mis(
+                graph, "sleeping", seed=1, engine="vectorized",
+                result="arrays", depth=depth,
+            )
+            narrow = solve_mis(
+                graph, "sleeping", seed=1, engine="vectorized",
+                result="arrays", dtype="narrow", depth=depth,
+            )
+            assert narrow.summary() == default.summary(), depth
+            assert narrow.mis == default.mis, depth
 
 
 class TestEmptyGraph:

@@ -663,6 +663,30 @@ class TestChunkedCsrBuild:
         with pytest.raises(ValueError, match="not replayable"):
             GraphArrays.from_distinct_pair_chunks(3, make)
 
+    def test_consumed_iterator_reuse_names_the_fix(self):
+        """Passing the *same* generator object for both passes is the
+        classic mistake (``chunks=gen()`` instead of ``chunks=gen``); the
+        builder must say what went wrong instead of reporting a confusing
+        pair-count mismatch on the empty second pass."""
+        lo = np.array([0, 0], dtype=np.int64)
+        hi = np.array([1, 2], dtype=np.int64)
+        gen = self._chunked(lo, hi, 1)()  # one generator, not a factory
+
+        with pytest.raises(
+            ValueError,
+            match=r"not replayable.*same \(already consumed\) iterator",
+        ):
+            GraphArrays.from_distinct_pair_chunks(3, lambda: gen)
+
+    def test_reiterable_factory_may_return_the_same_object(self):
+        """A list-backed (re-iterable) chunk source is fine to hand out
+        twice -- only a consumed one-shot iterator is an error."""
+        lo = np.array([0, 1], dtype=np.int64)
+        hi = np.array([1, 2], dtype=np.int64)
+        chunks = [(lo[:1], hi[:1]), (lo[1:], hi[1:])]
+        ga = GraphArrays.from_distinct_pair_chunks(3, lambda: chunks)
+        _assert_same_arrays(ga, GraphArrays.from_distinct_pairs(3, lo, hi))
+
     def test_gnp_v2_stream_knob_is_not_part_of_the_format(self):
         """Every stream mode samples the identical seeded graph."""
         expected = gnp_arrays_v2(200, 0.1, seed=6, stream=False)

@@ -261,6 +261,30 @@ class TestCanonicalSerialization:
         with pytest.raises(ValueError, match="cannot replay"):
             RunPlan.from_dict(data)
 
+    def test_default_dtype_is_elided_from_serialization(self):
+        """The version-stable evolution rule: fields added after plan
+        version 1 shipped serialize only at non-default values, so every
+        committed artifact and cache key stays byte-identical."""
+        assert "dtype" not in RunPlan().to_dict()
+        assert '"dtype"' not in GOLDEN_JSON  # the pin above proves this too
+
+    def test_narrow_dtype_serializes_and_round_trips(self):
+        plan = RunPlan(dtype="narrow")
+        assert plan.to_dict()["dtype"] == "narrow"
+        assert '"dtype":"narrow"' in plan.to_json()
+        clone = RunPlan.from_json(plan.to_json())
+        assert clone == plan
+        assert clone.cache_key() == plan.cache_key()
+        assert clone.cache_key() != RunPlan().cache_key()
+
+    def test_absent_dtype_deserializes_to_default(self):
+        # Plans serialized before the dtype field existed stay loadable.
+        assert RunPlan.from_json(GOLDEN_JSON).dtype == "default"
+
+    def test_invalid_dtype_rejected(self):
+        with pytest.raises(ValueError, match="unknown result dtype"):
+            RunPlan(dtype="float16")
+
 
 class TestCliMapping:
     """Every configuration flag the CLI exposes maps onto exactly one
@@ -279,6 +303,7 @@ class TestCliMapping:
         "graph_source": "graph_source",
         "graph_rng": "graph_rng",
         "result": "result",
+        "dtype": "dtype",
         "jobs": "n_jobs",
     }
 
@@ -292,6 +317,7 @@ class TestCliMapping:
         "output", "manifest", "sweep_dir", "resume", "budget_s",
         "claim_ttl", "emit_manifest", "server", "no_fallback",
         "host", "port", "workers", "max_queue", "cache_size", "deadline_s",
+        "profile_phases",
     }
 
     def _subparsers(self):
